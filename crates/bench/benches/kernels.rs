@@ -1,0 +1,105 @@
+//! Criterion micro-benches for the numeric kernels: matmul, im2col,
+//! convolution forward/backward, and every policy's weight quantizer.
+//!
+//! These quantify the substrate costs behind the paper's "competition is
+//! cheap" claim (§III-B.a): one probe = one eval-mode forward pass.
+
+use ccq_nn::layers::QConv2d;
+use ccq_nn::{Layer, Mode};
+use ccq_quant::{BitWidth, LayerQuant, PolicyKind, QuantSpec};
+use ccq_tensor::ops::{im2col, matmul, Conv2dGeometry};
+use ccq_tensor::{rng, Init, Tensor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut r = rng(0);
+    let a = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[64, 128], &mut r);
+    let b = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[128, 96], &mut r);
+    c.bench_function("matmul_64x128x96", |bench| {
+        bench.iter(|| matmul(black_box(&a), black_box(&b)).expect("matmul"))
+    });
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut r = rng(1);
+    let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[8, 8, 16, 16], &mut r);
+    let geom = Conv2dGeometry {
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    c.bench_function("im2col_8x8x16x16_k3", |bench| {
+        bench.iter(|| im2col(black_box(&x), geom).expect("im2col"))
+    });
+}
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let mut r = rng(2);
+    let spec = QuantSpec::new(PolicyKind::Pact, BitWidth::of(4), BitWidth::of(4));
+    let mut conv = QConv2d::new_3x3("bench", 8, 16, 1, spec, &mut r);
+    let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[8, 8, 16, 16], &mut r);
+    c.bench_function("qconv_forward_eval_4bit", |bench| {
+        bench.iter(|| conv.forward(black_box(&x), Mode::Eval).expect("forward"))
+    });
+    c.bench_function("qconv_forward_backward_4bit", |bench| {
+        bench.iter_batched(
+            || x.clone(),
+            |xx| {
+                let y = conv.forward(&xx, Mode::Train).expect("forward");
+                conv.backward(&y).expect("backward")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let mut r = rng(3);
+    let w = Init::Normal {
+        mean: 0.0,
+        std: 0.5,
+    }
+    .sample(&[16 * 8 * 3 * 3], &mut r);
+    let mut group = c.benchmark_group("weight_quantizers_4bit");
+    for policy in PolicyKind::ALL {
+        let lq = LayerQuant::new(QuantSpec::new(policy, BitWidth::of(4), BitWidth::of(4)));
+        group.bench_function(policy.to_string(), |bench| {
+            bench.iter(|| lq.quantize_weights(black_box(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_act_quantizer(c: &mut Criterion) {
+    let mut r = rng(4);
+    let x = Init::Uniform { lo: -2.0, hi: 6.0 }.sample(&[8 * 8 * 16 * 16], &mut r);
+    let lq = LayerQuant::new(QuantSpec::new(
+        PolicyKind::Pact,
+        BitWidth::of(4),
+        BitWidth::of(4),
+    ));
+    c.bench_function("pact_act_quantize_4bit", |bench| {
+        bench.iter(|| lq.quantize_acts(black_box(&x)))
+    });
+    let g = Tensor::ones(x.shape());
+    let mut lq2 = LayerQuant::new(QuantSpec::new(
+        PolicyKind::Pact,
+        BitWidth::of(4),
+        BitWidth::of(4),
+    ));
+    c.bench_function("pact_act_backward_4bit", |bench| {
+        bench.iter(|| lq2.act_backward(black_box(&g), black_box(&x)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_im2col,
+    bench_conv_forward_backward,
+    bench_quantizers,
+    bench_act_quantizer
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! **Fig. 5** — iso-throughput MAC power: unquantized vs partially
+//! quantized (fp first/last) vs CCQ's fully quantized mixed precision.
+//!
+//! Uses the analytic 32 nm MAC energy model (the DesignWare substitution,
+//! see DESIGN.md §2) over each network's per-layer MAC counts. Paper
+//! claims reproduced: the fp first/last layers of partially quantized
+//! networks consume several times the power of *all* other layers
+//! combined, and the fully quantized networks (first/last at 6/2, 6/6,
+//! 8/3 bits for ResNet20/18/50) have order-of-magnitude lower budgets.
+//!
+//! Usage: `cargo run --release -p ccq-bench --bin fig5_power`
+
+use ccq::layer_profiles;
+use ccq_bench::Scale;
+use ccq_hw::{network_power, LayerProfile, MacEnergyModel};
+use ccq_models::{ModelConfig, ModelKind};
+use ccq_nn::Mode;
+use ccq_quant::{BitWidth, PolicyKind};
+use ccq_tensor::Tensor;
+
+/// Applies a bit pattern to the profiles: first/last to `ends`, middles to
+/// `mid` (weights and activations alike, as Fig. 5's MAC framing does).
+fn with_pattern(
+    profiles: &[LayerProfile],
+    first: BitWidth,
+    mid: BitWidth,
+    last: BitWidth,
+) -> Vec<LayerProfile> {
+    let n = profiles.len();
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let bits = if i == 0 {
+                first
+            } else if i + 1 == n {
+                last
+            } else {
+                mid
+            };
+            LayerProfile {
+                weight_bits: bits,
+                act_bits: bits,
+                ..p.clone()
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let model = MacEnergyModel::node_32nm();
+    let throughput = 1.0e4; // inferences per second (iso across configs)
+    println!(
+        "# Fig. 5: iso-throughput MAC power at 32nm ({} inferences/s)",
+        throughput
+    );
+    println!("# paper: fp first/last layers need 4-56x the power of all quantized layers combined");
+    println!("# fully-quantized first/last bits: ResNet20 6/2, ResNet18 6/6, ResNet50 8/3");
+    println!("# scale: {scale:?}");
+    println!("network,config,total_mw,first_last_mw,middle_mw,first_last_share");
+
+    let configs: [(ModelKind, BitWidth, BitWidth); 3] = [
+        (ModelKind::Resnet20, BitWidth::of(6), BitWidth::of(2)),
+        (ModelKind::Resnet18, BitWidth::of(6), BitWidth::of(6)),
+        (ModelKind::Resnet50, BitWidth::of(8), BitWidth::of(3)),
+    ];
+
+    for (kind, fq_first, fq_last) in configs {
+        let mut net = kind.build(&ModelConfig {
+            classes: 10,
+            width: scale.width(),
+            policy: PolicyKind::Pact,
+            seed: 0,
+        });
+        // One forward pass populates the MAC counts.
+        let s = scale.image_size();
+        let _ = net
+            .forward(&Tensor::zeros(&[1, 3, s, s]), Mode::Eval)
+            .expect("forward");
+        let base = layer_profiles(&mut net);
+
+        let fp = BitWidth::FP32;
+        let rows = [
+            ("unquantized", with_pattern(&base, fp, fp, fp)),
+            ("fp-4b-fp", with_pattern(&base, fp, BitWidth::of(4), fp)),
+            ("fp-2b-fp", with_pattern(&base, fp, BitWidth::of(2), fp)),
+            // Fully quantized: the paper's learned first/last bits, 3-bit
+            // middles (the ballpark of CCQ's mixed assignment).
+            (
+                "fully-quantized-MP",
+                with_pattern(&base, fq_first, BitWidth::of(3), fq_last),
+            ),
+        ];
+        for (name, profiles) in rows {
+            let r = network_power(&model, &profiles, throughput);
+            println!(
+                "{kind},{name},{:.4},{:.4},{:.4},{:.3}",
+                r.total_mw,
+                r.first_last_mw,
+                r.middle_mw,
+                r.first_last_mw / r.total_mw.max(1e-12)
+            );
+        }
+    }
+}

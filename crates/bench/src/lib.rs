@@ -1,0 +1,215 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index); this library holds the workload
+//! construction they share: dataset building, baseline pre-training, and
+//! environment-variable scaling knobs.
+
+use ccq_data::{synth_cifar, Augment, ImageDataset, SynthCifarConfig};
+use ccq_models::{ModelConfig, ModelKind};
+use ccq_nn::train::{evaluate, train_epoch, Batch};
+use ccq_nn::{Network, Sgd};
+use ccq_quant::PolicyKind;
+use ccq_tensor::rng;
+
+/// Experiment scale, controlled by the `CCQ_SCALE` environment variable:
+/// `smoke` (seconds, CI-sized), `small` (default, minutes), `full`
+/// (tens of minutes, best fidelity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke run.
+    Smoke,
+    /// Minutes-long default.
+    Small,
+    /// The full experiment.
+    Full,
+}
+
+impl Scale {
+    /// Reads `CCQ_SCALE` (defaults to [`Scale::Small`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("CCQ_SCALE")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "smoke" => Scale::Smoke,
+            "full" => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Samples per class for the training split.
+    pub fn train_per_class(&self) -> usize {
+        match self {
+            Scale::Smoke => 12,
+            Scale::Small => 48,
+            Scale::Full => 128,
+        }
+    }
+
+    /// Samples per class for the validation split.
+    pub fn val_per_class(&self) -> usize {
+        match self {
+            Scale::Smoke => 6,
+            Scale::Small => 16,
+            Scale::Full => 32,
+        }
+    }
+
+    /// Baseline pre-training epochs.
+    pub fn baseline_epochs(&self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Small => 20,
+            Scale::Full => 40,
+        }
+    }
+
+    /// Fine-tuning epochs for one-shot baselines.
+    pub fn fine_tune_epochs(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Small => 10,
+            Scale::Full => 20,
+        }
+    }
+
+    /// Base channel width for the ResNet builders.
+    pub fn width(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Small => 4,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Image side length.
+    pub fn image_size(&self) -> usize {
+        match self {
+            Scale::Smoke => 12,
+            Scale::Small => 16,
+            Scale::Full => 20,
+        }
+    }
+}
+
+/// A ready-to-run workload: datasets plus a pre-trained fp32 network.
+pub struct Workload {
+    /// Training split.
+    pub train: ImageDataset,
+    /// Validation split.
+    pub val: ImageDataset,
+    /// The pre-trained full-precision network.
+    pub net: Network,
+    /// Baseline (fp32) validation accuracy.
+    pub baseline_accuracy: f32,
+}
+
+/// Builds the SynthCIFAR dataset splits at the given scale.
+///
+/// The harness uses a deliberately *harder* variant than the library
+/// default (more pixel noise, more positional jitter) so baselines land
+/// below 100% and quantization-induced degradation is measurable.
+pub fn build_data(scale: Scale, classes: usize, seed: u64) -> (ImageDataset, ImageDataset) {
+    let per_class = scale.train_per_class() + scale.val_per_class();
+    let ds = synth_cifar(&SynthCifarConfig {
+        classes,
+        samples_per_class: per_class,
+        image_size: scale.image_size(),
+        noise_std: 0.4,
+        jitter: 0.45,
+        monochrome: true,
+        seed,
+        ..Default::default()
+    });
+    ds.split_at(classes * scale.train_per_class())
+}
+
+/// Builds a model on SynthCIFAR and pre-trains the fp32 baseline.
+///
+/// # Panics
+///
+/// Panics on network errors (harness binaries fail loudly).
+pub fn build_workload(
+    scale: Scale,
+    kind: ModelKind,
+    classes: usize,
+    policy: PolicyKind,
+    seed: u64,
+) -> Workload {
+    let (train, val) = build_data(scale, classes, seed);
+    let mut net = kind.build(&ModelConfig {
+        classes,
+        width: scale.width(),
+        policy,
+        seed,
+    });
+    let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
+    let mut r = rng(seed ^ 0x5eed);
+    let aug = Augment::standard();
+    let val_batches = val.batches(64);
+    for epoch in 0..scale.baseline_epochs() {
+        let batches = train.augmented_batches(32, &aug, &mut r);
+        let loss = train_epoch(&mut net, &batches, &mut opt, &mut r).expect("training failed");
+        if epoch + 1 == scale.baseline_epochs() {
+            let _ = loss;
+        }
+        // Simple step decay for the baseline.
+        if epoch == scale.baseline_epochs() * 2 / 3 {
+            opt.set_lr(0.01);
+        }
+    }
+    let baseline_accuracy = evaluate(&mut net, &val_batches)
+        .expect("eval failed")
+        .accuracy;
+    Workload {
+        train,
+        val,
+        net,
+        baseline_accuracy,
+    }
+}
+
+/// Convenience: training batches without augmentation (evaluation-style
+/// stacking) — used by baselines that take `&[Batch]`.
+pub fn plain_batches(ds: &ImageDataset, batch_size: usize) -> Vec<Batch> {
+    ds.batches(batch_size)
+}
+
+/// Formats a ratio like `10.27x`.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats an accuracy in percent.
+pub fn fmt_pct(x: f32) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_small() {
+        // Do not set the env var here (tests run in parallel); just check
+        // the accessors are consistent.
+        assert!(Scale::Full.train_per_class() > Scale::Smoke.train_per_class());
+        assert!(Scale::Full.width() > Scale::Smoke.width());
+    }
+
+    #[test]
+    fn build_data_splits_are_balanced() {
+        let (train, val) = build_data(Scale::Smoke, 4, 0);
+        assert_eq!(train.len(), 4 * Scale::Smoke.train_per_class());
+        assert_eq!(val.len(), 4 * Scale::Smoke.val_per_class());
+        assert_eq!(train.classes(), 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ratio(10.266), "10.27x");
+        assert_eq!(fmt_pct(0.9234), "92.34");
+    }
+}

@@ -1,0 +1,15 @@
+//! The paper's comparison baselines.
+//!
+//! - [`one_shot`]: quantize every layer to the target pattern at once,
+//!   then fine-tune — the conventional QAT recipe CCQ's Table I compares
+//!   against.
+//! - [`hawq`]: a Hessian-trace proxy for HAWQ (Dong et al., 2019): rank
+//!   layers by second-order sensitivity (Hutchinson probes of `vᵀHv`),
+//!   assign mixed precision greedily under a compression target, fine-tune
+//!   once — Table II's learning-based competitor.
+
+pub mod hawq;
+pub mod one_shot;
+
+pub use hawq::{hawq_assign, HawqConfig, HawqReport};
+pub use one_shot::{one_shot_quantize, OneShotConfig, OneShotReport};

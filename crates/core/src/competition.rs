@@ -1,0 +1,682 @@
+//! The competition stage: online learning over layers (paper §III-B.a).
+
+use crate::{CcqError, LambdaSchedule, Result};
+use ccq_nn::train::{evaluate, Batch};
+use ccq_nn::Network;
+use ccq_quant::{BitLadder, BitWidth};
+use ccq_tensor::Rng64;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One validation probe from the competition stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// Probe round `u` within this quantization step.
+    pub round: usize,
+    /// The layer whose precision was hypothetically lowered.
+    pub layer: usize,
+    /// Which operand the probe lowered.
+    pub kind: ExpertKind,
+    /// Validation loss of the resulting network (Eq. 4).
+    pub val_loss: f32,
+}
+
+/// The result of one competition: a winning layer and the evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompetitionOutcome {
+    /// Index of the winning layer `m_t`.
+    pub winner: usize,
+    /// Which operand of the winner was lowered.
+    pub winner_kind: ExpertKind,
+    /// Label of the winning layer.
+    pub winner_label: String,
+    /// The winner's precision before this step.
+    pub from_bits: BitWidth,
+    /// The winner's precision after this step.
+    pub to_bits: BitWidth,
+    /// The final (λ-blended) selection distribution over all layers.
+    pub probabilities: Vec<f32>,
+    /// Every probe taken during the competition.
+    pub probes: Vec<ProbeRecord>,
+}
+
+/// The probe/update regime within one competition.
+///
+/// The paper's prose states the *full information* setting ("at each step,
+/// we will have access to the full information from all layers") while its
+/// Algorithm 1 line 7 samples a single layer per round. Both are
+/// implemented; full information is the default because the sampled
+/// variant carries a frequency bias (layers sampled more often shrink
+/// faster regardless of their loss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeRegime {
+    /// Every active layer is probed and updated each round.
+    FullInformation,
+    /// One layer is sampled from `p` and only it is probed/updated
+    /// (Algorithm 1 verbatim).
+    Sampled,
+}
+
+/// What one expert controls in the competition.
+///
+/// The paper's experiments lower a layer's weight and activation widths
+/// together; its Table II nevertheless reports W and A widths separately,
+/// and treating them as separate experts is the natural extension — a
+/// layer whose weights tolerate 2 bits may still need 4-bit activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpertGranularity {
+    /// One expert per layer; weights and activations descend together
+    /// (the paper's setting).
+    Layer,
+    /// Two experts per layer: weights and activations descend
+    /// independently.
+    WeightAct,
+}
+
+/// Which operand a competition expert (and the step it won) controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpertKind {
+    /// Whole layer: weights and activations together.
+    Layer,
+    /// Weight operand only.
+    Weights,
+    /// Activation operand only.
+    Activations,
+}
+
+/// One candidate move in the competition.
+#[derive(Debug, Clone, Copy)]
+struct Expert {
+    layer: usize,
+    kind: ExpertKind,
+    from: BitWidth,
+    to: BitWidth,
+    /// Slot in the persistent π vector.
+    slot: usize,
+    /// Layer size for the λ blend (Eq. 7 uses |Q_m|).
+    size: usize,
+}
+
+/// Multiplicative-weights (Hedge) competition between layers, with
+/// *sleeping experts*: layers already at the ladder floor (or at their
+/// forced target) are excluded from sampling and never probed.
+///
+/// The expert weights `π` persist across quantization steps, exactly as in
+/// the paper's Algorithm 1 where `π(0) = 1` is initialized once. See
+/// [`ProbeRegime`] for the probe/update semantics.
+#[derive(Debug, Clone)]
+pub struct Competition {
+    gamma: f32,
+    rounds: usize,
+    regime: ProbeRegime,
+    granularity: ExpertGranularity,
+    pi: Vec<f32>,
+}
+
+impl Competition {
+    /// Creates a competition with Hedge rate `gamma` and `rounds` rounds
+    /// per quantization step (`U` in the paper), in the full-information
+    /// regime. `rounds == 0` means "two rounds over all active layers",
+    /// the heuristic we default to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gamma` is not finite and positive.
+    pub fn new(gamma: f32, rounds: usize) -> Self {
+        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive");
+        Competition {
+            gamma,
+            rounds,
+            regime: ProbeRegime::FullInformation,
+            granularity: ExpertGranularity::Layer,
+            pi: Vec::new(),
+        }
+    }
+
+    /// Switches the probe regime (builder style).
+    pub fn regime(mut self, regime: ProbeRegime) -> Self {
+        self.regime = regime;
+        self
+    }
+
+    /// Switches the expert granularity (builder style).
+    pub fn granularity(mut self, granularity: ExpertGranularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// The Hedge learning rate γ.
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+
+    /// Current expert weights (empty before the first run).
+    pub fn expert_weights(&self) -> &[f32] {
+        &self.pi
+    }
+
+    /// Resets the expert weights to uniform.
+    pub fn reset(&mut self) {
+        self.pi.clear();
+    }
+
+    /// The next rung below `cur`, honoring an optional per-layer floor
+    /// (`None` = sleeping). A full-precision target freezes the operand.
+    fn next_rung(
+        ladder: &BitLadder,
+        cur: BitWidth,
+        target: Option<BitWidth>,
+    ) -> Option<(BitWidth, BitWidth)> {
+        match target {
+            Some(t) if t.is_full_precision() || cur <= t => None,
+            Some(t) => {
+                let next = ladder.next_below(cur).map(|n| n.max(t)).unwrap_or(t);
+                Some((cur, next))
+            }
+            None => ladder.next_below(cur).map(|next| (cur, next)),
+        }
+    }
+
+    /// Enumerates the awake experts for the current network state.
+    fn experts(
+        &self,
+        net: &mut Network,
+        ladder: &BitLadder,
+        targets: Option<&[BitWidth]>,
+    ) -> (Vec<Expert>, usize) {
+        let info = net.quant_layer_info();
+        let m_layers = info.len();
+        let mut experts = Vec::new();
+        for (m, li) in info.iter().enumerate() {
+            let target = targets.map(|t| t.get(m).copied().unwrap_or(ladder.floor()));
+            match self.granularity {
+                ExpertGranularity::Layer => {
+                    if let Some((from, to)) = Self::next_rung(ladder, li.spec.weight_bits, target)
+                    {
+                        experts.push(Expert {
+                            layer: m,
+                            kind: ExpertKind::Layer,
+                            from,
+                            to,
+                            slot: m,
+                            size: li.weight_count,
+                        });
+                    }
+                }
+                ExpertGranularity::WeightAct => {
+                    if let Some((from, to)) = Self::next_rung(ladder, li.spec.weight_bits, target)
+                    {
+                        experts.push(Expert {
+                            layer: m,
+                            kind: ExpertKind::Weights,
+                            from,
+                            to,
+                            slot: 2 * m,
+                            size: li.weight_count,
+                        });
+                    }
+                    if let Some((from, to)) = Self::next_rung(ladder, li.spec.act_bits, target) {
+                        experts.push(Expert {
+                            layer: m,
+                            kind: ExpertKind::Activations,
+                            from,
+                            to,
+                            slot: 2 * m + 1,
+                            size: li.weight_count,
+                        });
+                    }
+                }
+            }
+        }
+        let slots = match self.granularity {
+            ExpertGranularity::Layer => m_layers,
+            ExpertGranularity::WeightAct => 2 * m_layers,
+        };
+        (experts, slots)
+    }
+
+    /// Applies an expert's move to the network. Returns the spec that was
+    /// in place before.
+    fn apply(net: &mut Network, e: &Expert) -> ccq_quant::QuantSpec {
+        let spec = net.quant_spec(e.layer);
+        let new = match e.kind {
+            ExpertKind::Layer => spec.with_bits(e.to, e.to),
+            ExpertKind::Weights => spec.with_bits(e.to, spec.act_bits),
+            ExpertKind::Activations => spec.with_bits(spec.weight_bits, e.to),
+        };
+        net.set_quant_spec(e.layer, new);
+        spec
+    }
+
+    /// Runs one competition: `U` probe rounds of Hedge updates, then a draw
+    /// from the λ-blended distribution, then the winning layer is
+    /// *permanently* lowered one rung. Returns `None` when every layer is
+    /// asleep (quantization is complete).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcqError::EmptyValidationSet`] when `val` is empty, or a
+    /// network error from the probe evaluations.
+    pub fn run(
+        &mut self,
+        net: &mut Network,
+        ladder: &BitLadder,
+        targets: Option<&[BitWidth]>,
+        lambda: &LambdaSchedule,
+        step: usize,
+        val: &[Batch],
+        rng: &mut Rng64,
+    ) -> Result<Option<CompetitionOutcome>> {
+        if val.is_empty() {
+            return Err(CcqError::EmptyValidationSet);
+        }
+        let info = net.quant_layer_info();
+        let (experts, slots) = self.experts(net, ladder, targets);
+        if self.pi.len() != slots {
+            self.pi = vec![1.0; slots];
+        }
+        if experts.is_empty() {
+            return Ok(None);
+        }
+        // Slot-indexed views for the λ blend.
+        let mut sizes = vec![0usize; slots];
+        let mut active = vec![false; slots];
+        let mut by_slot: Vec<Option<usize>> = vec![None; slots];
+        for (i, e) in experts.iter().enumerate() {
+            sizes[e.slot] = e.size;
+            active[e.slot] = true;
+            by_slot[e.slot] = Some(i);
+        }
+        let n_active = experts.len();
+        let (rounds, probes_per_round) = match self.regime {
+            ProbeRegime::FullInformation => {
+                (if self.rounds == 0 { 2 } else { self.rounds }, n_active)
+            }
+            ProbeRegime::Sampled => (
+                if self.rounds == 0 {
+                    2 * n_active
+                } else {
+                    self.rounds
+                },
+                1,
+            ),
+        };
+
+        // Hypothetically apply one expert's move, measure, restore
+        // (Eq. 4/5), and apply the Hedge update π ← π·exp(−γξ).
+        let probe_expert = |net: &mut Network, pi: &mut [f32], e: &Expert| -> Result<f32> {
+            let before = Self::apply(net, e);
+            let loss = evaluate(net, val).map_err(CcqError::from)?.loss;
+            net.set_quant_spec(e.layer, before);
+            pi[e.slot] *= (-self.gamma * loss).exp();
+            Ok(loss)
+        };
+
+        let mut probes = Vec::with_capacity(rounds * probes_per_round);
+        for u in 0..rounds {
+            match self.regime {
+                ProbeRegime::FullInformation => {
+                    for e in &experts {
+                        let loss = probe_expert(net, &mut self.pi, e)?;
+                        probes.push(ProbeRecord {
+                            round: u,
+                            layer: e.layer,
+                            kind: e.kind,
+                            val_loss: loss,
+                        });
+                    }
+                }
+                ProbeRegime::Sampled => {
+                    let p = lambda.blend(step, &self.pi, &sizes, &active);
+                    let slot = sample_categorical(&p, rng)
+                        .ok_or_else(|| CcqError::InvalidConfig("degenerate distribution".into()))?;
+                    let e = experts[by_slot[slot].expect("sampled slot is active")];
+                    let loss = probe_expert(net, &mut self.pi, &e)?;
+                    probes.push(ProbeRecord {
+                        round: u,
+                        layer: e.layer,
+                        kind: e.kind,
+                        val_loss: loss,
+                    });
+                }
+            }
+        }
+        // Keep π well-scaled across many steps.
+        let max_pi = self.pi.iter().copied().fold(0.0f32, f32::max);
+        if max_pi > 0.0 && max_pi.is_finite() {
+            for v in &mut self.pi {
+                *v /= max_pi;
+                *v = v.max(1e-30);
+            }
+        }
+
+        let p = lambda.blend(step, &self.pi, &sizes, &active);
+        let slot = sample_categorical(&p, rng)
+            .ok_or_else(|| CcqError::InvalidConfig("degenerate distribution".into()))?;
+        let winner = experts[by_slot[slot].expect("winning slot is active")];
+        let _ = Self::apply(net, &winner);
+        Ok(Some(CompetitionOutcome {
+            winner: winner.layer,
+            winner_kind: winner.kind,
+            winner_label: info[winner.layer].label.clone(),
+            from_bits: winner.from,
+            to_bits: winner.to,
+            probabilities: p,
+            probes,
+        }))
+    }
+}
+
+impl Default for Competition {
+    /// γ = 0.5 with the adaptive round count (`U = 2 × active layers`).
+    fn default() -> Self {
+        Competition::new(0.5, 0)
+    }
+}
+
+/// Samples an index from an unnormalized non-negative weight vector.
+fn sample_categorical(p: &[f32], rng: &mut Rng64) -> Option<usize> {
+    let total: f32 = p.iter().sum();
+    if !(total > 0.0) || !total.is_finite() {
+        return None;
+    }
+    let mut x: f32 = rng.gen::<f32>() * total;
+    let mut last_positive = None;
+    for (i, &v) in p.iter().enumerate() {
+        if v > 0.0 {
+            last_positive = Some(i);
+            if x < v {
+                return Some(i);
+            }
+            x -= v;
+        }
+    }
+    last_positive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_data::{gaussian_blobs, BlobsConfig};
+    use ccq_models::mlp;
+    use ccq_quant::PolicyKind;
+    use ccq_tensor::rng;
+
+    fn setup() -> (Network, Vec<Batch>) {
+        let net = mlp(&[8, 16, 16, 4], PolicyKind::Pact, 3);
+        let val = gaussian_blobs(&BlobsConfig::default()).batches(32);
+        (net, val)
+    }
+
+    #[test]
+    fn sample_categorical_respects_support() {
+        let mut r = rng(0);
+        for _ in 0..100 {
+            let i = sample_categorical(&[0.0, 1.0, 0.0], &mut r).unwrap();
+            assert_eq!(i, 1);
+        }
+        assert_eq!(sample_categorical(&[0.0, 0.0], &mut r), None);
+    }
+
+    #[test]
+    fn competition_picks_an_active_layer_and_applies_it() {
+        let (mut net, val) = setup();
+        let mut comp = Competition::new(0.5, 4);
+        let ladder = BitLadder::paper_default();
+        let lambda = LambdaSchedule::constant(0.0);
+        let mut r = rng(1);
+        let outcome = comp
+            .run(&mut net, &ladder, None, &lambda, 0, &val, &mut r)
+            .unwrap()
+            .unwrap();
+        assert!(outcome.winner < 3);
+        assert_eq!(
+            outcome.to_bits,
+            BitWidth::of(8),
+            "fp layers descend to the top rung"
+        );
+        assert_eq!(net.quant_spec(outcome.winner).weight_bits, BitWidth::of(8));
+        // Full information: 4 rounds × 3 active layers.
+        assert_eq!(outcome.probes.len(), 12);
+    }
+
+    #[test]
+    fn competition_returns_none_when_all_asleep() {
+        let (mut net, val) = setup();
+        let ladder = BitLadder::new(&[8, 4]).unwrap();
+        // Put everything at the floor.
+        net.set_all_quant_specs(ccq_quant::QuantSpec::new(
+            PolicyKind::Pact,
+            BitWidth::of(4),
+            BitWidth::of(4),
+        ));
+        let mut comp = Competition::default();
+        let mut r = rng(2);
+        let out = comp
+            .run(
+                &mut net,
+                &ladder,
+                None,
+                &LambdaSchedule::constant(0.0),
+                0,
+                &val,
+                &mut r,
+            )
+            .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn targets_freeze_fp_layers() {
+        let (mut net, val) = setup();
+        let ladder = BitLadder::new(&[8, 4, 3]).unwrap();
+        // fp-3b-fp pattern: first and last stay fp, middle goes to 3.
+        let targets = vec![BitWidth::FP32, BitWidth::of(3), BitWidth::FP32];
+        let mut comp = Competition::new(0.5, 3);
+        let mut r = rng(3);
+        let lambda = LambdaSchedule::constant(0.0);
+        // Exhaust the ladder: middle layer needs 3 descents (fp→8→4→3).
+        let mut winners = Vec::new();
+        while let Some(out) = comp
+            .run(&mut net, &ladder, Some(&targets), &lambda, 0, &val, &mut r)
+            .unwrap()
+        {
+            winners.push(out.winner);
+            assert!(winners.len() < 20, "must terminate");
+        }
+        assert!(
+            winners.iter().all(|&w| w == 1),
+            "only the middle layer may move"
+        );
+        assert_eq!(net.quant_spec(1).weight_bits, BitWidth::of(3));
+        assert!(net.quant_spec(0).weight_bits.is_full_precision());
+        assert!(net.quant_spec(2).weight_bits.is_full_precision());
+    }
+
+    #[test]
+    fn empty_validation_set_is_an_error() {
+        let (mut net, _) = setup();
+        let mut comp = Competition::default();
+        let mut r = rng(4);
+        let err = comp
+            .run(
+                &mut net,
+                &BitLadder::paper_default(),
+                None,
+                &LambdaSchedule::constant(0.0),
+                0,
+                &[],
+                &mut r,
+            )
+            .unwrap_err();
+        assert_eq!(err, CcqError::EmptyValidationSet);
+    }
+
+    #[test]
+    fn probes_restore_the_network() {
+        let (mut net, val) = setup();
+        let before: Vec<_> = net.quant_layer_info().iter().map(|i| i.spec).collect();
+        let mut comp = Competition::new(0.5, 6);
+        let mut r = rng(5);
+        let out = comp
+            .run(
+                &mut net,
+                &BitLadder::paper_default(),
+                None,
+                &LambdaSchedule::constant(0.0),
+                0,
+                &val,
+                &mut r,
+            )
+            .unwrap()
+            .unwrap();
+        let after: Vec<_> = net.quant_layer_info().iter().map(|i| i.spec).collect();
+        // Exactly one layer changed: the winner.
+        for (m, (b, a)) in before.iter().zip(&after).enumerate() {
+            if m == out.winner {
+                assert_ne!(b, a);
+            } else {
+                assert_eq!(b, a, "layer {m} must be restored after probing");
+            }
+        }
+    }
+
+    #[test]
+    fn hedge_weights_prefer_low_loss_layers() {
+        // In the full-information regime every active layer is probed each
+        // round, so the layer with the smallest validation loss must end
+        // with the largest probability — no frequency bias.
+        let (mut net, val) = setup();
+        let mut comp = Competition::new(2.0, 4);
+        let mut r = rng(6);
+        let out = comp
+            .run(
+                &mut net,
+                &BitLadder::paper_default(),
+                None,
+                &LambdaSchedule::constant(0.0),
+                0,
+                &val,
+                &mut r,
+            )
+            .unwrap()
+            .unwrap();
+        let mut sums = vec![0.0f32; 3];
+        let mut counts = vec![0usize; 3];
+        for p in &out.probes {
+            sums[p.layer] += p.val_loss;
+            counts[p.layer] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c == 4),
+            "full information probes every layer each round"
+        );
+        let means: Vec<f32> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| s / c as f32)
+            .collect();
+        let best_layer = (0..3)
+            .min_by(|&a, &b| means[a].total_cmp(&means[b]))
+            .unwrap();
+        let max_prob_layer = (0..3)
+            .max_by(|&a, &b| out.probabilities[a].total_cmp(&out.probabilities[b]))
+            .unwrap();
+        assert_eq!(
+            best_layer, max_prob_layer,
+            "means={means:?} p={:?}",
+            out.probabilities
+        );
+    }
+
+    #[test]
+    fn sampled_regime_probes_one_layer_per_round() {
+        let (mut net, val) = setup();
+        let mut comp = Competition::new(0.5, 5).regime(ProbeRegime::Sampled);
+        let mut r = rng(7);
+        let out = comp
+            .run(
+                &mut net,
+                &BitLadder::paper_default(),
+                None,
+                &LambdaSchedule::constant(0.0),
+                0,
+                &val,
+                &mut r,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.probes.len(), 5);
+    }
+
+    #[test]
+    fn weight_act_granularity_moves_operands_independently() {
+        let (mut net, val) = setup();
+        let ladder = BitLadder::new(&[8, 4]).unwrap();
+        let mut comp =
+            Competition::new(0.5, 1).granularity(ExpertGranularity::WeightAct);
+        let lambda = LambdaSchedule::constant(0.3);
+        let mut r = rng(11);
+        let layers = net.quant_layer_count();
+        // Exhaust: each layer has separate weight and act descents.
+        let mut steps = 0;
+        let mut weight_steps = 0;
+        let mut act_steps = 0;
+        while let Some(out) =
+            comp.run(&mut net, &ladder, None, &lambda, steps, &val, &mut r).unwrap()
+        {
+            match out.winner_kind {
+                ExpertKind::Weights => weight_steps += 1,
+                ExpertKind::Activations => act_steps += 1,
+                ExpertKind::Layer => panic!("split granularity must not emit Layer experts"),
+            }
+            steps += 1;
+            assert!(steps <= 2 * layers * ladder.len() + 1, "must terminate");
+        }
+        assert_eq!(steps, 2 * layers * ladder.len());
+        assert_eq!(weight_steps, act_steps);
+        for i in 0..layers {
+            assert_eq!(net.quant_spec(i).weight_bits, BitWidth::of(4));
+            assert_eq!(net.quant_spec(i).act_bits, BitWidth::of(4));
+        }
+    }
+
+    #[test]
+    fn weight_act_probes_touch_only_their_operand() {
+        let (mut net, val) = setup();
+        let before: Vec<_> = net.quant_layer_info().iter().map(|i| i.spec).collect();
+        let mut comp =
+            Competition::new(0.5, 1).granularity(ExpertGranularity::WeightAct);
+        let mut r = rng(12);
+        let out = comp
+            .run(
+                &mut net,
+                &BitLadder::paper_default(),
+                None,
+                &LambdaSchedule::constant(0.0),
+                0,
+                &val,
+                &mut r,
+            )
+            .unwrap()
+            .unwrap();
+        let after: Vec<_> = net.quant_layer_info().iter().map(|i| i.spec).collect();
+        for (m, (b, a)) in before.iter().zip(&after).enumerate() {
+            if m == out.winner {
+                match out.winner_kind {
+                    ExpertKind::Weights => {
+                        assert_ne!(b.weight_bits, a.weight_bits);
+                        assert_eq!(b.act_bits, a.act_bits);
+                    }
+                    ExpertKind::Activations => {
+                        assert_eq!(b.weight_bits, a.weight_bits);
+                        assert_ne!(b.act_bits, a.act_bits);
+                    }
+                    ExpertKind::Layer => unreachable!(),
+                }
+            } else {
+                assert_eq!(b, a, "layer {m} must be restored");
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the CCQ framework.
+
+use ccq_nn::NnError;
+use ccq_quant::QuantError;
+use std::fmt;
+
+/// Errors returned by the CCQ framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CcqError {
+    /// The underlying network failed (shape mismatch, backward-before-
+    /// forward, ...).
+    Network(NnError),
+    /// A quantization configuration was invalid (bad ladder, bad bits).
+    Quant(QuantError),
+    /// A framework configuration value failed validation.
+    InvalidConfig(String),
+    /// The validation set was empty — CCQ's competition cannot probe.
+    EmptyValidationSet,
+}
+
+impl fmt::Display for CcqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcqError::Network(e) => write!(f, "network error: {e}"),
+            CcqError::Quant(e) => write!(f, "quantization error: {e}"),
+            CcqError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CcqError::EmptyValidationSet => {
+                write!(f, "validation set is empty; competition cannot run probes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CcqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CcqError::Network(e) => Some(e),
+            CcqError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CcqError {
+    fn from(e: NnError) -> Self {
+        CcqError::Network(e)
+    }
+}
+
+impl From<QuantError> for CcqError {
+    fn from(e: QuantError) -> Self {
+        CcqError::Quant(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CcqError>();
+    }
+
+    #[test]
+    fn display_chains_sources() {
+        use std::error::Error;
+        let e = CcqError::from(QuantError::InvalidBitWidth(99));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Competitive-Collaborative Quantization (CCQ).
+//!
+//! Reproduction of *"Learning to Quantize Deep Neural Networks: A
+//! Competitive-Collaborative Approach"* (Khan, Kamani, Mahdavi, Narayanan —
+//! DAC 2020). CCQ is an accuracy-driven, policy-agnostic framework that
+//! learns a **mixed-precision** bit assignment for every layer of a network
+//! by alternating two stages:
+//!
+//! 1. **[`Competition`]** — every layer is an expert in an online-learning
+//!    (Hedge) game. Probes hypothetically lower one layer's precision a
+//!    rung on the [`ccq_quant::BitLadder`] and measure validation loss; the
+//!    multiplicative-weights distribution then picks the layer that hurts
+//!    accuracy least (blended with a size-proportional term, Eq. 7 — see
+//!    [`LambdaSchedule`]). Layers at the bottom rung become *sleeping
+//!    experts*.
+//! 2. **[`Collaboration`]** — the whole network fine-tunes with
+//!    quantization-aware training until accuracy recovers, either for a
+//!    fixed budget ([`RecoveryMode::Manual`]) or until a threshold
+//!    ([`RecoveryMode::Adaptive`]), optionally with the paper's hybrid
+//!    plateau/cosine-restart learning rate.
+//!
+//! [`CcqRunner`] orchestrates the full loop and records the learning curve
+//! (Fig. 2), the quantization schedule, and the compression trajectory.
+//! The [`baselines`] module implements the paper's comparison points:
+//! one-shot quantization (Table I) and a HAWQ-style Hessian-trace proxy
+//! (Table II).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ccq::{CcqConfig, CcqRunner};
+//! use ccq_data::{synth_cifar, SynthCifarConfig};
+//! use ccq_models::{resnet20, ModelConfig};
+//!
+//! let data = synth_cifar(&SynthCifarConfig::default());
+//! let (train, val) = data.split_at(512);
+//! let mut net = resnet20(&ModelConfig::default());
+//! let mut runner = CcqRunner::new(CcqConfig::default());
+//! let report = runner.run(&mut net, &train, &val)?;
+//! println!("compression {:.1}x at {:.1}% accuracy",
+//!          report.final_compression, 100.0 * report.final_accuracy);
+//! # Ok::<(), ccq::CcqError>(())
+//! ```
+
+pub mod baselines;
+mod competition;
+mod error;
+mod lambda;
+mod profiles;
+mod recovery;
+mod runner;
+
+pub use competition::{
+    Competition, CompetitionOutcome, ExpertGranularity, ExpertKind, ProbeRecord, ProbeRegime,
+};
+pub use error::CcqError;
+pub use lambda::LambdaSchedule;
+pub use profiles::layer_profiles;
+pub use recovery::{Collaboration, RecoveryMode, RecoveryRecord};
+pub use runner::{CcqConfig, CcqReport, CcqRunner, StepRecord, TraceEvent, TracePoint};
+
+/// Crate-wide result alias. See [`CcqError`] for the error cases.
+pub type Result<T> = std::result::Result<T, CcqError>;

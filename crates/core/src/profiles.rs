@@ -1,0 +1,66 @@
+//! Bridging helpers between networks and hardware analysis.
+
+use ccq_hw::LayerProfile;
+use ccq_nn::Network;
+
+/// Extracts the per-layer hardware profiles (label, weight count, MACs,
+/// current bit widths) from a network.
+///
+/// Run a forward pass first so MAC counts are populated; before that they
+/// are zero and power reports will be empty.
+///
+/// # Example
+///
+/// ```
+/// use ccq::layer_profiles;
+/// use ccq_models::{resnet20, ModelConfig};
+/// use ccq_nn::Mode;
+/// use ccq_tensor::Tensor;
+///
+/// let mut net = resnet20(&ModelConfig::default());
+/// let _ = net.forward(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval)?;
+/// let profiles = layer_profiles(&mut net);
+/// assert!(profiles.iter().all(|p| p.macs > 0));
+/// # Ok::<(), ccq_nn::NnError>(())
+/// ```
+pub fn layer_profiles(net: &mut Network) -> Vec<LayerProfile> {
+    net.quant_layer_info()
+        .into_iter()
+        .map(|info| LayerProfile {
+            label: info.label,
+            weight_count: info.weight_count,
+            macs: info.macs,
+            weight_bits: info.spec.weight_bits,
+            act_bits: info.spec.act_bits,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_hw::model_size;
+    use ccq_models::{mlp, resnet20, ModelConfig};
+    use ccq_quant::{BitWidth, PolicyKind, QuantSpec};
+
+    #[test]
+    fn profiles_match_layer_count() {
+        let mut net = resnet20(&ModelConfig::default());
+        let profiles = layer_profiles(&mut net);
+        assert_eq!(profiles.len(), 22);
+    }
+
+    #[test]
+    fn compression_tracks_spec_changes() {
+        let mut net = mlp(&[8, 8, 4], PolicyKind::Pact, 0);
+        let fp = model_size(&layer_profiles(&mut net));
+        assert!((fp.compression - 1.0).abs() < 1e-9);
+        net.set_all_quant_specs(QuantSpec::new(
+            PolicyKind::Pact,
+            BitWidth::of(4),
+            BitWidth::of(4),
+        ));
+        let q = model_size(&layer_profiles(&mut net));
+        assert!((q.compression - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,668 @@
+//! The CCQ orchestration loop (paper Algorithm 1 plus Eq. 7).
+
+use crate::{
+    layer_profiles, CcqError, Collaboration, Competition, ExpertGranularity, ExpertKind,
+    LambdaSchedule, ProbeRegime, RecoveryMode, Result,
+};
+use ccq_data::{Augment, ImageDataset};
+use ccq_hw::model_size;
+use ccq_nn::schedule::HybridRestart;
+use ccq_nn::train::{evaluate, Batch};
+use ccq_nn::{Network, Sgd};
+use ccq_quant::{BitLadder, BitWidth};
+use ccq_tensor::{rng, Rng64};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration for a [`CcqRunner`].
+#[derive(Debug, Clone)]
+pub struct CcqConfig {
+    /// The bit ladder `N(0) > … > N(K-1)`.
+    pub ladder: BitLadder,
+    /// Hedge learning rate γ for the competition.
+    pub gamma: f32,
+    /// Competition rounds `U` per quantization step; in the default
+    /// full-information regime each round probes every active layer
+    /// (0 = two rounds).
+    pub probe_rounds: usize,
+    /// Number of validation batches each competition probe evaluates (the
+    /// paper's "small validation set"); the recovery threshold and final
+    /// metrics always use the full validation set. 0 = all batches.
+    pub probe_val_batches: usize,
+    /// Probe/update regime: full information (default) or Algorithm 1's
+    /// literal sampled updates.
+    pub probe_regime: ProbeRegime,
+    /// Expert granularity: whole layers (the paper) or independent
+    /// weight/activation experts (the natural extension).
+    pub granularity: ExpertGranularity,
+    /// Memory-aggressiveness schedule λ (Eq. 7).
+    pub lambda: LambdaSchedule,
+    /// Recovery mode for the collaboration stage.
+    pub recovery: RecoveryMode,
+    /// Whether to use the hybrid plateau/cosine-restart learning rate.
+    pub use_hybrid_lr: bool,
+    /// Base fine-tuning learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// SGD weight decay.
+    pub weight_decay: f32,
+    /// Safety cap on quantization steps.
+    pub max_steps: usize,
+    /// Stop once this weight-compression ratio is reached (e.g. `10.0`).
+    pub target_compression: Option<f64>,
+    /// Forced per-layer floor configuration (Table I mode): layer `m`
+    /// never descends below `targets[m]`; full-precision targets freeze the
+    /// layer entirely.
+    pub targets: Option<Vec<BitWidth>>,
+    /// Minibatch size used when the runner builds batches from a dataset.
+    pub batch_size: usize,
+    /// Augmentation used when the runner builds training batches.
+    pub augment: Augment,
+    /// Master seed (sampling, shuffling, augmentation).
+    pub seed: u64,
+}
+
+impl Default for CcqConfig {
+    fn default() -> Self {
+        CcqConfig {
+            ladder: BitLadder::paper_default(),
+            gamma: 0.5,
+            probe_rounds: 0,
+            probe_val_batches: 4,
+            probe_regime: ProbeRegime::FullInformation,
+            granularity: ExpertGranularity::Layer,
+            lambda: LambdaSchedule::default(),
+            recovery: RecoveryMode::default(),
+            use_hybrid_lr: true,
+            lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            max_steps: 500,
+            target_compression: None,
+            targets: None,
+            batch_size: 32,
+            augment: Augment::standard(),
+            seed: 0,
+        }
+    }
+}
+
+/// What happened at a point of the learning curve (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Baseline evaluation of the incoming full-precision network.
+    Baseline,
+    /// The initial everything-to-`N(0)` quantization.
+    InitQuantize,
+    /// A competition winner was quantized (a valley).
+    QuantStep {
+        /// The quantized layer index.
+        layer: usize,
+        /// Its new precision.
+        to_bits: BitWidth,
+    },
+    /// One collaboration (fine-tuning) epoch (a climb back up).
+    Recovery,
+}
+
+/// One point of the CCQ learning curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Global fine-tuning epoch count when the point was taken.
+    pub epoch: usize,
+    /// Validation accuracy.
+    pub val_accuracy: f32,
+    /// Learning rate in effect.
+    pub lr: f32,
+    /// What produced the point.
+    pub event: TraceEvent,
+}
+
+/// Record of one quantization step (competition + collaboration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step index `t` (1-based; 0 is the ladder-top initialization).
+    pub step: usize,
+    /// Winning layer index.
+    pub layer: usize,
+    /// Which operand the step lowered.
+    pub kind: ExpertKind,
+    /// Winning layer label.
+    pub label: String,
+    /// Precision before.
+    pub from_bits: BitWidth,
+    /// Precision after.
+    pub to_bits: BitWidth,
+    /// Validation accuracy entering the step.
+    pub accuracy_before: f32,
+    /// Validation accuracy right after quantizing (the valley).
+    pub accuracy_after_quant: f32,
+    /// Validation accuracy after collaboration recovered it.
+    pub accuracy_after_recovery: f32,
+    /// Fine-tuning epochs the recovery used (`S_t`).
+    pub recovery_epochs: usize,
+    /// Weight-compression ratio after the step.
+    pub compression: f64,
+    /// λ in effect during the step.
+    pub lambda: f32,
+}
+
+/// The full outcome of a CCQ run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CcqReport {
+    /// Accuracy of the incoming full-precision network.
+    pub baseline_accuracy: f32,
+    /// Accuracy of the final mixed-precision network.
+    pub final_accuracy: f32,
+    /// Final weight-compression ratio vs fp32.
+    pub final_compression: f64,
+    /// Every quantization step taken.
+    pub steps: Vec<StepRecord>,
+    /// The learning curve (Fig. 2 series).
+    pub trace: Vec<TracePoint>,
+    /// Final per-layer `(label, weight_bits, act_bits)`.
+    pub bit_assignment: Vec<(String, BitWidth, BitWidth)>,
+}
+
+impl CcqReport {
+    /// Accuracy degradation from baseline (positive = worse).
+    pub fn degradation(&self) -> f32 {
+        self.baseline_accuracy - self.final_accuracy
+    }
+
+    /// The bit pattern as a compact string, e.g. `"6-4-3-…-2"`.
+    pub fn bit_pattern(&self) -> String {
+        self.bit_assignment
+            .iter()
+            .map(|(_, w, _)| w.to_string())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    /// The learning curve as CSV (`epoch,val_accuracy,lr,event`), one row
+    /// per trace point — the Fig. 2 series.
+    pub fn trace_csv(&self) -> String {
+        let mut out = String::from("epoch,val_accuracy,lr,event\n");
+        for p in &self.trace {
+            let event = match p.event {
+                TraceEvent::Baseline => "baseline".to_string(),
+                TraceEvent::InitQuantize => "init_quantize".to_string(),
+                TraceEvent::QuantStep { layer, to_bits } => {
+                    format!("quant_layer{layer}_to_{to_bits}")
+                }
+                TraceEvent::Recovery => "recovery".to_string(),
+            };
+            out.push_str(&format!(
+                "{},{:.4},{:.6},{}\n",
+                p.epoch, p.val_accuracy, p.lr, event
+            ));
+        }
+        out
+    }
+
+    /// The schedule as CSV, one row per quantization step.
+    pub fn schedule_csv(&self) -> String {
+        let mut out = String::from(
+            "step,layer,kind,label,from,to,acc_before,acc_valley,acc_recovered,epochs,compression,lambda\n",
+        );
+        for s in &self.steps {
+            let kind = match s.kind {
+                ExpertKind::Layer => "layer",
+                ExpertKind::Weights => "weights",
+                ExpertKind::Activations => "acts",
+            };
+            out.push_str(&format!(
+                "{},{},{kind},{},{},{},{:.4},{:.4},{:.4},{},{:.2},{:.3}\n",
+                s.step,
+                s.layer,
+                s.label,
+                s.from_bits,
+                s.to_bits,
+                s.accuracy_before,
+                s.accuracy_after_quant,
+                s.accuracy_after_recovery,
+                s.recovery_epochs,
+                s.compression,
+                s.lambda
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for CcqReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CCQ: baseline {:.2}% → quantized {:.2}% (degradation {:.2} pts) at {:.2}x compression in {} steps",
+            100.0 * self.baseline_accuracy,
+            100.0 * self.final_accuracy,
+            100.0 * self.degradation(),
+            self.final_compression,
+            self.steps.len()
+        )?;
+        write!(f, "bit pattern: {}", self.bit_pattern())
+    }
+}
+
+/// Orchestrates the competition/collaboration loop over a network.
+#[derive(Debug)]
+pub struct CcqRunner {
+    config: CcqConfig,
+    competition: Competition,
+}
+
+impl CcqRunner {
+    /// Creates a runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the learning rate or γ is not positive.
+    pub fn new(config: CcqConfig) -> Self {
+        assert!(config.lr > 0.0, "learning rate must be positive");
+        let competition = Competition::new(config.gamma, config.probe_rounds)
+            .regime(config.probe_regime)
+            .granularity(config.granularity);
+        CcqRunner {
+            config,
+            competition,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CcqConfig {
+        &self.config
+    }
+
+    /// Runs CCQ over image datasets: training batches are rebuilt with
+    /// augmentation before every collaboration stage.
+    ///
+    /// The network should arrive *pre-trained at full precision*; the
+    /// runner measures it as the baseline and then walks the bit ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CcqError`] on empty validation data or network failure.
+    pub fn run(
+        &mut self,
+        net: &mut Network,
+        train: &ImageDataset,
+        val: &ImageDataset,
+    ) -> Result<CcqReport> {
+        let val_batches = val.batches(self.config.batch_size.max(1));
+        let (batch_size, augment) = (self.config.batch_size.max(1), self.config.augment);
+        let mut provider =
+            |r: &mut Rng64| -> Vec<Batch> { train.augmented_batches(batch_size, &augment, r) };
+        self.run_with_sources(net, &mut provider, &val_batches)
+    }
+
+    /// Runs CCQ with an explicit per-stage batch provider (generic data).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CcqError`] on empty validation data or network failure.
+    pub fn run_with_sources(
+        &mut self,
+        net: &mut Network,
+        train_provider: &mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
+        val: &[Batch],
+    ) -> Result<CcqReport> {
+        if val.is_empty() {
+            return Err(CcqError::EmptyValidationSet);
+        }
+        if let Some(t) = &self.config.targets {
+            let m = net.quant_layer_count();
+            if t.len() != m {
+                return Err(CcqError::InvalidConfig(format!(
+                    "{} targets for {m} quantizable layers",
+                    t.len()
+                )));
+            }
+        }
+        let mut r = rng(self.config.seed);
+        let mut opt = Sgd::new(self.config.lr)
+            .momentum(self.config.momentum)
+            .weight_decay(self.config.weight_decay);
+        let mut hybrid = HybridRestart::new(self.config.lr);
+        let collab = if self.config.use_hybrid_lr {
+            Collaboration::new(self.config.recovery)
+        } else {
+            Collaboration::new(self.config.recovery).with_constant_lr()
+        };
+
+        let mut trace = Vec::new();
+        let mut epoch = 0usize;
+        let baseline = evaluate(net, val)?.accuracy;
+        trace.push(TracePoint {
+            epoch,
+            val_accuracy: baseline,
+            lr: self.config.lr,
+            event: TraceEvent::Baseline,
+        });
+
+        // Step 0: everything to the top rung N(0) (Algorithm 1 line 3),
+        // except layers frozen at full precision by a target.
+        let top = self.config.ladder.top();
+        let infos = net.quant_layer_info();
+        for (m, info) in infos.iter().enumerate() {
+            let frozen = self
+                .config
+                .targets
+                .as_ref()
+                .map(|t| t[m].is_full_precision())
+                .unwrap_or(false);
+            if !frozen && info.spec.weight_bits > top {
+                net.set_quant_spec(m, info.spec.with_bits(top, top));
+            }
+        }
+        let after_init = evaluate(net, val)?.accuracy;
+        trace.push(TracePoint {
+            epoch,
+            val_accuracy: after_init,
+            lr: self.config.lr,
+            event: TraceEvent::InitQuantize,
+        });
+        let mut last_acc = self.collaborate(
+            net,
+            train_provider,
+            val,
+            baseline,
+            &collab,
+            &mut opt,
+            &mut hybrid,
+            &mut r,
+            &mut trace,
+            &mut epoch,
+        )?;
+
+        let probe_val = if self.config.probe_val_batches == 0 {
+            val
+        } else {
+            &val[..self.config.probe_val_batches.min(val.len())]
+        };
+        let mut steps = Vec::new();
+        for t in 1..=self.config.max_steps {
+            let lambda_now = self.config.lambda.value(t - 1);
+            let outcome = self.competition.run(
+                net,
+                &self.config.ladder,
+                self.config.targets.as_deref(),
+                &self.config.lambda,
+                t - 1,
+                probe_val,
+                &mut r,
+            )?;
+            let Some(outcome) = outcome else {
+                break; // every expert is asleep: fully quantized
+            };
+            let valley = evaluate(net, val)?.accuracy;
+            trace.push(TracePoint {
+                epoch,
+                val_accuracy: valley,
+                lr: opt.lr(),
+                event: TraceEvent::QuantStep {
+                    layer: outcome.winner,
+                    to_bits: outcome.to_bits,
+                },
+            });
+            let recovered = self.collaborate(
+                net,
+                train_provider,
+                val,
+                baseline,
+                &collab,
+                &mut opt,
+                &mut hybrid,
+                &mut r,
+                &mut trace,
+                &mut epoch,
+            )?;
+            let compression = model_size(&layer_profiles(net)).compression;
+            let recovery_epochs = trace
+                .iter()
+                .rev()
+                .take_while(|p| matches!(p.event, TraceEvent::Recovery))
+                .count();
+            steps.push(StepRecord {
+                step: t,
+                layer: outcome.winner,
+                kind: outcome.winner_kind,
+                label: outcome.winner_label,
+                from_bits: outcome.from_bits,
+                to_bits: outcome.to_bits,
+                accuracy_before: last_acc,
+                accuracy_after_quant: valley,
+                accuracy_after_recovery: recovered,
+                recovery_epochs,
+                compression,
+                lambda: lambda_now,
+            });
+            last_acc = recovered;
+            if let Some(target) = self.config.target_compression {
+                if compression >= target {
+                    break;
+                }
+            }
+        }
+
+        let final_accuracy = evaluate(net, val)?.accuracy;
+        let final_compression = model_size(&layer_profiles(net)).compression;
+        let bit_assignment = net
+            .quant_layer_info()
+            .into_iter()
+            .map(|i| (i.label, i.spec.weight_bits, i.spec.act_bits))
+            .collect();
+        Ok(CcqReport {
+            baseline_accuracy: baseline,
+            final_accuracy,
+            final_compression,
+            steps,
+            trace,
+            bit_assignment,
+        })
+    }
+
+    /// One collaboration stage; appends recovery epochs to the trace and
+    /// returns the final accuracy.
+    #[allow(clippy::too_many_arguments)]
+    fn collaborate(
+        &self,
+        net: &mut Network,
+        train_provider: &mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
+        val: &[Batch],
+        baseline: f32,
+        collab: &Collaboration,
+        opt: &mut Sgd,
+        hybrid: &mut HybridRestart,
+        r: &mut Rng64,
+        trace: &mut Vec<TracePoint>,
+        epoch: &mut usize,
+    ) -> Result<f32> {
+        let train = train_provider(r);
+        let rec = collab.recover(net, &train, val, baseline, opt, hybrid, r)?;
+        for e in &rec.trace {
+            *epoch += 1;
+            trace.push(TracePoint {
+                epoch: *epoch,
+                val_accuracy: e.val_accuracy,
+                lr: e.lr,
+                event: TraceEvent::Recovery,
+            });
+        }
+        Ok(rec.final_accuracy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_data::{gaussian_blobs, BlobsConfig};
+    use ccq_models::mlp;
+    use ccq_quant::PolicyKind;
+
+    fn trained_mlp_and_data() -> (Network, Vec<Batch>, Vec<Batch>) {
+        let ds = gaussian_blobs(&BlobsConfig {
+            classes: 4,
+            dim: 8,
+            samples_per_class: 64,
+            std: 0.35,
+            seed: 11,
+        });
+        let (train, val) = ds.split_at(192);
+        let (train_b, val_b) = (train.batches(16), val.batches(32));
+        let mut net = mlp(&[8, 16, 16, 4], PolicyKind::Pact, 5);
+        // Pre-train the fp32 baseline.
+        let mut opt = Sgd::new(0.05).momentum(0.9);
+        let mut r = rng(2);
+        for _ in 0..15 {
+            let _ = ccq_nn::train::train_epoch(&mut net, &train_b, &mut opt, &mut r).unwrap();
+        }
+        (net, train_b, val_b)
+    }
+
+    fn fast_config() -> CcqConfig {
+        CcqConfig {
+            ladder: BitLadder::new(&[8, 4]).unwrap(),
+            probe_rounds: 3,
+            recovery: RecoveryMode::Manual { epochs: 2 },
+            lr: 0.02,
+            max_steps: 20,
+            lambda: LambdaSchedule::constant(0.3),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_run_quantizes_every_layer_to_the_floor() {
+        let (mut net, train, val) = trained_mlp_and_data();
+        let mut runner = CcqRunner::new(fast_config());
+        let mut provider = move |_: &mut Rng64| train.clone();
+        let report = runner
+            .run_with_sources(&mut net, &mut provider, &val)
+            .unwrap();
+        // Initialization already puts every layer at 8b; one descent to 4b
+        // remains per layer.
+        assert_eq!(report.steps.len(), 3);
+        for (_, w, a) in &report.bit_assignment {
+            assert_eq!(*w, BitWidth::of(4));
+            assert_eq!(*a, BitWidth::of(4));
+        }
+        assert!(report.final_compression > 7.9, "4-bit weights ≈ 8x");
+        assert!(report.baseline_accuracy > 0.8, "baseline should be trained");
+    }
+
+    #[test]
+    fn trace_has_valleys_and_recoveries() {
+        let (mut net, train, val) = trained_mlp_and_data();
+        let mut runner = CcqRunner::new(fast_config());
+        let mut provider = move |_: &mut Rng64| train.clone();
+        let report = runner
+            .run_with_sources(&mut net, &mut provider, &val)
+            .unwrap();
+        let quant_points = report
+            .trace
+            .iter()
+            .filter(|p| matches!(p.event, TraceEvent::QuantStep { .. }))
+            .count();
+        let recovery_points = report
+            .trace
+            .iter()
+            .filter(|p| matches!(p.event, TraceEvent::Recovery))
+            .count();
+        assert_eq!(quant_points, report.steps.len());
+        assert!(recovery_points >= report.steps.len(), "each step recovers");
+        assert!(matches!(report.trace[0].event, TraceEvent::Baseline));
+        assert!(matches!(report.trace[1].event, TraceEvent::InitQuantize));
+        // CSV emitters produce one line per point plus header.
+        assert_eq!(report.trace_csv().lines().count(), report.trace.len() + 1);
+        assert_eq!(
+            report.schedule_csv().lines().count(),
+            report.steps.len() + 1
+        );
+    }
+
+    #[test]
+    fn compression_target_stops_early() {
+        let (mut net, train, val) = trained_mlp_and_data();
+        let mut cfg = fast_config();
+        cfg.target_compression = Some(4.5);
+        let mut runner = CcqRunner::new(cfg);
+        let mut provider = move |_: &mut Rng64| train.clone();
+        let report = runner
+            .run_with_sources(&mut net, &mut provider, &val)
+            .unwrap();
+        assert!(report.final_compression >= 4.5);
+        assert!(
+            report.steps.len() < 6,
+            "should stop before full quantization"
+        );
+    }
+
+    #[test]
+    fn target_mode_reaches_exact_pattern() {
+        let (mut net, train, val) = trained_mlp_and_data();
+        let mut cfg = fast_config();
+        cfg.ladder = BitLadder::new(&[8, 4, 3]).unwrap();
+        cfg.targets = Some(vec![BitWidth::FP32, BitWidth::of(3), BitWidth::FP32]);
+        let mut runner = CcqRunner::new(cfg);
+        let mut provider = move |_: &mut Rng64| train.clone();
+        let report = runner
+            .run_with_sources(&mut net, &mut provider, &val)
+            .unwrap();
+        assert_eq!(report.bit_assignment[0].1, BitWidth::FP32);
+        assert_eq!(report.bit_assignment[1].1, BitWidth::of(3));
+        assert_eq!(report.bit_assignment[2].1, BitWidth::FP32);
+        assert_eq!(report.bit_pattern(), "fp-3b-fp");
+    }
+
+    #[test]
+    fn rejects_mismatched_targets() {
+        let (mut net, train, val) = trained_mlp_and_data();
+        let mut cfg = fast_config();
+        cfg.targets = Some(vec![BitWidth::FP32]);
+        let mut runner = CcqRunner::new(cfg);
+        let mut provider = move |_: &mut Rng64| train.clone();
+        assert!(matches!(
+            runner.run_with_sources(&mut net, &mut provider, &val),
+            Err(CcqError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn quantized_accuracy_stays_near_baseline() {
+        // The paper's headline: gradual quantization + recovery keeps
+        // accuracy close to baseline. On an easy task we demand ≤ 10 pts.
+        let (mut net, train, val) = trained_mlp_and_data();
+        let mut cfg = fast_config();
+        cfg.recovery = RecoveryMode::Adaptive {
+            tolerance: 0.01,
+            max_epochs: 8,
+        };
+        let mut runner = CcqRunner::new(cfg);
+        let mut provider = move |_: &mut Rng64| train.clone();
+        let report = runner
+            .run_with_sources(&mut net, &mut provider, &val)
+            .unwrap();
+        assert!(
+            report.degradation() < 0.10,
+            "degradation {:.3} too large (baseline {:.3} final {:.3})",
+            report.degradation(),
+            report.baseline_accuracy,
+            report.final_accuracy
+        );
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let (mut net, train, val) = trained_mlp_and_data();
+        let mut runner = CcqRunner::new(fast_config());
+        let mut provider = move |_: &mut Rng64| train.clone();
+        let report = runner
+            .run_with_sources(&mut net, &mut provider, &val)
+            .unwrap();
+        let s = report.to_string();
+        assert!(s.contains("compression"));
+        assert!(s.contains("bit pattern"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Standard image augmentation: pad-and-random-crop plus horizontal flip.
+
+use ccq_tensor::{Rng64, Tensor};
+use rand::Rng;
+
+/// The standard CIFAR training augmentation the paper uses: reflect the
+/// image horizontally with probability ½ and take a random crop from a
+/// zero-padded canvas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Augment {
+    /// Zero padding added on every side before cropping back to the
+    /// original size. `0` disables cropping.
+    pub pad: usize,
+    /// Whether to apply a random horizontal flip.
+    pub flip: bool,
+}
+
+impl Augment {
+    /// The conventional recipe: 2-pixel pad-crop plus flip.
+    pub fn standard() -> Self {
+        Augment { pad: 2, flip: true }
+    }
+
+    /// No augmentation (identity).
+    pub fn none() -> Self {
+        Augment {
+            pad: 0,
+            flip: false,
+        }
+    }
+
+    /// Applies the augmentation to one `[C, H, W]` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image is not rank 3.
+    pub fn apply(&self, img: &Tensor, rng: &mut Rng64) -> Tensor {
+        assert_eq!(img.rank(), 3, "augment expects [C, H, W]");
+        let mut out = img.clone();
+        if self.flip && rng.gen::<bool>() {
+            out = flip_horizontal(&out);
+        }
+        if self.pad > 0 {
+            let dy = rng.gen_range(0..=2 * self.pad) as isize - self.pad as isize;
+            let dx = rng.gen_range(0..=2 * self.pad) as isize - self.pad as isize;
+            out = translate(&out, dy, dx);
+        }
+        out
+    }
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Augment::standard()
+    }
+}
+
+/// Mirrors a `[C, H, W]` image along its width.
+fn flip_horizontal(img: &Tensor) -> Tensor {
+    let [c, h, w] = [img.shape()[0], img.shape()[1], img.shape()[2]];
+    let iv = img.as_slice();
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let ov = out.as_mut_slice();
+    for ci in 0..c {
+        for y in 0..h {
+            let base = (ci * h + y) * w;
+            for x in 0..w {
+                ov[base + x] = iv[base + (w - 1 - x)];
+            }
+        }
+    }
+    out
+}
+
+/// Shifts an image by `(dy, dx)`, filling vacated pixels with zero — this is
+/// exactly "pad with zeros then crop at an offset".
+fn translate(img: &Tensor, dy: isize, dx: isize) -> Tensor {
+    let [c, h, w] = [img.shape()[0], img.shape()[1], img.shape()[2]];
+    let iv = img.as_slice();
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let ov = out.as_mut_slice();
+    for ci in 0..c {
+        for y in 0..h {
+            let sy = y as isize - dy;
+            if sy < 0 || sy >= h as isize {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as isize - dx;
+                if sx < 0 || sx >= w as isize {
+                    continue;
+                }
+                ov[(ci * h + y) * w + x] = iv[(ci * h + sy as usize) * w + sx as usize];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_tensor::rng;
+
+    #[test]
+    fn none_is_identity() {
+        let img = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+        let out = Augment::none().apply(&img, &mut rng(0));
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn flip_mirrors_width() {
+        let img = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 1, 3]).unwrap();
+        assert_eq!(flip_horizontal(&img).as_slice(), &[3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let img = Tensor::from_fn(&[2, 4, 5], |i| i as f32);
+        assert_eq!(flip_horizontal(&flip_horizontal(&img)), img);
+    }
+
+    #[test]
+    fn translate_shifts_and_zero_fills() {
+        let img = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let out = translate(&img, 1, 0);
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 1.0, 2.0]);
+        let out2 = translate(&img, 0, -1);
+        assert_eq!(out2.as_slice(), &[2.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn standard_preserves_shape_and_energy_bound() {
+        let img = Tensor::ones(&[3, 8, 8]);
+        let aug = Augment::standard();
+        let mut r = rng(3);
+        for _ in 0..10 {
+            let out = aug.apply(&img, &mut r);
+            assert_eq!(out.shape(), img.shape());
+            // Cropping can only remove mass, never add.
+            assert!(out.sum() <= img.sum() + 1e-4);
+        }
+    }
+}

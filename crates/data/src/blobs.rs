@@ -1,0 +1,204 @@
+//! Gaussian-blob vector datasets (fast MLP-scale workloads for tests).
+
+use ccq_nn::train::Batch;
+use ccq_tensor::{rng, Tensor};
+use rand::Rng;
+
+/// A labelled dataset of flat feature vectors.
+#[derive(Debug, Clone)]
+pub struct VectorDataset {
+    xs: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+    dim: usize,
+    classes: usize,
+}
+
+impl VectorDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Splits into `(first n, rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > len`.
+    pub fn split_at(mut self, n: usize) -> (VectorDataset, VectorDataset) {
+        assert!(n <= self.len());
+        let rest_x = self.xs.split_off(n);
+        let rest_l = self.labels.split_off(n);
+        let (dim, classes) = (self.dim, self.classes);
+        (
+            self,
+            VectorDataset {
+                xs: rest_x,
+                labels: rest_l,
+                dim,
+                classes,
+            },
+        )
+    }
+
+    /// Batches in dataset order.
+    pub fn batches(&self, batch_size: usize) -> Vec<Batch> {
+        let bs = batch_size.max(1);
+        (0..self.len())
+            .collect::<Vec<_>>()
+            .chunks(bs)
+            .map(|chunk| {
+                let mut data = Vec::with_capacity(chunk.len() * self.dim);
+                let mut labels = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    data.extend_from_slice(&self.xs[i]);
+                    labels.push(self.labels[i]);
+                }
+                let images = Tensor::from_vec(data, &[chunk.len(), self.dim]).expect("sizes agree");
+                Batch::new(images, labels).expect("labels aligned")
+            })
+            .collect()
+    }
+}
+
+/// Configuration for [`gaussian_blobs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlobsConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Samples per class.
+    pub samples_per_class: usize,
+    /// Within-class standard deviation (class centers are ~2 apart).
+    pub std: f32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for BlobsConfig {
+    fn default() -> Self {
+        BlobsConfig {
+            classes: 4,
+            dim: 8,
+            samples_per_class: 32,
+            std: 0.4,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates isotropic Gaussian class clusters with well-separated centers.
+/// Samples are interleaved by class so prefix splits stay balanced.
+///
+/// # Panics
+///
+/// Panics when `classes` or `dim` is zero.
+pub fn gaussian_blobs(cfg: &BlobsConfig) -> VectorDataset {
+    assert!(
+        cfg.classes > 0 && cfg.dim > 0,
+        "classes and dim must be nonzero"
+    );
+    let mut r = rng(cfg.seed);
+    // Class centers: random unit-ish directions scaled to radius 2.
+    let centers: Vec<Vec<f32>> = (0..cfg.classes)
+        .map(|_| {
+            let v: Vec<f32> = (0..cfg.dim).map(|_| r.gen_range(-1.0f32..1.0)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            v.iter().map(|x| 2.0 * x / norm).collect()
+        })
+        .collect();
+    let total = cfg.classes * cfg.samples_per_class;
+    let mut xs = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..total {
+        let class = i % cfg.classes;
+        let x: Vec<f32> = centers[class]
+            .iter()
+            .map(|&c| {
+                let u1: f32 = 1.0 - r.gen::<f32>();
+                let u2: f32 = r.gen();
+                c + cfg.std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            })
+            .collect();
+        xs.push(x);
+        labels.push(class);
+    }
+    VectorDataset {
+        xs,
+        labels,
+        dim: cfg.dim,
+        classes: cfg.classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let ds = gaussian_blobs(&BlobsConfig {
+            classes: 3,
+            samples_per_class: 5,
+            ..Default::default()
+        });
+        assert_eq!(ds.len(), 15);
+        assert_eq!(ds.classes(), 3);
+        assert_eq!(ds.dim(), 8);
+    }
+
+    #[test]
+    fn batches_stack_correctly() {
+        let ds = gaussian_blobs(&BlobsConfig {
+            classes: 2,
+            samples_per_class: 4,
+            dim: 3,
+            ..Default::default()
+        });
+        let b = ds.batches(5);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].images.shape(), &[5, 3]);
+        assert_eq!(b[1].images.shape(), &[3, 3]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = BlobsConfig::default();
+        let a = gaussian_blobs(&cfg).batches(8);
+        let b = gaussian_blobs(&cfg).batches(8);
+        assert_eq!(a[0].images, b[0].images);
+    }
+
+    #[test]
+    fn split_keeps_balance() {
+        let ds = gaussian_blobs(&BlobsConfig {
+            classes: 2,
+            samples_per_class: 8,
+            ..Default::default()
+        });
+        let (train, val) = ds.split_at(12);
+        assert_eq!(train.len(), 12);
+        assert_eq!(val.len(), 4);
+        assert_eq!(train.labels().iter().filter(|&&l| l == 0).count(), 6);
+    }
+}

@@ -1,0 +1,116 @@
+//! Image export for visual inspection of synthetic datasets.
+
+use ccq_tensor::Tensor;
+
+/// Encodes a `[3, H, W]` image in `[0, 1]` as a binary PPM (P6) file —
+/// viewable by any image tool, written with no dependencies.
+///
+/// # Panics
+///
+/// Panics when the tensor is not a 3-channel rank-3 image.
+///
+/// # Example
+///
+/// ```
+/// use ccq_data::{synth_cifar, to_ppm, SynthCifarConfig};
+///
+/// let ds = synth_cifar(&SynthCifarConfig { classes: 2, samples_per_class: 1, ..Default::default() });
+/// let ppm = to_ppm(&ds.images()[0]);
+/// assert!(ppm.starts_with(b"P6"));
+/// ```
+pub fn to_ppm(img: &Tensor) -> Vec<u8> {
+    assert_eq!(img.rank(), 3, "to_ppm expects [3, H, W]");
+    assert_eq!(img.shape()[0], 3, "to_ppm expects 3 channels");
+    let (h, w) = (img.shape()[1], img.shape()[2]);
+    let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+    let v = img.as_slice();
+    let plane = h * w;
+    for i in 0..plane {
+        for c in 0..3 {
+            out.push((v[c * plane + i].clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+    }
+    out
+}
+
+/// Mean image per class — a quick visual fingerprint of what a classifier
+/// must separate.
+///
+/// Returns one `[C, H, W]` tensor per class, in class order. Classes with
+/// no samples yield zero images.
+pub fn class_prototypes(dataset: &crate::ImageDataset) -> Vec<Tensor> {
+    let classes = dataset.classes();
+    if dataset.is_empty() {
+        return Vec::new();
+    }
+    let shape = dataset.images()[0].shape().to_vec();
+    let mut sums: Vec<Tensor> = (0..classes).map(|_| Tensor::zeros(&shape)).collect();
+    let mut counts = vec![0usize; classes];
+    for (img, &label) in dataset.images().iter().zip(dataset.labels()) {
+        sums[label].add_assign(img).expect("uniform image shapes");
+        counts[label] += 1;
+    }
+    for (s, &n) in sums.iter_mut().zip(&counts) {
+        if n > 0 {
+            s.scale_in_place(1.0 / n as f32);
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synth_cifar, SynthCifarConfig};
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Tensor::full(&[3, 4, 5], 0.5);
+        let ppm = to_ppm(&img);
+        assert!(ppm.starts_with(b"P6\n5 4\n255\n"));
+        let header_len = b"P6\n5 4\n255\n".len();
+        assert_eq!(ppm.len(), header_len + 3 * 4 * 5);
+        // 0.5 → 128 after rounding.
+        assert_eq!(ppm[header_len], 128);
+    }
+
+    #[test]
+    fn ppm_clamps_out_of_range() {
+        let mut img = Tensor::zeros(&[3, 1, 1]);
+        img.as_mut_slice()[0] = 2.0;
+        img.as_mut_slice()[1] = -1.0;
+        let ppm = to_ppm(&img);
+        let n = ppm.len();
+        assert_eq!(&ppm[n - 3..], &[255, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 channels")]
+    fn ppm_rejects_grayscale() {
+        let _ = to_ppm(&Tensor::zeros(&[1, 4, 4]));
+    }
+
+    #[test]
+    fn prototypes_average_per_class() {
+        let cfg = SynthCifarConfig {
+            classes: 3,
+            samples_per_class: 8,
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let ds = synth_cifar(&cfg);
+        let protos = class_prototypes(&ds);
+        assert_eq!(protos.len(), 3);
+        // Each prototype stays in range and prototypes differ by class.
+        for p in &protos {
+            assert!(p.min() >= 0.0 && p.max() <= 1.0);
+        }
+        assert!((&protos[0] - &protos[1]).norm_l2() > 0.5);
+    }
+
+    #[test]
+    fn prototypes_of_empty_dataset() {
+        let ds = crate::ImageDataset::new(Vec::new(), Vec::new(), 2);
+        assert!(class_prototypes(&ds).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! In-memory image dataset with batching.
+
+use crate::Augment;
+use ccq_nn::train::Batch;
+use ccq_tensor::{Rng64, Tensor};
+use rand::seq::SliceRandom;
+
+/// An in-memory labelled image dataset (each image is `[C, H, W]`).
+#[derive(Debug, Clone)]
+pub struct ImageDataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl ImageDataset {
+    /// Builds a dataset from parallel image/label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors differ in length or an image is not rank 3.
+    pub fn new(images: Vec<Tensor>, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(images.len(), labels.len(), "image/label count mismatch");
+        for img in &images {
+            assert_eq!(img.rank(), 3, "images must be [C, H, W]");
+        }
+        ImageDataset {
+            images,
+            labels,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Image dimensions `(c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn image_dims(&self) -> (usize, usize, usize) {
+        let s = self.images[0].shape();
+        (s[0], s[1], s[2])
+    }
+
+    /// The images.
+    pub fn images(&self) -> &[Tensor] {
+        &self.images
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Splits into `(first n, rest)` without shuffling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > len`.
+    pub fn split_at(mut self, n: usize) -> (ImageDataset, ImageDataset) {
+        assert!(n <= self.len(), "split point past the end");
+        let rest_images = self.images.split_off(n);
+        let rest_labels = self.labels.split_off(n);
+        let classes = self.classes;
+        (
+            self,
+            ImageDataset {
+                images: rest_images,
+                labels: rest_labels,
+                classes,
+            },
+        )
+    }
+
+    /// Shuffles the dataset in place.
+    pub fn shuffle(&mut self, rng: &mut Rng64) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        self.images = order.iter().map(|&i| self.images[i].clone()).collect();
+        self.labels = order.iter().map(|&i| self.labels[i]).collect();
+    }
+
+    fn stack(&self, indices: &[usize], aug: Option<(&Augment, &mut Rng64)>) -> Batch {
+        let (c, h, w) = self.image_dims();
+        let per = c * h * w;
+        let mut data = vec![0.0f32; indices.len() * per];
+        let mut labels = Vec::with_capacity(indices.len());
+        let mut aug = aug;
+        for (bi, &i) in indices.iter().enumerate() {
+            let img = match &mut aug {
+                Some((a, rng)) => a.apply(&self.images[i], rng),
+                None => self.images[i].clone(),
+            };
+            data[bi * per..(bi + 1) * per].copy_from_slice(img.as_slice());
+            labels.push(self.labels[i]);
+        }
+        let images = Tensor::from_vec(data, &[indices.len(), c, h, w]).expect("sizes agree");
+        Batch::new(images, labels).expect("labels aligned")
+    }
+
+    /// Batches in dataset order (evaluation).
+    pub fn batches(&self, batch_size: usize) -> Vec<Batch> {
+        let bs = batch_size.max(1);
+        (0..self.len())
+            .collect::<Vec<_>>()
+            .chunks(bs)
+            .map(|chunk| self.stack(chunk, None))
+            .collect()
+    }
+
+    /// Shuffled, augmented batches (one training epoch's worth).
+    pub fn augmented_batches(
+        &self,
+        batch_size: usize,
+        aug: &Augment,
+        rng: &mut Rng64,
+    ) -> Vec<Batch> {
+        let bs = batch_size.max(1);
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        order
+            .chunks(bs)
+            .map(|chunk| self.stack(chunk, Some((aug, rng))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_tensor::rng;
+
+    fn tiny() -> ImageDataset {
+        let images = (0..6).map(|i| Tensor::full(&[1, 2, 2], i as f32)).collect();
+        ImageDataset::new(images, vec![0, 1, 0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn batches_cover_everything_in_order() {
+        let ds = tiny();
+        let b = ds.batches(4);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].len(), 4);
+        assert_eq!(b[1].len(), 2);
+        assert_eq!(b[0].images.shape(), &[4, 1, 2, 2]);
+        assert_eq!(b[0].images.as_slice()[0], 0.0);
+        assert_eq!(b[1].images.as_slice()[0], 4.0);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let (a, b) = tiny().split_at(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn augmented_batches_are_shuffled_deterministically() {
+        let ds = tiny();
+        let aug = Augment::none();
+        let b1 = ds.augmented_batches(6, &aug, &mut rng(5));
+        let b2 = ds.augmented_batches(6, &aug, &mut rng(5));
+        assert_eq!(b1[0].labels, b2[0].labels);
+        let b3 = ds.augmented_batches(6, &aug, &mut rng(6));
+        // Different seed almost surely shuffles differently (6! orders).
+        let same = b1[0].images.as_slice() == b3[0].images.as_slice();
+        assert!(!same || b1[0].labels == b3[0].labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = ImageDataset::new(vec![Tensor::zeros(&[1, 2, 2])], vec![0, 1], 2);
+    }
+}

@@ -1,0 +1,339 @@
+//! SynthCIFAR: procedural shape/texture image classification.
+
+use crate::ImageDataset;
+use ccq_tensor::{rng, Rng64, Tensor};
+use rand::Rng;
+
+/// The shape/texture families rendered by SynthCIFAR. Class `k` renders
+/// `ShapeKind::from_class(k)` in the palette for `k / 10`, so up to 20
+/// classes are distinguishable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeKind {
+    /// A filled disk.
+    Disk,
+    /// A filled square.
+    Square,
+    /// A plus/cross.
+    Cross,
+    /// An annulus.
+    Ring,
+    /// A filled triangle.
+    Triangle,
+    /// Horizontal stripes.
+    HStripes,
+    /// Vertical stripes.
+    VStripes,
+    /// A checkerboard.
+    Checker,
+    /// A grid of dots.
+    Dots,
+    /// Diagonal stripes.
+    DiagStripes,
+}
+
+impl ShapeKind {
+    /// All ten shape families.
+    pub const ALL: [ShapeKind; 10] = [
+        ShapeKind::Disk,
+        ShapeKind::Square,
+        ShapeKind::Cross,
+        ShapeKind::Ring,
+        ShapeKind::Triangle,
+        ShapeKind::HStripes,
+        ShapeKind::VStripes,
+        ShapeKind::Checker,
+        ShapeKind::Dots,
+        ShapeKind::DiagStripes,
+    ];
+
+    /// The shape family for a class index.
+    pub fn from_class(class: usize) -> ShapeKind {
+        ShapeKind::ALL[class % ShapeKind::ALL.len()]
+    }
+
+    /// Foreground intensity at normalized shape coordinates `(u, v)` in
+    /// `[-1, 1]²`.
+    pub fn intensity(&self, u: f32, v: f32) -> f32 {
+        let inside = match self {
+            ShapeKind::Disk => u * u + v * v < 0.36,
+            ShapeKind::Square => u.abs().max(v.abs()) < 0.6,
+            ShapeKind::Cross => u.abs() < 0.22 || v.abs() < 0.22,
+            ShapeKind::Ring => {
+                let r = (u * u + v * v).sqrt();
+                (0.35..0.65).contains(&r)
+            }
+            ShapeKind::Triangle => v > -0.6 && v < 0.6 && u.abs() < (0.6 - v) * 0.6,
+            ShapeKind::HStripes => (v * 4.0).rem_euclid(2.0) < 1.0,
+            ShapeKind::VStripes => (u * 4.0).rem_euclid(2.0) < 1.0,
+            ShapeKind::Checker => {
+                (((u * 3.0).rem_euclid(2.0) < 1.0) as u8 ^ ((v * 3.0).rem_euclid(2.0) < 1.0) as u8)
+                    == 1
+            }
+            ShapeKind::Dots => {
+                let fu = (u * 3.0).rem_euclid(1.0) - 0.5;
+                let fv = (v * 3.0).rem_euclid(1.0) - 0.5;
+                fu * fu + fv * fv < 0.07
+            }
+            ShapeKind::DiagStripes => ((u + v) * 3.0).rem_euclid(2.0) < 1.0,
+        };
+        if inside {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-class base colors (two palettes of ten hues; palette 1 is dimmer so
+/// classes 10–19 differ from 0–9 by both shape *and* color statistics).
+const PALETTES: [[[f32; 3]; 10]; 2] = [
+    [
+        [0.9, 0.2, 0.2],
+        [0.2, 0.9, 0.2],
+        [0.2, 0.3, 0.9],
+        [0.9, 0.8, 0.2],
+        [0.8, 0.2, 0.9],
+        [0.2, 0.9, 0.9],
+        [0.9, 0.5, 0.2],
+        [0.6, 0.9, 0.3],
+        [0.5, 0.4, 0.9],
+        [0.9, 0.3, 0.6],
+    ],
+    [
+        [0.5, 0.1, 0.1],
+        [0.1, 0.5, 0.1],
+        [0.1, 0.2, 0.5],
+        [0.5, 0.45, 0.1],
+        [0.45, 0.1, 0.5],
+        [0.1, 0.5, 0.5],
+        [0.5, 0.3, 0.1],
+        [0.35, 0.5, 0.15],
+        [0.3, 0.25, 0.5],
+        [0.5, 0.15, 0.35],
+    ],
+];
+
+/// Configuration for [`synth_cifar`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthCifarConfig {
+    /// Number of classes (1..=20).
+    pub classes: usize,
+    /// Samples generated per class.
+    pub samples_per_class: usize,
+    /// Square image size in pixels.
+    pub image_size: usize,
+    /// Standard deviation of additive Gaussian pixel noise.
+    pub noise_std: f32,
+    /// Positional jitter of the shape center, in normalized coordinates.
+    pub jitter: f32,
+    /// Generator seed (the dataset is fully deterministic given the config).
+    pub seed: u64,
+    /// When set, every class uses the same mid-gray color so that *only*
+    /// shape/texture distinguishes classes (a harder task).
+    pub monochrome: bool,
+}
+
+impl Default for SynthCifarConfig {
+    fn default() -> Self {
+        SynthCifarConfig {
+            classes: 10,
+            samples_per_class: 64,
+            image_size: 16,
+            noise_std: 0.12,
+            jitter: 0.25,
+            seed: 0,
+            monochrome: false,
+        }
+    }
+}
+
+/// Generates a SynthCIFAR dataset: 3-channel images of jittered, noisy
+/// shapes/textures, one visual family per class.
+///
+/// Samples are interleaved by class (`label = i % classes`), so a prefix
+/// split keeps classes balanced.
+///
+/// # Panics
+///
+/// Panics when `classes` is 0 or exceeds 20.
+pub fn synth_cifar(cfg: &SynthCifarConfig) -> ImageDataset {
+    assert!((1..=20).contains(&cfg.classes), "classes must be in 1..=20");
+    let mut r = rng(cfg.seed);
+    let total = cfg.classes * cfg.samples_per_class;
+    let mut images = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..total {
+        let class = i % cfg.classes;
+        images.push(render_sample(class, cfg, &mut r));
+        labels.push(class);
+    }
+    ImageDataset::new(images, labels, cfg.classes)
+}
+
+fn render_sample(class: usize, cfg: &SynthCifarConfig, r: &mut Rng64) -> Tensor {
+    let s = cfg.image_size;
+    let shape = ShapeKind::from_class(class);
+    let palette = &PALETTES[(class / 10).min(1)];
+    let base = if cfg.monochrome {
+        [0.6, 0.6, 0.6]
+    } else {
+        palette[class % 10]
+    };
+    // Per-sample nuisance parameters.
+    let cx: f32 = r.gen_range(-cfg.jitter..=cfg.jitter);
+    let cy: f32 = r.gen_range(-cfg.jitter..=cfg.jitter);
+    let scale: f32 = r.gen_range(0.7..1.15);
+    let color_jitter: [f32; 3] = [
+        r.gen_range(-0.12..0.12),
+        r.gen_range(-0.12..0.12),
+        r.gen_range(-0.12..0.12),
+    ];
+    let bg: f32 = r.gen_range(0.0..0.15);
+
+    let mut img = Tensor::zeros(&[3, s, s]);
+    let iv = img.as_mut_slice();
+    for y in 0..s {
+        for x in 0..s {
+            let u = ((x as f32 / (s - 1).max(1) as f32) * 2.0 - 1.0 - cx) / scale;
+            let v = ((y as f32 / (s - 1).max(1) as f32) * 2.0 - 1.0 - cy) / scale;
+            let fg = shape.intensity(u, v);
+            for (c, &b) in base.iter().enumerate() {
+                let color = (b + color_jitter[c]).clamp(0.0, 1.0);
+                let noise: f32 = {
+                    // Box–Muller noise, cheap and dependency-free.
+                    let u1: f32 = 1.0 - r.gen::<f32>();
+                    let u2: f32 = r.gen();
+                    cfg.noise_std
+                        * (-2.0 * u1.ln()).sqrt()
+                        * (2.0 * std::f32::consts::PI * u2).cos()
+                };
+                let val = (bg + fg * color + noise).clamp(0.0, 1.0);
+                iv[(c * s + y) * s + x] = val;
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SynthCifarConfig {
+            classes: 3,
+            samples_per_class: 4,
+            ..Default::default()
+        };
+        let a = synth_cifar(&cfg);
+        let b = synth_cifar(&cfg);
+        assert_eq!(a.images()[5], b.images()[5]);
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn labels_are_interleaved_and_balanced() {
+        let cfg = SynthCifarConfig {
+            classes: 4,
+            samples_per_class: 3,
+            ..Default::default()
+        };
+        let ds = synth_cifar(&cfg);
+        assert_eq!(ds.len(), 12);
+        assert_eq!(&ds.labels()[..4], &[0, 1, 2, 3]);
+        for class in 0..4 {
+            assert_eq!(ds.labels().iter().filter(|&&l| l == class).count(), 3);
+        }
+    }
+
+    #[test]
+    fn pixels_are_in_unit_range() {
+        let cfg = SynthCifarConfig {
+            classes: 10,
+            samples_per_class: 2,
+            ..Default::default()
+        };
+        let ds = synth_cifar(&cfg);
+        for img in ds.images() {
+            assert!(img.min() >= 0.0 && img.max() <= 1.0);
+            assert_eq!(img.shape(), &[3, 16, 16]);
+        }
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean image per class should differ between classes: intra-class
+        // distance < inter-class distance for at least disk vs stripes.
+        let cfg = SynthCifarConfig {
+            classes: 6,
+            samples_per_class: 16,
+            noise_std: 0.05,
+            ..Default::default()
+        };
+        let ds = synth_cifar(&cfg);
+        let mean_of = |class: usize| -> Tensor {
+            let mut acc = Tensor::zeros(&[3, 16, 16]);
+            let mut n = 0;
+            for (img, &l) in ds.images().iter().zip(ds.labels()) {
+                if l == class {
+                    acc.add_assign(img).unwrap();
+                    n += 1;
+                }
+            }
+            acc.scale_in_place(1.0 / n as f32);
+            acc
+        };
+        let m0 = mean_of(0);
+        let m5 = mean_of(5);
+        let diff = (&m0 - &m5).norm_l2();
+        assert!(diff > 1.0, "class means should differ, got {diff}");
+    }
+
+    #[test]
+    fn shape_intensity_is_binary() {
+        for kind in ShapeKind::ALL {
+            for &(u, v) in &[(0.0, 0.0), (0.5, -0.5), (0.9, 0.9), (-1.0, 0.3)] {
+                let i = kind.intensity(u, v);
+                assert!(i == 0.0 || i == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn disk_is_centered() {
+        assert_eq!(ShapeKind::Disk.intensity(0.0, 0.0), 1.0);
+        assert_eq!(ShapeKind::Disk.intensity(0.9, 0.9), 0.0);
+        assert_eq!(ShapeKind::Ring.intensity(0.0, 0.0), 0.0);
+        assert_eq!(ShapeKind::Ring.intensity(0.5, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "classes")]
+    fn too_many_classes_panics() {
+        let cfg = SynthCifarConfig {
+            classes: 21,
+            ..Default::default()
+        };
+        let _ = synth_cifar(&cfg);
+    }
+
+    #[test]
+    fn twenty_class_variant_uses_second_palette() {
+        let cfg = SynthCifarConfig {
+            classes: 20,
+            samples_per_class: 2,
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let ds = synth_cifar(&cfg);
+        // Class 0 (bright red disk) should be brighter than class 10 (dim
+        // red disk) on average.
+        let bright = ds.images()[0].mean();
+        let dim = ds.images()[10].mean();
+        assert!(
+            bright > dim,
+            "palette 0 should be brighter: {bright} vs {dim}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for dataset generation and augmentation.
+
+use ccq_data::{gaussian_blobs, synth_cifar, Augment, BlobsConfig, SynthCifarConfig};
+use ccq_tensor::{rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SynthCIFAR is deterministic, balanced, and in range for any valid
+    /// configuration.
+    #[test]
+    fn synth_cifar_invariants(
+        classes in 1usize..8,
+        per_class in 1usize..6,
+        size in 6usize..14,
+        noise in 0.0f32..0.5,
+        mono in proptest::bool::ANY,
+        seed in 0u64..500,
+    ) {
+        let cfg = SynthCifarConfig {
+            classes,
+            samples_per_class: per_class,
+            image_size: size,
+            noise_std: noise,
+            jitter: 0.3,
+            monochrome: mono,
+            seed,
+        };
+        let a = synth_cifar(&cfg);
+        let b = synth_cifar(&cfg);
+        prop_assert_eq!(a.len(), classes * per_class);
+        prop_assert_eq!(a.labels(), b.labels());
+        prop_assert_eq!(a.images()[0].clone(), b.images()[0].clone());
+        for class in 0..classes {
+            let count = a.labels().iter().filter(|&&l| l == class).count();
+            prop_assert_eq!(count, per_class, "class {} unbalanced", class);
+        }
+        for img in a.images() {
+            prop_assert!(img.min() >= 0.0 && img.max() <= 1.0);
+            prop_assert_eq!(img.shape(), &[3, size, size]);
+        }
+    }
+
+    /// Augmentation preserves shape and never invents pixel mass.
+    #[test]
+    fn augment_preserves_shape_and_mass_bound(
+        pad in 0usize..4,
+        flip in proptest::bool::ANY,
+        c in 1usize..4,
+        hw in 4usize..10,
+        seed in 0u64..500,
+    ) {
+        let img = ccq_tensor::Init::Uniform { lo: 0.0, hi: 1.0 }
+            .sample(&[c, hw, hw], &mut rng(seed));
+        let aug = Augment { pad, flip };
+        let mut r = rng(seed ^ 9);
+        for _ in 0..4 {
+            let out = aug.apply(&img, &mut r);
+            prop_assert_eq!(out.shape(), img.shape());
+            prop_assert!(out.sum() <= img.sum() + 1e-3);
+            prop_assert!(out.min() >= 0.0);
+        }
+    }
+
+    /// Batching covers every sample exactly once, in order, for any batch
+    /// size.
+    #[test]
+    fn batches_partition_dataset(
+        classes in 1usize..5,
+        per_class in 1usize..8,
+        batch in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let ds = gaussian_blobs(&BlobsConfig {
+            classes,
+            dim: 4,
+            samples_per_class: per_class,
+            std: 0.3,
+            seed,
+        });
+        let batches = ds.batches(batch);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, ds.len());
+        let flat: Vec<usize> = batches.iter().flat_map(|b| b.labels.clone()).collect();
+        prop_assert_eq!(&flat[..], ds.labels());
+        for b in &batches {
+            prop_assert!(b.len() <= batch);
+            prop_assert_eq!(b.images.shape()[0], b.len());
+        }
+    }
+
+    /// Splits never lose or duplicate samples.
+    #[test]
+    fn split_partitions(per_class in 2usize..10, at_frac in 0.0f32..=1.0, seed in 0u64..200) {
+        let ds = gaussian_blobs(&BlobsConfig {
+            classes: 3,
+            dim: 4,
+            samples_per_class: per_class,
+            std: 0.3,
+            seed,
+        });
+        let total = ds.len();
+        let at = ((total as f32) * at_frac) as usize;
+        let labels: Vec<usize> = ds.labels().to_vec();
+        let (a, b) = ds.split_at(at);
+        prop_assert_eq!(a.len() + b.len(), total);
+        let rejoined: Vec<usize> =
+            a.labels().iter().chain(b.labels()).copied().collect();
+        prop_assert_eq!(rejoined, labels);
+    }
+
+    /// Flip-twice through the augmentation pipeline is achievable: applying
+    /// a pad-0 flip-only augmentation with a fixed RNG either flips or not,
+    /// and the flipped image has the same histogram.
+    #[test]
+    fn flip_preserves_histogram(hw in 3usize..8, seed in 0u64..500) {
+        let img = ccq_tensor::Init::Uniform { lo: 0.0, hi: 1.0 }
+            .sample(&[2, hw, hw], &mut rng(seed));
+        let aug = Augment { pad: 0, flip: true };
+        let mut r = rng(seed);
+        let out = aug.apply(&img, &mut r);
+        // Sum and L2 norm are flip-invariant.
+        prop_assert!((out.sum() - img.sum()).abs() < 1e-3);
+        prop_assert!((out.norm_l2() - img.norm_l2()).abs() < 1e-3);
+        let _ = Tensor::zeros(&[1]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Analytic MAC energy/power model and model-size accounting.
+//!
+//! The paper synthesizes a MAC (multiply-accumulate) RTL module from the
+//! Synopsys DesignWare library at the 32 nm node and reports iso-throughput
+//! power for unquantized, partially quantized, and fully quantized networks
+//! (Fig. 5). DesignWare is proprietary, so this crate substitutes an
+//! **analytic energy model calibrated to published silicon measurements**
+//! (Horowitz, "Computing's energy problem", ISSCC 2014: 45 nm — int8
+//! multiply 0.2 pJ, int32 multiply 3.1 pJ, fp32 multiply 3.7 pJ, int8 add
+//! 0.03 pJ, fp32 add 0.9 pJ), with:
+//!
+//! - integer multiplier energy scaling as the product of operand widths
+//!   (array-multiplier area/energy ∝ `b_w · b_a`),
+//! - integer adder energy scaling linearly in accumulator width,
+//! - a quadratic node-scaling factor from 45 nm to the paper's 32 nm.
+//!
+//! Fig. 5's claim is about the *orders of magnitude* between full-precision
+//! and low-bit MACs aggregated over per-layer MAC counts — exactly what
+//! this model reproduces (see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use ccq_hw::MacEnergyModel;
+//! use ccq_quant::BitWidth;
+//!
+//! let m = MacEnergyModel::node_32nm();
+//! let fp = m.energy_pj(BitWidth::FP32, BitWidth::FP32);
+//! let int4 = m.energy_pj(BitWidth::of(4), BitWidth::of(4));
+//! assert!(fp / int4 > 20.0, "fp32 MACs cost orders of magnitude more");
+//! ```
+
+mod area;
+mod energy;
+mod memory;
+mod size;
+
+pub use area::{inference_report, mac_area_um2, InferenceReport};
+pub use memory::{weight_fetch_energy, FetchReport, MemoryKind};
+pub use energy::{network_power, LayerPower, LayerProfile, MacEnergyModel, PowerReport};
+pub use size::{model_size, SizeReport};

@@ -1,0 +1,117 @@
+//! Model-size and compression-ratio accounting.
+
+use crate::LayerProfile;
+use serde::{Deserialize, Serialize};
+
+/// Weight-storage accounting for a (possibly mixed-precision) network.
+///
+/// Matches the paper's model-compression column: compression is the ratio
+/// of full-precision weight storage to the mixed-precision storage,
+/// counting weights only (activations are transient).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeReport {
+    /// Total weight scalars.
+    pub param_count: usize,
+    /// Storage at 32-bit, in bits.
+    pub fp32_bits: u64,
+    /// Storage at the per-layer bit widths, in bits.
+    pub quantized_bits: u64,
+    /// `fp32_bits / quantized_bits` (1.0 for an empty network).
+    pub compression: f64,
+}
+
+/// Computes the [`SizeReport`] for a set of layer profiles.
+///
+/// # Example
+///
+/// ```
+/// use ccq_hw::{model_size, LayerProfile};
+/// use ccq_quant::BitWidth;
+///
+/// let layers = vec![LayerProfile {
+///     label: "conv".into(),
+///     weight_count: 1000,
+///     macs: 0,
+///     weight_bits: BitWidth::of(4),
+///     act_bits: BitWidth::of(4),
+/// }];
+/// let r = model_size(&layers);
+/// assert_eq!(r.compression, 8.0);
+/// ```
+pub fn model_size(profiles: &[LayerProfile]) -> SizeReport {
+    let mut params = 0usize;
+    let mut qbits = 0u64;
+    for p in profiles {
+        params += p.weight_count;
+        qbits += p.weight_count as u64 * u64::from(p.weight_bits.bits());
+    }
+    let fp32_bits = params as u64 * 32;
+    let compression = if qbits == 0 {
+        1.0
+    } else {
+        fp32_bits as f64 / qbits as f64
+    };
+    SizeReport {
+        param_count: params,
+        fp32_bits,
+        quantized_bits: qbits,
+        compression,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_quant::BitWidth;
+
+    fn profile(count: usize, bits: u32) -> LayerProfile {
+        LayerProfile {
+            label: "l".into(),
+            weight_count: count,
+            macs: 0,
+            weight_bits: if bits == 32 {
+                BitWidth::FP32
+            } else {
+                BitWidth::of(bits)
+            },
+            act_bits: BitWidth::of(8),
+        }
+    }
+
+    #[test]
+    fn uniform_4bit_is_8x() {
+        let r = model_size(&[profile(100, 4), profile(300, 4)]);
+        assert_eq!(r.param_count, 400);
+        assert_eq!(r.compression, 8.0);
+    }
+
+    #[test]
+    fn full_precision_is_1x() {
+        let r = model_size(&[profile(50, 32)]);
+        assert!((r.compression - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_precision_weights_by_layer_size() {
+        // 3 bits on 900 params + 32 bits on 100 params:
+        // 32·1000 / (3·900 + 32·100) = 32000/5900 ≈ 5.42.
+        let r = model_size(&[profile(900, 3), profile(100, 32)]);
+        assert!((r.compression - 32000.0 / 5900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_network_is_neutral() {
+        let r = model_size(&[]);
+        assert_eq!(r.compression, 1.0);
+        assert_eq!(r.param_count, 0);
+    }
+
+    #[test]
+    fn quantizing_the_big_layer_matters_most() {
+        // The λ-weighting rationale: quantizing the big layer first yields
+        // more compression than quantizing the small one.
+        let big_first = model_size(&[profile(900, 2), profile(100, 8)]);
+        let small_first = model_size(&[profile(900, 8), profile(100, 2)]);
+        assert!(big_first.compression > small_first.compression);
+    }
+}

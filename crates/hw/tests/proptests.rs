@@ -1,0 +1,112 @@
+//! Property-based tests for the hardware models.
+
+use ccq_hw::{
+    inference_report, mac_area_um2, model_size, network_power, weight_fetch_energy, LayerProfile,
+    MacEnergyModel, MemoryKind,
+};
+use ccq_quant::BitWidth;
+use proptest::prelude::*;
+
+fn width(bits: u32) -> BitWidth {
+    if bits >= 32 {
+        BitWidth::FP32
+    } else {
+        BitWidth::of(bits.max(1))
+    }
+}
+
+fn profiles_strategy() -> impl Strategy<Value = Vec<LayerProfile>> {
+    proptest::collection::vec((1u32..33, 1usize..100_000, 0u64..10_000_000), 1..12).prop_map(
+        |rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (bits, count, macs))| LayerProfile {
+                    label: format!("l{i}"),
+                    weight_count: count,
+                    macs,
+                    weight_bits: width(bits),
+                    act_bits: width(bits),
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Energy is positive, finite, and monotone in operand width for any
+    /// node size.
+    #[test]
+    fn energy_monotone_any_node(node in 5.0f64..90.0, bits in 1u32..31) {
+        let m = MacEnergyModel::at_node(node);
+        let e1 = m.energy_pj(width(bits), width(bits));
+        let e2 = m.energy_pj(width(bits + 1), width(bits + 1));
+        prop_assert!(e1 > 0.0 && e1.is_finite());
+        prop_assert!(e2 > e1);
+        prop_assert!(m.energy_pj(BitWidth::FP32, BitWidth::FP32) > e2 || bits + 1 >= 31);
+    }
+
+    /// The power report always decomposes exactly into first+last and
+    /// middle, and every layer's share is non-negative.
+    #[test]
+    fn power_report_decomposes(profiles in profiles_strategy(), tput in 1.0f64..1e7) {
+        let m = MacEnergyModel::node_32nm();
+        let r = network_power(&m, &profiles, tput);
+        prop_assert!((r.first_last_mw + r.middle_mw - r.total_mw).abs() < 1e-6 * (1.0 + r.total_mw));
+        let sum: f64 = r.layers.iter().map(|l| l.power_mw).sum();
+        prop_assert!((sum - r.total_mw).abs() < 1e-6 * (1.0 + r.total_mw));
+        prop_assert!(r.layers.iter().all(|l| l.power_mw >= 0.0));
+    }
+
+    /// Compression is always ≥ 1 when no layer exceeds 32 bits, and the
+    /// bit accounting is exact.
+    #[test]
+    fn size_report_consistency(profiles in profiles_strategy()) {
+        let r = model_size(&profiles);
+        prop_assert!(r.compression >= 1.0 - 1e-9);
+        let manual: u64 = profiles
+            .iter()
+            .map(|p| p.weight_count as u64 * u64::from(p.weight_bits.bits()))
+            .sum();
+        prop_assert_eq!(r.quantized_bits, manual);
+        prop_assert_eq!(r.fp32_bits, 32 * r.param_count as u64);
+    }
+
+    /// Lowering any single layer's precision never increases total power,
+    /// fetch energy, inference energy, or area.
+    #[test]
+    fn lowering_bits_never_costs_more(
+        profiles in profiles_strategy(),
+        which in 0usize..12,
+    ) {
+        let m = MacEnergyModel::node_32nm();
+        let idx = which % profiles.len();
+        let mut lowered = profiles.clone();
+        let cur = lowered[idx].weight_bits.bits();
+        prop_assume!(cur > 1);
+        let nb = width(cur - 1);
+        lowered[idx].weight_bits = nb;
+        lowered[idx].act_bits = nb;
+
+        let p0 = network_power(&m, &profiles, 1e4).total_mw;
+        let p1 = network_power(&m, &lowered, 1e4).total_mw;
+        prop_assert!(p1 <= p0 + 1e-12);
+
+        let f0 = weight_fetch_energy(&m, &profiles, MemoryKind::Dram).energy_nj;
+        let f1 = weight_fetch_energy(&m, &lowered, MemoryKind::Dram).energy_nj;
+        prop_assert!(f1 <= f0 + 1e-12);
+
+        let i0 = inference_report(&m, &profiles);
+        let i1 = inference_report(&m, &lowered);
+        prop_assert!(i1.energy_nj <= i0.energy_nj + 1e-12);
+        prop_assert!(i1.mac_area_mm2 <= i0.mac_area_mm2 + 1e-12);
+    }
+
+    /// Area is positive for every operand-width pair.
+    #[test]
+    fn area_positive(wb in 1u32..33, ab in 1u32..33) {
+        let a = mac_area_um2(&MacEnergyModel::node_32nm(), width(wb), width(ab));
+        prop_assert!(a > 0.0 && a.is_finite());
+    }
+}

@@ -1,0 +1,26 @@
+//! ResNet-style architecture builders, width-scaled for a CPU substrate.
+//!
+//! The paper evaluates ResNet20 (CIFAR10) and ResNet18/ResNet50 (ImageNet).
+//! These builders reproduce the *structure* of those networks — stem
+//! convolution, staged residual blocks with stride-2 downsampling and
+//! projection shortcuts, global average pooling, linear classifier — with a
+//! configurable base width so the experiments run on a CPU. The structural
+//! facts CCQ exploits (first/last-layer sensitivity, heterogeneous layer
+//! sizes) are preserved; see DESIGN.md §2.
+//!
+//! # Example
+//!
+//! ```
+//! use ccq_models::{resnet20, ModelConfig};
+//! use ccq_quant::PolicyKind;
+//!
+//! let mut net = resnet20(&ModelConfig { classes: 10, width: 4, policy: PolicyKind::Pact, seed: 0 });
+//! // 9 basic blocks + stem + head (+2 projection shortcuts) = 22 layers.
+//! assert_eq!(net.quant_layer_count(), 22);
+//! ```
+
+mod resnet;
+mod simple;
+
+pub use resnet::{resnet18, resnet20, resnet50_style, ModelConfig, ModelKind};
+pub use simple::{mlp, plain_cnn};

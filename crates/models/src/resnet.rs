@@ -1,0 +1,311 @@
+//! ResNet family builders.
+
+use ccq_nn::layers::{
+    BasicBlock, BatchNorm2d, Bottleneck, GlobalAvgPool, QConv2d, QLinear, Relu, Sequential,
+};
+use ccq_nn::Network;
+use ccq_quant::{PolicyKind, QuantSpec};
+use ccq_tensor::rng;
+use std::fmt;
+use std::str::FromStr;
+
+/// Shared configuration for the ResNet builders.
+///
+/// All layers start at full precision with the given policy; quantization
+/// is applied afterwards (one-shot baselines call
+/// [`ccq_nn::Network::set_all_quant_specs`]; CCQ walks the bit ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Number of output classes.
+    pub classes: usize,
+    /// Base channel width (the paper's networks correspond to 16 for
+    /// ResNet20 and 64 for ResNet18/50; 4–8 is CPU-friendly).
+    pub width: usize,
+    /// Quantization policy installed in every layer.
+    pub policy: PolicyKind,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            classes: 10,
+            width: 4,
+            policy: PolicyKind::Pact,
+            seed: 0,
+        }
+    }
+}
+
+/// The three paper architectures, for harness dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// CIFAR-style ResNet20 (3 stages × 3 basic blocks).
+    Resnet20,
+    /// ResNet18-style (4 stages × 2 basic blocks).
+    Resnet18,
+    /// ResNet50-style (4 stages × 2 bottleneck blocks, depth-reduced).
+    Resnet50,
+}
+
+impl ModelKind {
+    /// Builds the network for this kind.
+    pub fn build(&self, cfg: &ModelConfig) -> Network {
+        match self {
+            ModelKind::Resnet20 => resnet20(cfg),
+            ModelKind::Resnet18 => resnet18(cfg),
+            ModelKind::Resnet50 => resnet50_style(cfg),
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelKind::Resnet20 => "ResNet20",
+            ModelKind::Resnet18 => "ResNet18",
+            ModelKind::Resnet50 => "ResNet50",
+        };
+        f.pad(s)
+    }
+}
+
+impl FromStr for ModelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "resnet20" => Ok(ModelKind::Resnet20),
+            "resnet18" => Ok(ModelKind::Resnet18),
+            "resnet50" => Ok(ModelKind::Resnet50),
+            other => Err(format!("unknown model '{other}'")),
+        }
+    }
+}
+
+/// CIFAR-style ResNet20: 3×3 stem, three stages of three [`BasicBlock`]s at
+/// widths `w, 2w, 4w` (stride 2 between stages), global average pool,
+/// linear head. 22 quantizable layers at width ≥ 2 (two stages add
+/// projection shortcuts).
+pub fn resnet20(cfg: &ModelConfig) -> Network {
+    let mut r = rng(cfg.seed);
+    let spec = QuantSpec::full_precision(cfg.policy);
+    let w = cfg.width.max(1);
+    let mut layers: Vec<Box<dyn ccq_nn::Layer>> = vec![
+        Box::new(QConv2d::new_3x3("stem.conv", 3, w, 1, spec, &mut r)),
+        Box::new(BatchNorm2d::new("stem.bn", w)),
+        Box::new(Relu::new()),
+    ];
+    let widths = [w, 2 * w, 4 * w];
+    let mut in_ch = w;
+    for (si, &out_ch) in widths.iter().enumerate() {
+        for bi in 0..3 {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            layers.push(Box::new(BasicBlock::new(
+                format!("stage{si}.block{bi}"),
+                in_ch,
+                out_ch,
+                stride,
+                spec,
+                &mut r,
+            )));
+            in_ch = out_ch;
+        }
+    }
+    layers.push(Box::new(GlobalAvgPool::new()));
+    layers.push(Box::new(QLinear::new(
+        "head.fc",
+        in_ch,
+        cfg.classes,
+        spec,
+        &mut r,
+    )));
+    Network::new(Sequential::named("resnet20", layers))
+}
+
+/// ResNet18-style: 3×3 stem (small-image variant of the 7×7 stem), four
+/// stages of two [`BasicBlock`]s at widths `w, 2w, 4w, 8w`.
+pub fn resnet18(cfg: &ModelConfig) -> Network {
+    let mut r = rng(cfg.seed);
+    let spec = QuantSpec::full_precision(cfg.policy);
+    let w = cfg.width.max(1);
+    let mut layers: Vec<Box<dyn ccq_nn::Layer>> = vec![
+        Box::new(QConv2d::new_3x3("stem.conv", 3, w, 1, spec, &mut r)),
+        Box::new(BatchNorm2d::new("stem.bn", w)),
+        Box::new(Relu::new()),
+    ];
+    let widths = [w, 2 * w, 4 * w, 8 * w];
+    let mut in_ch = w;
+    for (si, &out_ch) in widths.iter().enumerate() {
+        for bi in 0..2 {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            layers.push(Box::new(BasicBlock::new(
+                format!("stage{si}.block{bi}"),
+                in_ch,
+                out_ch,
+                stride,
+                spec,
+                &mut r,
+            )));
+            in_ch = out_ch;
+        }
+    }
+    layers.push(Box::new(GlobalAvgPool::new()));
+    layers.push(Box::new(QLinear::new(
+        "head.fc",
+        in_ch,
+        cfg.classes,
+        spec,
+        &mut r,
+    )));
+    Network::new(Sequential::named("resnet18", layers))
+}
+
+/// ResNet50-style: four stages of two [`Bottleneck`] blocks (1×1–3×3–1×1
+/// with 4× expansion), depth-reduced from the paper's `[3,4,6,3]` stage plan to run on a
+/// CPU while keeping the bottleneck structure.
+pub fn resnet50_style(cfg: &ModelConfig) -> Network {
+    let mut r = rng(cfg.seed);
+    let spec = QuantSpec::full_precision(cfg.policy);
+    let w = cfg.width.max(1);
+    let mut layers: Vec<Box<dyn ccq_nn::Layer>> = vec![
+        Box::new(QConv2d::new_3x3("stem.conv", 3, w, 1, spec, &mut r)),
+        Box::new(BatchNorm2d::new("stem.bn", w)),
+        Box::new(Relu::new()),
+    ];
+    let mids = [w, 2 * w, 4 * w, 8 * w];
+    let mut in_ch = w;
+    for (si, &mid) in mids.iter().enumerate() {
+        let out_ch = 4 * mid;
+        for bi in 0..2 {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            layers.push(Box::new(Bottleneck::new(
+                format!("stage{si}.block{bi}"),
+                in_ch,
+                mid,
+                out_ch,
+                stride,
+                spec,
+                &mut r,
+            )));
+            in_ch = out_ch;
+        }
+    }
+    layers.push(Box::new(GlobalAvgPool::new()));
+    layers.push(Box::new(QLinear::new(
+        "head.fc",
+        in_ch,
+        cfg.classes,
+        spec,
+        &mut r,
+    )));
+    Network::new(Sequential::named("resnet50", layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_nn::Mode;
+    use ccq_tensor::Tensor;
+
+    #[test]
+    fn resnet20_layer_count() {
+        let mut net = resnet20(&ModelConfig::default());
+        // stem + 9 blocks × 2 convs + 2 projection shortcuts + fc = 22.
+        assert_eq!(net.quant_layer_count(), 22);
+    }
+
+    #[test]
+    fn resnet18_layer_count() {
+        let mut net = resnet18(&ModelConfig::default());
+        // stem + 8 blocks × 2 convs + 3 shortcuts + fc = 21.
+        assert_eq!(net.quant_layer_count(), 21);
+    }
+
+    #[test]
+    fn resnet50_layer_count() {
+        let mut net = resnet50_style(&ModelConfig::default());
+        // stem + 8 bottlenecks × 3 convs + 4 shortcuts + fc = 30.
+        assert_eq!(net.quant_layer_count(), 30);
+    }
+
+    #[test]
+    fn forward_shapes_on_16px_input() {
+        for kind in [
+            ModelKind::Resnet20,
+            ModelKind::Resnet18,
+            ModelKind::Resnet50,
+        ] {
+            let mut net = kind.build(&ModelConfig {
+                width: 2,
+                ..Default::default()
+            });
+            let x = Tensor::zeros(&[2, 3, 16, 16]);
+            let y = net.forward(&x, Mode::Eval).unwrap();
+            assert_eq!(y.shape(), &[2, 10], "{kind}");
+        }
+    }
+
+    #[test]
+    fn first_layer_is_stem_last_is_head() {
+        let mut net = resnet20(&ModelConfig::default());
+        let info = net.quant_layer_info();
+        assert_eq!(info.first().unwrap().label, "stem.conv");
+        assert_eq!(info.last().unwrap().label, "head.fc");
+    }
+
+    #[test]
+    fn layer_sizes_are_heterogeneous() {
+        let mut net = resnet20(&ModelConfig::default());
+        let info = net.quant_layer_info();
+        let min = info.iter().map(|i| i.weight_count).min().unwrap();
+        let max = info.iter().map(|i| i.weight_count).max().unwrap();
+        assert!(
+            max > 10 * min,
+            "CCQ's λ-weighting needs size spread: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn macs_populated_after_forward() {
+        let mut net = resnet20(&ModelConfig {
+            width: 2,
+            ..Default::default()
+        });
+        let x = Tensor::zeros(&[1, 3, 16, 16]);
+        let _ = net.forward(&x, Mode::Eval).unwrap();
+        let info = net.quant_layer_info();
+        assert!(info.iter().all(|i| i.macs > 0));
+        // The stem sees the largest spatial extent but few channels; a
+        // middle stage-2 conv should out-MAC the head fc.
+        let head = info.last().unwrap().macs;
+        let mid = info[info.len() / 2].macs;
+        assert!(mid > head);
+    }
+
+    #[test]
+    fn model_kind_parse_round_trip() {
+        for k in [
+            ModelKind::Resnet20,
+            ModelKind::Resnet18,
+            ModelKind::Resnet50,
+        ] {
+            assert_eq!(k.to_string().parse::<ModelKind>().unwrap(), k);
+        }
+        assert!("vgg".parse::<ModelKind>().is_err());
+    }
+
+    #[test]
+    fn training_mode_backward_runs() {
+        let mut net = resnet20(&ModelConfig {
+            width: 2,
+            ..Default::default()
+        });
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(y.shape());
+        let dx = net.backward(&g).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+    }
+}

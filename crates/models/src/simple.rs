@@ -1,0 +1,94 @@
+//! Small non-residual architectures (fast tests, MLP workloads).
+
+use ccq_nn::layers::{BatchNorm2d, GlobalAvgPool, MaxPool2d, QConv2d, QLinear, Relu, Sequential};
+use ccq_nn::Network;
+use ccq_quant::{PolicyKind, QuantSpec};
+use ccq_tensor::rng;
+
+/// A plain convolutional network: three conv–bn–relu stages with a max-pool
+/// after the first, global average pooling, and a linear head. Useful for
+/// fast end-to-end tests where residual structure is irrelevant.
+pub fn plain_cnn(classes: usize, width: usize, policy: PolicyKind, seed: u64) -> Network {
+    let mut r = rng(seed);
+    let spec = QuantSpec::full_precision(policy);
+    let w = width.max(1);
+    let layers: Vec<Box<dyn ccq_nn::Layer>> = vec![
+        Box::new(QConv2d::new_3x3("conv1", 3, w, 1, spec, &mut r)),
+        Box::new(BatchNorm2d::new("bn1", w)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new(2, 2)),
+        Box::new(QConv2d::new_3x3("conv2", w, 2 * w, 1, spec, &mut r)),
+        Box::new(BatchNorm2d::new("bn2", 2 * w)),
+        Box::new(Relu::new()),
+        Box::new(QConv2d::new_3x3("conv3", 2 * w, 2 * w, 2, spec, &mut r)),
+        Box::new(BatchNorm2d::new("bn3", 2 * w)),
+        Box::new(Relu::new()),
+        Box::new(GlobalAvgPool::new()),
+        Box::new(QLinear::new("fc", 2 * w, classes, spec, &mut r)),
+    ];
+    Network::new(Sequential::named("plain_cnn", layers))
+}
+
+/// A multi-layer perceptron over flat feature vectors. `dims` gives the
+/// layer widths from input to output, e.g. `[8, 16, 4]` is an
+/// 8→16→4 network with one hidden ReLU layer.
+///
+/// # Panics
+///
+/// Panics when `dims` has fewer than two entries.
+pub fn mlp(dims: &[usize], policy: PolicyKind, seed: u64) -> Network {
+    assert!(dims.len() >= 2, "mlp needs at least input and output dims");
+    let mut r = rng(seed);
+    let spec = QuantSpec::full_precision(policy);
+    let mut layers: Vec<Box<dyn ccq_nn::Layer>> = Vec::new();
+    for (i, pair) in dims.windows(2).enumerate() {
+        layers.push(Box::new(QLinear::new(
+            format!("fc{i}"),
+            pair[0],
+            pair[1],
+            spec,
+            &mut r,
+        )));
+        if i + 2 < dims.len() {
+            layers.push(Box::new(Relu::new()));
+        }
+    }
+    Network::new(Sequential::named("mlp", layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_nn::Mode;
+    use ccq_tensor::Tensor;
+
+    #[test]
+    fn plain_cnn_forward_shape() {
+        let mut net = plain_cnn(5, 2, PolicyKind::Pact, 0);
+        let y = net
+            .forward(&Tensor::zeros(&[3, 3, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.shape(), &[3, 5]);
+        assert_eq!(net.quant_layer_count(), 4);
+    }
+
+    #[test]
+    fn mlp_structure() {
+        let mut net = mlp(&[6, 12, 12, 3], PolicyKind::Dorefa, 1);
+        assert_eq!(net.quant_layer_count(), 3);
+        let y = net.forward(&Tensor::zeros(&[2, 6]), Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn mlp_rejects_single_dim() {
+        let _ = mlp(&[4], PolicyKind::Pact, 0);
+    }
+
+    #[test]
+    fn flatten_is_reexported_for_downstream_users() {
+        // Smoke-check the import surface used by examples.
+        let _ = ccq_nn::layers::Flatten::new();
+    }
+}

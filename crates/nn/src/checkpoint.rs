@@ -1,0 +1,365 @@
+//! Checkpointing: persist a trained (and possibly quantized) network.
+//!
+//! A checkpoint captures everything [`Network::snapshot`] captures —
+//! parameter tensors, batch-norm running statistics, PACT `α` values —
+//! *plus* every layer's [`ccq_quant::QuantSpec`], so a mixed-precision
+//! assignment produced by CCQ can be saved and reloaded into a freshly
+//! built network of the same architecture.
+//!
+//! The format is a self-contained little-endian binary layout (magic,
+//! version, then length-prefixed sections) written with no external
+//! dependencies, so checkpoints are portable across platforms.
+
+use crate::{Network, NnError, Result};
+use ccq_quant::{BitWidth, PolicyKind, QuantSpec};
+use ccq_tensor::Tensor;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"CCQCKPT\x01";
+
+/// A serializable network checkpoint.
+///
+/// # Example
+///
+/// ```
+/// use ccq_nn::checkpoint::Checkpoint;
+/// # use ccq_nn::layers::{QLinear, Sequential};
+/// # use ccq_nn::Network;
+/// # use ccq_quant::{PolicyKind, QuantSpec};
+/// # let mut rng = ccq_tensor::rng(0);
+/// # let mut net = Network::new(Sequential::new(vec![Box::new(QLinear::new(
+/// #     "fc", 2, 2, QuantSpec::full_precision(PolicyKind::Pact), &mut rng))]));
+/// let ckpt = Checkpoint::capture(&mut net);
+/// let bytes = ckpt.to_bytes();
+/// let restored = Checkpoint::from_bytes(&bytes)?;
+/// restored.apply(&mut net)?;
+/// # Ok::<(), ccq_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    tensors: Vec<Tensor>,
+    alphas: Vec<f32>,
+    weight_steps: Vec<f32>,
+    act_steps: Vec<f32>,
+    specs: Vec<QuantSpec>,
+}
+
+impl Checkpoint {
+    /// Captures the full state of a network.
+    pub fn capture(net: &mut Network) -> Self {
+        let mut tensors = Vec::new();
+        let mut alphas = Vec::new();
+        let mut weight_steps = Vec::new();
+        let mut act_steps = Vec::new();
+        let mut specs = Vec::new();
+        net.visit_state_tensors(&mut |t| tensors.push(t.clone()));
+        net.visit_quant(&mut |h| {
+            alphas.push(h.quant.alpha());
+            weight_steps.push(h.quant.weight_step());
+            act_steps.push(h.quant.act_step());
+            specs.push(h.quant.spec());
+        });
+        Checkpoint { tensors, alphas, weight_steps, act_steps, specs }
+    }
+
+    /// Applies the checkpoint to a structurally identical network: state
+    /// tensors, `α` values, and quantization specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateMismatch`] when the network structure does
+    /// not match.
+    pub fn apply(&self, net: &mut Network) -> Result<()> {
+        let mut count = 0;
+        net.visit_state_tensors(&mut |_| count += 1);
+        if count != self.tensors.len() {
+            return Err(NnError::StateMismatch { expected: count, actual: self.tensors.len() });
+        }
+        if net.quant_layer_count() != self.specs.len() {
+            return Err(NnError::StateMismatch {
+                expected: net.quant_layer_count(),
+                actual: self.specs.len(),
+            });
+        }
+        let mut i = 0;
+        let mut shape_ok = true;
+        net.visit_state_tensors(&mut |t| {
+            if t.shape() == self.tensors[i].shape() {
+                *t = self.tensors[i].clone();
+            } else {
+                shape_ok = false;
+            }
+            i += 1;
+        });
+        if !shape_ok {
+            return Err(NnError::InvalidConfig("checkpoint tensor shapes do not match".into()));
+        }
+        let mut j = 0;
+        net.visit_quant(&mut |h| {
+            h.quant.set_spec(self.specs[j]);
+            h.quant.set_alpha(self.alphas[j]);
+            h.quant.set_weight_step(self.weight_steps[j]);
+            h.quant.set_act_step(self.act_steps[j]);
+            j += 1;
+        });
+        Ok(())
+    }
+
+    /// Serializes to the binary checkpoint format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_u32(&mut out, self.tensors.len() as u32);
+        for t in &self.tensors {
+            write_u32(&mut out, t.rank() as u32);
+            for &d in t.shape() {
+                write_u32(&mut out, d as u32);
+            }
+            for &v in t.as_slice() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        write_u32(&mut out, self.specs.len() as u32);
+        for (i, spec) in self.specs.iter().enumerate() {
+            write_u32(&mut out, policy_code(spec.policy));
+            write_u32(&mut out, spec.weight_bits.bits());
+            write_u32(&mut out, spec.act_bits.bits());
+            out.extend_from_slice(&self.alphas[i].to_le_bytes());
+            out.extend_from_slice(&self.weight_steps[i].to_le_bytes());
+            out.extend_from_slice(&self.act_steps[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from the binary checkpoint format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] on a malformed or truncated
+    /// buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut cur = bytes;
+        let mut magic = [0u8; 8];
+        read_exact(&mut cur, &mut magic)?;
+        if &magic != MAGIC {
+            return Err(NnError::InvalidConfig("not a CCQ checkpoint (bad magic)".into()));
+        }
+        let n_tensors = read_u32(&mut cur)? as usize;
+        if n_tensors > 1 << 24 {
+            return Err(NnError::InvalidConfig("implausible tensor count".into()));
+        }
+        let mut tensors = Vec::with_capacity(n_tensors);
+        for _ in 0..n_tensors {
+            let rank = read_u32(&mut cur)? as usize;
+            if rank > 8 {
+                return Err(NnError::InvalidConfig("implausible tensor rank".into()));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(read_u32(&mut cur)? as usize);
+            }
+            let numel: usize = dims.iter().product();
+            if numel > 1 << 28 {
+                return Err(NnError::InvalidConfig("implausible tensor size".into()));
+            }
+            let mut data = Vec::with_capacity(numel);
+            for _ in 0..numel {
+                data.push(read_f32(&mut cur)?);
+            }
+            tensors.push(
+                Tensor::from_vec(data, &dims)
+                    .map_err(|e| NnError::InvalidConfig(e.to_string()))?,
+            );
+        }
+        let n_specs = read_u32(&mut cur)? as usize;
+        if n_specs > 1 << 20 {
+            return Err(NnError::InvalidConfig("implausible spec count".into()));
+        }
+        let mut specs = Vec::with_capacity(n_specs);
+        let mut alphas = Vec::with_capacity(n_specs);
+        let mut weight_steps = Vec::with_capacity(n_specs);
+        let mut act_steps = Vec::with_capacity(n_specs);
+        for _ in 0..n_specs {
+            let policy = policy_from_code(read_u32(&mut cur)?)?;
+            let wb = bitwidth(read_u32(&mut cur)?)?;
+            let ab = bitwidth(read_u32(&mut cur)?)?;
+            specs.push(QuantSpec::new(policy, wb, ab));
+            alphas.push(read_f32(&mut cur)?);
+            weight_steps.push(read_f32(&mut cur)?);
+            act_steps.push(read_f32(&mut cur)?);
+        }
+        Ok(Checkpoint { tensors, alphas, weight_steps, act_steps, specs })
+    }
+
+    /// Writes the checkpoint to a writer (e.g. a file). A `&mut` reference
+    /// may be passed for any `W: Write`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<W: Write>(&self, mut writer: W) -> Result<()> {
+        writer
+            .write_all(&self.to_bytes())
+            .map_err(|e| NnError::InvalidConfig(format!("checkpoint write failed: {e}")))
+    }
+
+    /// Reads a checkpoint from a reader. A `&mut` reference may be passed
+    /// for any `R: Read`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and format errors.
+    pub fn load<R: Read>(mut reader: R) -> Result<Self> {
+        let mut buf = Vec::new();
+        reader
+            .read_to_end(&mut buf)
+            .map_err(|e| NnError::InvalidConfig(format!("checkpoint read failed: {e}")))?;
+        Checkpoint::from_bytes(&buf)
+    }
+
+    /// Number of state tensors captured.
+    pub fn tensor_count(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// The captured per-layer quantization specs.
+    pub fn specs(&self) -> &[QuantSpec] {
+        &self.specs
+    }
+}
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_exact(cur: &mut &[u8], buf: &mut [u8]) -> Result<()> {
+    if cur.len() < buf.len() {
+        return Err(NnError::InvalidConfig("truncated checkpoint".into()));
+    }
+    buf.copy_from_slice(&cur[..buf.len()]);
+    *cur = &cur[buf.len()..];
+    Ok(())
+}
+
+fn read_u32(cur: &mut &[u8]) -> Result<u32> {
+    let mut b = [0u8; 4];
+    read_exact(cur, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32(cur: &mut &[u8]) -> Result<f32> {
+    let mut b = [0u8; 4];
+    read_exact(cur, &mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn policy_code(p: PolicyKind) -> u32 {
+    match p {
+        PolicyKind::Dorefa => 0,
+        PolicyKind::Wrpn => 1,
+        PolicyKind::Pact => 2,
+        PolicyKind::Sawb => 3,
+        PolicyKind::UniformAffine => 4,
+        PolicyKind::MaxAbs => 5,
+        PolicyKind::Aciq => 6,
+        PolicyKind::Lsq => 7,
+    }
+}
+
+fn policy_from_code(c: u32) -> Result<PolicyKind> {
+    Ok(match c {
+        0 => PolicyKind::Dorefa,
+        1 => PolicyKind::Wrpn,
+        2 => PolicyKind::Pact,
+        3 => PolicyKind::Sawb,
+        4 => PolicyKind::UniformAffine,
+        5 => PolicyKind::MaxAbs,
+        6 => PolicyKind::Aciq,
+        7 => PolicyKind::Lsq,
+        other => return Err(NnError::InvalidConfig(format!("unknown policy code {other}"))),
+    })
+}
+
+fn bitwidth(bits: u32) -> Result<BitWidth> {
+    BitWidth::new(bits).map_err(|e| NnError::InvalidConfig(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{QLinear, Relu, Sequential};
+    use crate::Mode;
+    use ccq_tensor::rng;
+
+    fn net() -> Network {
+        let mut r = rng(0);
+        let spec = QuantSpec::full_precision(PolicyKind::Pact);
+        Network::new(Sequential::new(vec![
+            Box::new(QLinear::new("fc1", 3, 4, spec, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(QLinear::new("fc2", 4, 2, spec, &mut r)),
+        ]))
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour_and_specs() {
+        let mut a = net();
+        a.set_quant_spec(
+            1,
+            QuantSpec::new(PolicyKind::Pact, BitWidth::of(3), BitWidth::of(4)),
+        );
+        let x = Tensor::ones(&[2, 3]);
+        let y_before = a.forward(&x, Mode::Eval).unwrap();
+
+        let bytes = Checkpoint::capture(&mut a).to_bytes();
+        let ckpt = Checkpoint::from_bytes(&bytes).unwrap();
+
+        let mut b = net(); // different weights until applied
+        ckpt.apply(&mut b).unwrap();
+        let y_after = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y_before.as_slice(), y_after.as_slice());
+        assert_eq!(b.quant_spec(1).weight_bits, BitWidth::of(3));
+        assert_eq!(b.quant_spec(1).act_bits, BitWidth::of(4));
+    }
+
+    #[test]
+    fn save_load_through_io() {
+        let mut a = net();
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut buf = Vec::new();
+        ckpt.save(&mut buf).unwrap();
+        let loaded = Checkpoint::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded, ckpt);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(Checkpoint::from_bytes(b"NOTCKPT!").is_err());
+        let mut a = net();
+        let bytes = Checkpoint::capture(&mut a).to_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn rejects_structural_mismatch() {
+        let mut a = net();
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut r = rng(1);
+        let mut other = Network::new(Sequential::new(vec![Box::new(QLinear::new(
+            "solo",
+            3,
+            2,
+            QuantSpec::full_precision(PolicyKind::Pact),
+            &mut r,
+        ))]));
+        assert!(matches!(ckpt.apply(&mut other), Err(NnError::StateMismatch { .. })));
+    }
+
+    #[test]
+    fn all_policy_codes_round_trip() {
+        for p in PolicyKind::ALL {
+            assert_eq!(policy_from_code(policy_code(p)).unwrap(), p);
+        }
+        assert!(policy_from_code(99).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for network construction and execution.
+
+use ccq_tensor::TensorError;
+use std::fmt;
+
+/// Errors returned by network construction, forward, or backward passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor kernel failed (shape/geometry mismatch).
+    Tensor(TensorError),
+    /// `backward` was called without a preceding `forward` (no cache).
+    BackwardBeforeForward(&'static str),
+    /// A configuration value failed validation.
+    InvalidConfig(String),
+    /// The network state being restored does not match the network.
+    StateMismatch {
+        /// Number of state tensors expected by the network.
+        expected: usize,
+        /// Number of state tensors supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward(layer) => {
+                write!(f, "backward called before forward on layer '{layer}'")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::StateMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "network state mismatch: expected {expected} tensors, got {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        use std::error::Error;
+        let e = NnError::from(TensorError::InvalidArgument("x".into()));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,275 @@
+//! True integer execution of quantized layers.
+//!
+//! Quantization-aware training uses *fake* quantization: `f32` values
+//! constrained to a grid. Deployment hardware (the MAC units the paper
+//! synthesizes for Fig. 5) executes *integer* arithmetic. This module
+//! implements honest integer inference — `i32` operands, `i64`
+//! accumulation, per-tensor symmetric scales — and is used by the test
+//! suite to prove the two agree: for max-abs symmetric quantization,
+//!
+//! `fake_quant(w) · fake_quant(x) = s_w·s_x · (q_w · q_x)`
+//!
+//! exactly (up to `f32` rounding of the final product), which is what
+//! makes the hardware energy model's per-bit accounting meaningful.
+
+use crate::{NnError, Result};
+use ccq_tensor::ops::{conv_output_size, Conv2dGeometry};
+use ccq_tensor::Tensor;
+
+/// A tensor quantized to signed integers with one symmetric scale:
+/// `real ≈ scale · q`, `q ∈ [−(2^{bits−1}−1), 2^{bits−1}−1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    /// Integer values.
+    pub values: Vec<i32>,
+    /// Dequantization scale.
+    pub scale: f32,
+    /// Logical shape.
+    pub shape: Vec<usize>,
+    /// Operand bit width (including the sign bit).
+    pub bits: u32,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor symmetrically at `bits` (max-abs scaling, the
+    /// [`ccq_quant::PolicyKind::MaxAbs`] semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is outside `2..=31` (a sign bit plus at least one
+    /// magnitude bit, and headroom inside `i32`).
+    pub fn from_tensor(t: &Tensor, bits: u32) -> Self {
+        assert!((2..=31).contains(&bits), "integer execution needs 2..=31 bits");
+        let qmax = ((1i64 << (bits - 1)) - 1) as f32;
+        let max_abs = t.max_abs();
+        let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        let values = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-qmax, qmax) as i32)
+            .collect();
+        QuantizedTensor { values, scale, shape: t.shape().to_vec(), bits }
+    }
+
+    /// Dequantizes back to `f32` — by construction this equals the fake-
+    /// quantized tensor the training stack computes.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(data, &self.shape).expect("shape preserved")
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Integer fully-connected layer: `y = s_w·s_x · (q_x · q_wᵀ) + b`.
+///
+/// `x` is `[n, in]`, `weight` is `[out, in]`, `bias` (optional) is `[out]`
+/// in real units. Accumulation is `i64`, immune to overflow for any
+/// realistic layer size (`2^62 / (2^30)` ≈ 4×10⁹ terms).
+///
+/// # Errors
+///
+/// Returns a shape error when the operand shapes disagree.
+pub fn int_linear(
+    x: &QuantizedTensor,
+    weight: &QuantizedTensor,
+    bias: Option<&Tensor>,
+) -> Result<Tensor> {
+    if x.shape.len() != 2 || weight.shape.len() != 2 || x.shape[1] != weight.shape[1] {
+        return Err(NnError::InvalidConfig(format!(
+            "int_linear shapes {:?} x {:?}",
+            x.shape, weight.shape
+        )));
+    }
+    let (n, k) = (x.shape[0], x.shape[1]);
+    let out = weight.shape[0];
+    let scale = x.scale * weight.scale;
+    let mut y = Tensor::zeros(&[n, out]);
+    let yv = y.as_mut_slice();
+    for i in 0..n {
+        let xrow = &x.values[i * k..(i + 1) * k];
+        for o in 0..out {
+            let wrow = &weight.values[o * k..(o + 1) * k];
+            let mut acc: i64 = 0;
+            for (&a, &b) in xrow.iter().zip(wrow) {
+                acc += i64::from(a) * i64::from(b);
+            }
+            let mut v = acc as f32 * scale;
+            if let Some(b) = bias {
+                v += b.as_slice()[o];
+            }
+            yv[i * out + o] = v;
+        }
+    }
+    Ok(y)
+}
+
+/// Integer 2-D convolution (NCHW input, `[O, C, kh, kw]` weights), direct
+/// nested loops with `i64` accumulation.
+///
+/// # Errors
+///
+/// Returns a shape/geometry error when the operands disagree.
+pub fn int_conv2d(
+    x: &QuantizedTensor,
+    weight: &QuantizedTensor,
+    bias: Option<&Tensor>,
+    geom: Conv2dGeometry,
+) -> Result<Tensor> {
+    if x.shape.len() != 4 || weight.shape.len() != 4 || x.shape[1] != weight.shape[1] {
+        return Err(NnError::InvalidConfig(format!(
+            "int_conv2d shapes {:?} x {:?}",
+            x.shape, weight.shape
+        )));
+    }
+    let [n, c, h, w] = [x.shape[0], x.shape[1], x.shape[2], x.shape[3]];
+    let [o, _, kh, kw] = [weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]];
+    let oh = conv_output_size(h, kh, geom.stride, geom.padding)?;
+    let ow = conv_output_size(w, kw, geom.stride, geom.padding)?;
+    let scale = x.scale * weight.scale;
+    let mut y = Tensor::zeros(&[n, o, oh, ow]);
+    let yv = y.as_mut_slice();
+    for ni in 0..n {
+        for oi in 0..o {
+            let b = bias.map_or(0.0, |t| t.as_slice()[oi]);
+            for yy in 0..oh {
+                for xx in 0..ow {
+                    let mut acc: i64 = 0;
+                    for ci in 0..c {
+                        let in_base = (ni * c + ci) * h * w;
+                        let w_base = ((oi * c + ci) * kh) * kw;
+                        for ky in 0..kh {
+                            let iy = (yy * geom.stride + ky) as isize - geom.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (xx * geom.stride + kx) as isize - geom.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = x.values[in_base + iy as usize * w + ix as usize];
+                                let wi = weight.values[w_base + ky * kw + kx];
+                                acc += i64::from(xi) * i64::from(wi);
+                            }
+                        }
+                    }
+                    yv[((ni * o + oi) * oh + yy) * ow + xx] = acc as f32 * scale + b;
+                }
+            }
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_quant::policies::uniform::quantize_maxabs;
+    use ccq_tensor::ops::{im2col, matmul};
+    use ccq_tensor::{rng, Init};
+
+    #[test]
+    fn dequantize_matches_fake_quant() {
+        let t = Init::Normal { mean: 0.0, std: 1.0 }.sample(&[256], &mut rng(0));
+        for bits in [2u32, 4, 8] {
+            let q = QuantizedTensor::from_tensor(&t, bits);
+            let fake = quantize_maxabs(&t, bits);
+            for (a, b) in q.dequantize().as_slice().iter().zip(fake.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "bits={bits}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_range_respects_bits() {
+        let t = Init::Uniform { lo: -3.0, hi: 3.0 }.sample(&[512], &mut rng(1));
+        let q = QuantizedTensor::from_tensor(&t, 4);
+        assert!(q.values.iter().all(|&v| (-7..=7).contains(&v)));
+    }
+
+    #[test]
+    fn int_linear_matches_fake_quant_matmul() {
+        let mut r = rng(2);
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[3, 8], &mut r);
+        let w = Init::Normal { mean: 0.0, std: 0.5 }.sample(&[5, 8], &mut r);
+        let bias = Init::Uniform { lo: -0.1, hi: 0.1 }.sample(&[5], &mut r);
+        for bits in [3u32, 4, 8] {
+            let qx = QuantizedTensor::from_tensor(&x, bits);
+            let qw = QuantizedTensor::from_tensor(&w, bits);
+            let y_int = int_linear(&qx, &qw, Some(&bias)).unwrap();
+            // Reference: fake-quant f32 path.
+            let y_fake =
+                ccq_tensor::ops::matmul_a_bt(&qx.dequantize(), &qw.dequantize()).unwrap();
+            for i in 0..3 {
+                for o in 0..5 {
+                    let vi = y_int.at(&[i, o]);
+                    let vf = y_fake.at(&[i, o]) + bias.as_slice()[o];
+                    assert!(
+                        (vi - vf).abs() < 1e-4 * (1.0 + vf.abs()),
+                        "bits={bits} ({i},{o}): int {vi} fake {vf}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_conv_matches_fake_quant_conv() {
+        let mut r = rng(3);
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[2, 3, 6, 6], &mut r);
+        let w = Init::Normal { mean: 0.0, std: 0.4 }.sample(&[4, 3, 3, 3], &mut r);
+        let geom = Conv2dGeometry { kernel_h: 3, kernel_w: 3, stride: 2, padding: 1 };
+        let qx = QuantizedTensor::from_tensor(&x, 4);
+        let qw = QuantizedTensor::from_tensor(&w, 4);
+        let y_int = int_conv2d(&qx, &qw, None, geom).unwrap();
+
+        // Reference: im2col GEMM on the dequantized (fake-quant) values.
+        let cols = im2col(&qx.dequantize(), geom).unwrap();
+        let wmat = qw.dequantize().reshape(&[4, 27]).unwrap();
+        let y_mat = matmul(&wmat, &cols).unwrap();
+        let (oh, ow) = geom.output_hw(6, 6).unwrap();
+        for ni in 0..2 {
+            for oi in 0..4 {
+                for yy in 0..oh {
+                    for xx in 0..ow {
+                        let vi = y_int.at(&[ni, oi, yy, xx]);
+                        let vf = y_mat.at(&[oi, (ni * oh + yy) * ow + xx]);
+                        assert!(
+                            (vi - vf).abs() < 1e-4 * (1.0 + vf.abs()),
+                            "({ni},{oi},{yy},{xx}): int {vi} fake {vf}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let q = QuantizedTensor::from_tensor(&Tensor::zeros(&[8]), 4);
+        assert!(q.values.iter().all(|&v| v == 0));
+        assert_eq!(q.dequantize().sum(), 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = QuantizedTensor::from_tensor(&Tensor::zeros(&[2, 3]), 4);
+        let b = QuantizedTensor::from_tensor(&Tensor::zeros(&[2, 4]), 4);
+        assert!(int_linear(&a, &b, None).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=31")]
+    fn one_bit_integers_are_rejected() {
+        let _ = QuantizedTensor::from_tensor(&Tensor::zeros(&[2]), 1);
+    }
+}

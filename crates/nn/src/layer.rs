@@ -1,0 +1,82 @@
+//! The layer trait and traversal handles.
+
+use crate::{Param, Result};
+use ccq_quant::LayerQuant;
+use ccq_tensor::Tensor;
+
+/// Forward-pass mode.
+///
+/// `Train` caches activations for the backward pass and uses batch
+/// statistics in normalization layers; `Eval` uses running statistics and
+/// is what CCQ's competition probes run in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: batch statistics, caches kept for backward.
+    Train,
+    /// Inference: running statistics, backward not available.
+    Eval,
+}
+
+/// A mutable view of one quantizable layer, yielded by
+/// [`Layer::visit_quant`].
+///
+/// This is the interface CCQ's competition manipulates: it can read the
+/// layer's identity and size, and rewrite its [`ccq_quant::QuantSpec`]
+/// through `quant`.
+#[derive(Debug)]
+pub struct QuantHandle<'a> {
+    /// Human-readable unique layer label (e.g. `"stage2.block0.conv1"`).
+    pub label: &'a str,
+    /// Number of weight scalars in the layer (bias excluded, matching the
+    /// paper's model-size accounting).
+    pub weight_count: usize,
+    /// Per-sample multiply-accumulate count, available after the first
+    /// forward pass (zero before).
+    pub macs: u64,
+    /// The layer's quantization state.
+    pub quant: &'a mut LayerQuant,
+    /// The layer's weight parameter (shadow weights plus accumulated
+    /// gradient) — Hessian-probe baselines perturb and read these.
+    pub weight: &'a mut Param,
+}
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters and the caches their backward pass needs.
+/// `backward` must be called after a `Train`-mode `forward` with the
+/// gradient of the loss w.r.t. the layer output, and returns the gradient
+/// w.r.t. the layer input while accumulating parameter gradients.
+pub trait Layer {
+    /// Runs the layer on `x`, caching intermediates when `mode` is
+    /// [`Mode::Train`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError`] when `x` has an incompatible shape.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Propagates `grad_out` backwards, accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BackwardBeforeForward`] when no train-mode
+    /// forward preceded this call, or a tensor error on shape mismatch.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Visits every learnable parameter (depth-first, deterministic order).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every quantizable sub-layer (depth-first, deterministic
+    /// order). The default is a no-op for layers without weights.
+    fn visit_quant(&mut self, _f: &mut dyn FnMut(QuantHandle<'_>)) {}
+
+    /// Visits every state tensor that a snapshot must capture: parameters
+    /// *plus* non-learnable state such as batch-norm running statistics.
+    /// The default visits only parameters.
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.visit_params(&mut |p| f(&mut p.value));
+    }
+
+    /// A short human-readable layer name for diagnostics.
+    fn name(&self) -> &str;
+}

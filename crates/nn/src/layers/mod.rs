@@ -1,0 +1,24 @@
+//! Network layers.
+//!
+//! Quantization-aware layers ([`QConv2d`], [`QLinear`]) own a
+//! [`ccq_quant::LayerQuant`] and fake-quantize weights and inputs on every
+//! forward pass. Structural layers ([`Sequential`], [`BasicBlock`],
+//! [`Bottleneck`]) compose them into ResNet-style graphs.
+
+mod batchnorm;
+mod block;
+mod conv;
+mod flatten;
+mod linear;
+mod pool;
+mod relu;
+mod sequential;
+
+pub use batchnorm::BatchNorm2d;
+pub use block::{BasicBlock, Bottleneck};
+pub use conv::QConv2d;
+pub use flatten::Flatten;
+pub use linear::QLinear;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use relu::Relu;
+pub use sequential::Sequential;

@@ -1,0 +1,145 @@
+//! Loss functions.
+
+use crate::{NnError, Result};
+use ccq_tensor::ops::log_softmax_rows;
+use ccq_tensor::Tensor;
+
+/// Mean cross-entropy over a batch, with its gradient w.r.t. the logits.
+///
+/// `logits` is `[N, C]`; `labels` holds `N` class indices. Returns
+/// `(loss, grad)` where `grad = (softmax(logits) − onehot(labels)) / N`.
+///
+/// # Errors
+///
+/// Returns an error when shapes disagree or a label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use ccq_nn::loss::cross_entropy;
+/// use ccq_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, 0.0], &[1, 2])?;
+/// let (loss, grad) = cross_entropy(&logits, &[0])?;
+/// assert!(loss < 0.01); // confident and correct
+/// assert_eq!(grad.shape(), &[1, 2]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    logits.shape_obj().expect_rank(2).map_err(NnError::from)?;
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != n {
+        return Err(NnError::InvalidConfig(format!(
+            "got {} labels for a batch of {n}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(NnError::InvalidConfig(format!(
+            "label {bad} out of range for {c} classes"
+        )));
+    }
+    let logp = log_softmax_rows(logits)?;
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        loss -= logp.as_slice()[r * c + label];
+    }
+    loss /= n as f32;
+
+    // grad = (softmax − onehot)/N; softmax = exp(log_softmax).
+    let mut grad = logp.map(f32::exp);
+    let gv = grad.as_mut_slice();
+    let inv_n = 1.0 / n as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        gv[r * c + label] -= 1.0;
+    }
+    for v in gv.iter_mut() {
+        *v *= inv_n;
+    }
+    Ok((loss, grad))
+}
+
+/// Top-1 accuracy of `logits` (`[N, C]`) against `labels`.
+///
+/// # Panics
+///
+/// Panics when `labels.len()` differs from the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let lv = logits.as_slice();
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = &lv[r * c..(r + 1) * c];
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.2, -0.4, 1.0, 0.0, 0.5, -0.5], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let (fp, _) = cross_entropy(&lp, &labels).unwrap();
+            let (fm, _) = cross_entropy(&lm, &labels).unwrap();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - grad.as_slice()[idx]).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let (_, grad) = cross_entropy(&logits, &[1]).unwrap();
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(&[1, 3]);
+        assert!(cross_entropy(&logits, &[3]).is_err());
+        assert!(cross_entropy(&logits, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.3, 0.7], &[3, 2]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 0]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_and_zero_accuracy() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+    }
+}

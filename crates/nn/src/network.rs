@@ -1,0 +1,312 @@
+//! The network wrapper: traversal, snapshots, quantization plumbing.
+
+use crate::layer::{Layer, Mode, QuantHandle};
+use crate::layers::Sequential;
+use crate::{NnError, Param, Result};
+use ccq_quant::QuantSpec;
+use ccq_tensor::Tensor;
+
+/// Descriptive summary of one quantizable layer, as reported by
+/// [`Network::quant_layer_info`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantLayerInfo {
+    /// Position in traversal order (CCQ's layer index `m`).
+    pub index: usize,
+    /// Unique label, e.g. `"stage2.block0.conv1"`.
+    pub label: String,
+    /// Number of weight scalars.
+    pub weight_count: usize,
+    /// Per-sample MAC count (0 until the first forward pass).
+    pub macs: u64,
+    /// Current quantization spec.
+    pub spec: QuantSpec,
+}
+
+/// A full snapshot of network state: every parameter and buffer tensor plus
+/// the learned PACT `α` values. Produced by [`Network::snapshot`] and
+/// consumed by [`Network::restore`].
+#[derive(Debug, Clone)]
+pub struct NetworkState {
+    tensors: Vec<Tensor>,
+    alphas: Vec<f32>,
+}
+
+/// A trainable network: a root [`Sequential`] plus traversal helpers.
+///
+/// The traversal order of [`Network::visit_quant`] defines CCQ's layer
+/// indexing: index 0 is the first (stem) layer, the last index is the
+/// classifier head.
+pub struct Network {
+    root: Sequential,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network").field("root", &self.root).finish()
+    }
+}
+
+impl Network {
+    /// Wraps a sequential graph as a network.
+    pub fn new(root: Sequential) -> Self {
+        Network { root }
+    }
+
+    /// Runs the forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.root.forward(x, mode)
+    }
+
+    /// Runs the backward pass, accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no train-mode forward preceded this call.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        self.root.backward(grad_out)
+    }
+
+    /// Clears every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Visits every learnable parameter in deterministic order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.root.visit_params(f);
+    }
+
+    /// Visits every quantizable layer in deterministic order.
+    pub fn visit_quant(&mut self, f: &mut dyn FnMut(QuantHandle<'_>)) {
+        self.root.visit_quant(f);
+    }
+
+    /// Number of quantizable layers (`M` in the paper).
+    pub fn quant_layer_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_quant(&mut |_| n += 1);
+        n
+    }
+
+    /// Total number of learnable scalars.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Summaries of every quantizable layer, in traversal order.
+    pub fn quant_layer_info(&mut self) -> Vec<QuantLayerInfo> {
+        let mut out = Vec::new();
+        let mut index = 0;
+        self.visit_quant(&mut |h| {
+            out.push(QuantLayerInfo {
+                index,
+                label: h.label.to_string(),
+                weight_count: h.weight_count,
+                macs: h.macs,
+                spec: h.quant.spec(),
+            });
+            index += 1;
+        });
+        out
+    }
+
+    /// The quantization spec of layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn quant_spec(&mut self, index: usize) -> QuantSpec {
+        let mut spec = None;
+        let mut i = 0;
+        self.visit_quant(&mut |h| {
+            if i == index {
+                spec = Some(h.quant.spec());
+            }
+            i += 1;
+        });
+        spec.unwrap_or_else(|| panic!("quant layer index {index} out of range ({i} layers)"))
+    }
+
+    /// Replaces the quantization spec of layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn set_quant_spec(&mut self, index: usize, spec: QuantSpec) {
+        let mut hit = false;
+        let mut i = 0;
+        self.visit_quant(&mut |h| {
+            if i == index {
+                h.quant.set_spec(spec);
+                hit = true;
+            }
+            i += 1;
+        });
+        assert!(hit, "quant layer index {index} out of range ({i} layers)");
+    }
+
+    /// Applies one spec to *every* quantizable layer (uniform-precision
+    /// baselines and CCQ's ladder initialization).
+    pub fn set_all_quant_specs(&mut self, spec: QuantSpec) {
+        self.visit_quant(&mut |h| h.quant.set_spec(spec));
+    }
+
+    /// Visits every state tensor (parameters plus batch-norm running
+    /// statistics) in deterministic order — the set a snapshot or
+    /// checkpoint captures.
+    pub fn visit_state_tensors(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.root.visit_state(f);
+    }
+
+    /// Captures every state tensor (parameters + batch-norm running stats)
+    /// and PACT `α` value.
+    pub fn snapshot(&mut self) -> NetworkState {
+        let mut tensors = Vec::new();
+        self.root.visit_state(&mut |t| tensors.push(t.clone()));
+        let mut alphas = Vec::new();
+        self.visit_quant(&mut |h| alphas.push(h.quant.alpha()));
+        NetworkState { tensors, alphas }
+    }
+
+    /// Restores a snapshot taken from this network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateMismatch`] when the snapshot does not match
+    /// the network's structure.
+    pub fn restore(&mut self, state: &NetworkState) -> Result<()> {
+        let mut count = 0;
+        self.root.visit_state(&mut |_| count += 1);
+        if count != state.tensors.len() {
+            return Err(NnError::StateMismatch {
+                expected: count,
+                actual: state.tensors.len(),
+            });
+        }
+        let mut i = 0;
+        let mut shape_ok = true;
+        self.root.visit_state(&mut |t| {
+            if t.shape() == state.tensors[i].shape() {
+                *t = state.tensors[i].clone();
+            } else {
+                shape_ok = false;
+            }
+            i += 1;
+        });
+        if !shape_ok {
+            return Err(NnError::InvalidConfig(
+                "snapshot tensor shapes do not match".into(),
+            ));
+        }
+        let mut j = 0;
+        self.visit_quant(&mut |h| {
+            if j < state.alphas.len() {
+                h.quant.set_alpha(state.alphas[j]);
+            }
+            j += 1;
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{QLinear, Relu};
+    use ccq_quant::{BitWidth, PolicyKind};
+    use ccq_tensor::rng;
+
+    fn net() -> Network {
+        let mut r = rng(0);
+        let spec = QuantSpec::full_precision(PolicyKind::Pact);
+        Network::new(Sequential::new(vec![
+            Box::new(QLinear::new("fc1", 3, 4, spec, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(QLinear::new("fc2", 4, 2, spec, &mut r)),
+        ]))
+    }
+
+    #[test]
+    fn counts_layers_and_params() {
+        let mut n = net();
+        assert_eq!(n.quant_layer_count(), 2);
+        // fc1: 12 + 4, fc2: 8 + 2.
+        assert_eq!(n.param_count(), 26);
+    }
+
+    #[test]
+    fn quant_layer_info_is_ordered() {
+        let mut n = net();
+        let info = n.quant_layer_info();
+        assert_eq!(info.len(), 2);
+        assert_eq!(info[0].label, "fc1");
+        assert_eq!(info[1].label, "fc2");
+        assert_eq!(info[0].index, 0);
+        assert_eq!(info[0].weight_count, 12);
+    }
+
+    #[test]
+    fn set_quant_spec_targets_one_layer() {
+        let mut n = net();
+        let q = QuantSpec::new(PolicyKind::Pact, BitWidth::of(4), BitWidth::of(4));
+        n.set_quant_spec(1, q);
+        assert_eq!(n.quant_spec(1), q);
+        assert!(n.quant_spec(0).is_full_precision());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_quant_spec_panics_out_of_range() {
+        let mut n = net();
+        n.set_quant_spec(5, QuantSpec::full_precision(PolicyKind::Pact));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut n = net();
+        let x = Tensor::ones(&[1, 3]);
+        let before = n.forward(&x, Mode::Eval).unwrap();
+        let snap = n.snapshot();
+        // Perturb all params.
+        n.visit_params(&mut |p| p.value.map_in_place(|v| v + 1.0));
+        let perturbed = n.forward(&x, Mode::Eval).unwrap();
+        assert_ne!(before.as_slice(), perturbed.as_slice());
+        n.restore(&snap).unwrap();
+        let restored = n.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(before.as_slice(), restored.as_slice());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_structure() {
+        let mut a = net();
+        let snap = a.snapshot();
+        let mut r = rng(1);
+        let mut b = Network::new(Sequential::new(vec![Box::new(QLinear::new(
+            "only",
+            3,
+            2,
+            QuantSpec::full_precision(PolicyKind::Pact),
+            &mut r,
+        ))]));
+        assert!(matches!(
+            b.restore(&snap),
+            Err(NnError::StateMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn set_all_quant_specs_applies_everywhere() {
+        let mut n = net();
+        let q = QuantSpec::new(PolicyKind::Dorefa, BitWidth::of(8), BitWidth::of(8));
+        n.set_all_quant_specs(q);
+        for info in n.quant_layer_info() {
+            assert_eq!(info.spec, q);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the training stack: gradient correctness over
+//! random layer configurations and STE invariants.
+
+use ccq_nn::layers::{BatchNorm2d, GlobalAvgPool, MaxPool2d, QConv2d, QLinear, Relu};
+use ccq_nn::loss::cross_entropy;
+use ccq_nn::{Layer, Mode};
+use ccq_quant::{BitWidth, PolicyKind, QuantSpec};
+use ccq_tensor::{rng, Init, Tensor};
+use proptest::prelude::*;
+
+fn fp_spec() -> QuantSpec {
+    // MaxAbs passes activations through untouched at full precision, so
+    // the layer is smooth and finite differences are clean.
+    QuantSpec::full_precision(PolicyKind::MaxAbs)
+}
+
+/// Directional finite-difference check: for objective ½‖f(x)‖², the
+/// analytic directional derivative ⟨∇f, d⟩ must match the central
+/// difference along d.
+fn directional_check(layer: &mut dyn Layer, x: &Tensor, seed: u64, tol: f32) -> Result<(), String> {
+    let mut r = rng(seed);
+    let y = layer.forward(x, Mode::Train).map_err(|e| e.to_string())?;
+    let dy = y.clone();
+    let dx = layer.backward(&dy).map_err(|e| e.to_string())?;
+    let dir = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(x.shape(), &mut r);
+    let eps = 1e-2;
+    let mut xp = x.clone();
+    xp.add_scaled(&dir, eps).map_err(|e| e.to_string())?;
+    let mut xm = x.clone();
+    xm.add_scaled(&dir, -eps).map_err(|e| e.to_string())?;
+    let obj = |l: &mut dyn Layer, xx: &Tensor| -> f32 {
+        let y = l.forward(xx, Mode::Train).expect("forward");
+        0.5 * y.as_slice().iter().map(|v| v * v).sum::<f32>()
+    };
+    let fd = (obj(layer, &xp) - obj(layer, &xm)) / (2.0 * eps);
+    let an = dx.dot(&dir).map_err(|e| e.to_string())?;
+    if (fd - an).abs() > tol * (1.0 + fd.abs()) {
+        return Err(format!("directional derivative mismatch: fd={fd} analytic={an}"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conv gradients are correct for arbitrary small geometries.
+    #[test]
+    fn conv_gradcheck(
+        in_ch in 1usize..3,
+        out_ch in 1usize..4,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        hw in 4usize..7,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(kernel <= hw);
+        let mut r = rng(seed);
+        let padding = kernel / 2;
+        let mut conv = QConv2d::new_full(
+            "p", in_ch, out_ch, kernel, stride, padding, true, fp_spec(), &mut r);
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[2, in_ch, hw, hw], &mut r);
+        directional_check(&mut conv, &x, seed ^ 1, 0.05).map_err(|e| {
+            TestCaseError::fail(format!(
+                "conv {in_ch}->{out_ch} k{kernel} s{stride} {hw}px: {e}"))
+        })?;
+    }
+
+    /// Linear gradients are correct for arbitrary widths.
+    #[test]
+    fn linear_gradcheck(
+        inf in 1usize..8,
+        outf in 1usize..8,
+        batch in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let mut r = rng(seed);
+        let mut fc = QLinear::new("p", inf, outf, fp_spec(), &mut r);
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[batch, inf], &mut r);
+        directional_check(&mut fc, &x, seed ^ 2, 0.05)
+            .map_err(|e| TestCaseError::fail(format!("linear {inf}->{outf} n{batch}: {e}")))?;
+    }
+
+    /// BatchNorm gradients are correct across channel counts.
+    #[test]
+    fn batchnorm_gradcheck(
+        c in 1usize..4,
+        n in 2usize..5,
+        hw in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let mut bn = BatchNorm2d::new("p", c);
+        let mut r = rng(seed);
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[n, c, hw, hw], &mut r);
+        directional_check(&mut bn, &x, seed ^ 3, 0.08)
+            .map_err(|e| TestCaseError::fail(format!("bn c{c} n{n} {hw}px: {e}")))?;
+    }
+
+    /// Pooling layers conserve gradient mass exactly.
+    #[test]
+    fn pooling_conserves_gradient(n in 1usize..3, c in 1usize..3, seed in 0u64..500) {
+        let mut r = rng(seed);
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[n, c, 4, 4], &mut r);
+
+        let mut mp = MaxPool2d::new(2, 2);
+        let y = mp.forward(&x, Mode::Train).expect("forward");
+        let g = Init::Uniform { lo: 0.1, hi: 1.0 }.sample(y.shape(), &mut r);
+        let dx = mp.backward(&g).expect("backward");
+        prop_assert!((dx.sum() - g.sum()).abs() < 1e-3, "maxpool leaks gradient");
+
+        let mut gap = GlobalAvgPool::new();
+        let y2 = gap.forward(&x, Mode::Train).expect("forward");
+        let g2 = Init::Uniform { lo: 0.1, hi: 1.0 }.sample(y2.shape(), &mut r);
+        let dx2 = gap.backward(&g2).expect("backward");
+        prop_assert!((dx2.sum() - g2.sum()).abs() < 1e-3, "avg pool leaks gradient");
+    }
+
+    /// Cross-entropy gradient rows always sum to zero and the loss is
+    /// non-negative.
+    #[test]
+    fn cross_entropy_invariants(
+        n in 1usize..6,
+        c in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut r = rng(seed);
+        let logits = Init::Uniform { lo: -5.0, hi: 5.0 }.sample(&[n, c], &mut r);
+        let labels: Vec<usize> = (0..n).map(|i| i % c).collect();
+        let (loss, grad) = cross_entropy(&logits, &labels).expect("ce");
+        prop_assert!(loss >= 0.0);
+        for row in 0..n {
+            let s: f32 = grad.as_slice()[row * c..(row + 1) * c].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {row} sums to {s}");
+        }
+    }
+
+    /// Quantized (STE) training steps never produce non-finite weights, for
+    /// any policy/bit combination.
+    #[test]
+    fn ste_steps_stay_finite(
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+        bits in 1u32..9,
+        seed in 0u64..300,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let mut r = rng(seed);
+        let spec = QuantSpec::new(policy, BitWidth::of(bits), BitWidth::of(bits));
+        let mut fc = QLinear::new("p", 4, 3, spec, &mut r);
+        let x = Init::Uniform { lo: -2.0, hi: 2.0 }.sample(&[4, 4], &mut r);
+        let mut net_ok = true;
+        for _ in 0..3 {
+            let y = fc.forward(&x, Mode::Train).expect("forward");
+            let _ = fc.backward(&y).expect("backward");
+            let mut weights_finite = true;
+            fc.visit_params(&mut |p| {
+                if !p.grad.all_finite() || !p.value.all_finite() {
+                    weights_finite = false;
+                }
+                // Manual SGD step.
+                let g = p.grad.clone();
+                p.value.add_scaled(&g, -0.01).expect("same shape");
+                p.zero_grad();
+            });
+            net_ok &= weights_finite;
+        }
+        prop_assert!(net_ok, "{policy} {bits}b produced non-finite values");
+    }
+
+    /// ReLU backward is idempotent with its forward mask.
+    #[test]
+    fn relu_mask_consistency(len in 1usize..64, seed in 0u64..500) {
+        let mut r = rng(seed);
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[len], &mut r);
+        let mut relu = Relu::new();
+        let y = relu.forward(&x, Mode::Train).expect("forward");
+        let dx = relu.backward(&Tensor::ones(&[len])).expect("backward");
+        for i in 0..len {
+            let active = y.as_slice()[i] > 0.0;
+            prop_assert_eq!(dx.as_slice()[i] > 0.0, active, "index {}", i);
+        }
+    }
+}

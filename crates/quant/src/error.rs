@@ -1,0 +1,44 @@
+//! Error type for quantization configuration.
+
+use std::fmt;
+
+/// Errors returned when building quantization configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// A bit width outside the supported `1..=32` range.
+    InvalidBitWidth(u32),
+    /// A bit ladder that is empty or not strictly descending.
+    InvalidLadder(String),
+    /// A policy parameter failed validation.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidBitWidth(b) => {
+                write!(f, "bit width {b} outside supported range 1..=32")
+            }
+            QuantError::InvalidLadder(msg) => write!(f, "invalid bit ladder: {msg}"),
+            QuantError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_value() {
+        assert!(QuantError::InvalidBitWidth(33).to_string().contains("33"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! ACIQ analytic clipping (Banner et al., 2018).
+//!
+//! The paper's related work §a: ACIQ derives the clipping value that
+//! minimizes the expected quantization MSE *analytically*, by comparing
+//! the empirical distribution with a standard one (Gaussian or Laplace)
+//! and looking up the optimal clip-to-scale ratio for the bit width. No
+//! retraining, no search — the archetypal static policy.
+
+use super::quantize_symmetric;
+use crate::policies::quantize_unit;
+use ccq_tensor::Tensor;
+
+/// Optimal clip in units of σ for a **Gaussian** source, per bit width
+/// (Banner et al., Table 1; index by `bits - 2`, extrapolated past 8).
+const GAUSS_RATIO: [f32; 7] = [1.71, 2.15, 2.55, 2.93, 3.28, 3.61, 3.92];
+
+/// Optimal clip in units of the Laplace scale `b` for a **Laplace** source.
+const LAPLACE_RATIO: [f32; 7] = [2.83, 3.89, 5.03, 6.20, 7.41, 8.64, 9.89];
+
+/// Which reference distribution ACIQ matched the tensor against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceDistribution {
+    /// Kurtosis closer to 3.
+    Gaussian,
+    /// Kurtosis closer to 6.
+    Laplace,
+}
+
+/// Classifies a tensor as Gaussian-like or Laplace-like by excess
+/// kurtosis (Gaussian: 3, Laplace: 6), the distribution-matching step of
+/// ACIQ.
+pub fn classify(t: &Tensor) -> SourceDistribution {
+    if t.is_empty() {
+        return SourceDistribution::Gaussian;
+    }
+    let mean = t.mean();
+    let n = t.len() as f32;
+    let m2 = t.as_slice().iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / n;
+    if m2 <= 0.0 {
+        return SourceDistribution::Gaussian;
+    }
+    let m4 = t.as_slice().iter().map(|&v| (v - mean).powi(4)).sum::<f32>() / n;
+    let kurtosis = m4 / (m2 * m2);
+    if (kurtosis - 3.0).abs() <= (kurtosis - 6.0).abs() {
+        SourceDistribution::Gaussian
+    } else {
+        SourceDistribution::Laplace
+    }
+}
+
+/// The ACIQ-optimal symmetric clipping value for `bits`-bit quantization.
+///
+/// Gaussian sources clip at `c(bits)·σ`; Laplace sources at `c(bits)·b`
+/// with `b = E|x − μ|` the maximum-likelihood Laplace scale.
+pub fn optimal_clip(t: &Tensor, bits: u32) -> f32 {
+    if t.is_empty() {
+        return 0.0;
+    }
+    let idx = (bits.saturating_sub(2) as usize).min(GAUSS_RATIO.len() - 1);
+    let mean = t.mean();
+    match classify(t) {
+        SourceDistribution::Gaussian => {
+            let sigma = t.std();
+            GAUSS_RATIO[idx] * sigma
+        }
+        SourceDistribution::Laplace => {
+            let b = t.as_slice().iter().map(|&v| (v - mean).abs()).sum::<f32>() / t.len() as f32;
+            LAPLACE_RATIO[idx] * b
+        }
+    }
+}
+
+/// Quantizes a weight tensor with the ACIQ clip (symmetric, sign bit).
+pub fn quantize_weights(w: &Tensor, bits: u32) -> Tensor {
+    if bits >= 32 {
+        return w.clone();
+    }
+    let alpha = optimal_clip(w, bits).min(w.max_abs());
+    quantize_symmetric(w, alpha, bits)
+}
+
+/// Quantizes (ReLU-style non-negative) activations: clip to
+/// `[0, optimal_clip]`, then grid.
+pub fn quantize_acts(x: &Tensor, bits: u32) -> Tensor {
+    if bits >= 32 {
+        return x.clone();
+    }
+    let alpha = optimal_clip(x, bits).max(f32::EPSILON);
+    x.map(|v| quantize_unit(v.clamp(0.0, alpha) / alpha, bits) * alpha)
+}
+
+/// STE gradient mask for ACIQ weights: pass inside the clip.
+pub fn weight_grad_mask(w: &Tensor, bits: u32) -> Tensor {
+    let alpha = optimal_clip(w, bits).min(w.max_abs());
+    w.map(|v| if v.abs() <= alpha { 1.0 } else { 0.0 })
+}
+
+/// STE gradient mask for ACIQ activations: pass inside `[0, clip]`.
+pub fn act_grad_mask(x: &Tensor, bits: u32) -> Tensor {
+    let alpha = optimal_clip(x, bits).max(f32::EPSILON);
+    x.map(|v| if (0.0..=alpha).contains(&v) { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_tensor::{rng, Init};
+
+    fn gaussian(n: usize, std: f32, seed: u64) -> Tensor {
+        Init::Normal { mean: 0.0, std }.sample(&[n], &mut rng(seed))
+    }
+
+    /// A Laplace sample via inverse-CDF of uniforms.
+    fn laplace(n: usize, scale: f32, seed: u64) -> Tensor {
+        let u = Init::Uniform { lo: -0.4999, hi: 0.4999 }.sample(&[n], &mut rng(seed));
+        u.map(|v| -scale * v.signum() * (1.0 - 2.0 * v.abs()).ln())
+    }
+
+    #[test]
+    fn classifies_gaussian_and_laplace() {
+        assert_eq!(classify(&gaussian(8192, 1.0, 0)), SourceDistribution::Gaussian);
+        assert_eq!(classify(&laplace(8192, 1.0, 1)), SourceDistribution::Laplace);
+    }
+
+    #[test]
+    fn gaussian_clip_matches_table() {
+        let t = gaussian(16384, 2.0, 2);
+        let clip = optimal_clip(&t, 4);
+        // 4-bit Gaussian ratio 2.55 × σ=2 ≈ 5.1 (±10% sampling noise).
+        assert!((clip - 5.1).abs() < 0.5, "clip {clip}");
+    }
+
+    #[test]
+    fn clip_grows_with_bits() {
+        let t = gaussian(4096, 1.0, 3);
+        let mut last = 0.0;
+        for bits in [2u32, 3, 4, 6, 8] {
+            let c = optimal_clip(&t, bits);
+            assert!(c > last, "bits={bits}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn aciq_beats_maxabs_at_low_bits_for_gaussian() {
+        let w = gaussian(8192, 1.0, 4);
+        let e_aciq = crate::quantization_mse(&w, &quantize_weights(&w, 3));
+        let e_max =
+            crate::quantization_mse(&w, &crate::policies::uniform::quantize_maxabs(&w, 3));
+        assert!(e_aciq < e_max, "aciq {e_aciq} vs maxabs {e_max}");
+    }
+
+    #[test]
+    fn acts_are_clipped_nonnegative() {
+        let x = gaussian(2048, 1.0, 5).map(|v| v.max(0.0) * 3.0);
+        let q = quantize_acts(&x, 4);
+        assert!(q.min() >= 0.0);
+        assert!(q.max() <= optimal_clip(&x, 4) + 1e-4);
+    }
+
+    #[test]
+    fn full_precision_is_identity() {
+        let w = gaussian(64, 1.0, 6);
+        assert_eq!(quantize_weights(&w, 32), w);
+        assert_eq!(quantize_acts(&w, 32), w);
+    }
+
+    #[test]
+    fn masks_block_clipped_entries() {
+        let mut w = gaussian(1024, 0.5, 7);
+        w.as_mut_slice()[0] = 50.0;
+        let m = weight_grad_mask(&w, 3);
+        assert_eq!(m.as_slice()[0], 0.0);
+        assert!(m.sum() > 900.0);
+    }
+
+    #[test]
+    fn empty_and_constant_tensors_are_safe() {
+        let empty = Tensor::zeros(&[0]);
+        assert_eq!(optimal_clip(&empty, 4), 0.0);
+        let constant = Tensor::full(&[32], 1.5);
+        let q = quantize_weights(&constant, 4);
+        assert!(q.all_finite());
+    }
+}

@@ -1,0 +1,119 @@
+//! DoReFa-Net quantization (Zhou et al., 2016).
+//!
+//! Weights (k > 1): `w_q = 2·quantize_k( tanh(w) / (2·max|tanh(w)|) + ½ ) − 1`.
+//! Weights (k = 1): `w_q = E[|w|] · sign(w)`.
+//! Activations: clip to `[0, 1]`, then `quantize_k`.
+
+use super::quantize_unit;
+use ccq_tensor::Tensor;
+
+/// Quantizes a weight tensor with DoReFa's tanh-normalized scheme.
+///
+/// Returns a tensor whose values lie on the `2^bits`-level grid over
+/// `[-1, 1]` (or `±E[|w|]` for 1-bit).
+pub fn quantize_weights(w: &Tensor, bits: u32) -> Tensor {
+    if bits >= 32 {
+        return w.clone();
+    }
+    if bits == 1 {
+        let scale = w.mean_abs();
+        return w.map(|v| if v >= 0.0 { scale } else { -scale });
+    }
+    let t = w.map(f32::tanh);
+    let m = t.max_abs();
+    if m == 0.0 {
+        return Tensor::zeros(w.shape());
+    }
+    t.map(|v| 2.0 * quantize_unit(v / (2.0 * m) + 0.5, bits) - 1.0)
+}
+
+/// Quantizes an activation tensor: clip to `[0, 1]`, then `quantize_k`.
+///
+/// The clamp applies even at 32 bits — it is part of the DoReFa network
+/// architecture (activations are bounded by construction so the grid has a
+/// fixed range), so full-precision training must happen under it too.
+pub fn quantize_acts(x: &Tensor, bits: u32) -> Tensor {
+    if bits >= 32 {
+        return x.map(|v| v.clamp(0.0, 1.0));
+    }
+    x.map(|v| quantize_unit(v.clamp(0.0, 1.0), bits))
+}
+
+/// STE gradient mask for DoReFa activations: pass inside `[0, 1]`.
+pub fn act_grad_mask(x: &Tensor) -> Tensor {
+    x.map(|v| if (0.0..=1.0).contains(&v) { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_precision_weights_identity_acts_clamped() {
+        let w = Tensor::from_vec(vec![0.3, -0.7], &[2]).unwrap();
+        assert_eq!(quantize_weights(&w, 32), w);
+        // Activations keep the architectural [0, 1] clamp at 32 bits.
+        assert_eq!(quantize_acts(&w, 32).as_slice(), &[0.3, 0.0]);
+    }
+
+    #[test]
+    fn weights_stay_in_unit_ball() {
+        let w = Tensor::from_vec(vec![5.0, -5.0, 0.01, -0.01, 1.0], &[5]).unwrap();
+        for bits in 2..9 {
+            let q = quantize_weights(&w, bits);
+            assert!(q.max_abs() <= 1.0 + 1e-6, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn one_bit_is_scaled_sign() {
+        let w = Tensor::from_vec(vec![0.5, -1.5, 2.0], &[3]).unwrap();
+        let q = quantize_weights(&w, 1);
+        let scale = (0.5 + 1.5 + 2.0) / 3.0;
+        assert_eq!(q.as_slice(), &[scale, -scale, scale]);
+    }
+
+    #[test]
+    fn zero_weights_stay_zero() {
+        let q = quantize_weights(&Tensor::zeros(&[4]), 3);
+        assert_eq!(q.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn grid_size_matches_bits() {
+        let w = Tensor::from_fn(&[1000], |i| (i as f32 / 500.0) - 1.0);
+        let q = quantize_weights(&w, 2);
+        let mut vals: Vec<i64> = q.as_slice().iter().map(|&v| (v * 1e4) as i64).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert!(
+            vals.len() <= 4,
+            "2-bit grid has at most 4 levels, saw {}",
+            vals.len()
+        );
+    }
+
+    #[test]
+    fn acts_are_clipped_then_gridded() {
+        let x = Tensor::from_vec(vec![-0.5, 0.4, 1.5], &[3]).unwrap();
+        let q = quantize_acts(&x, 2);
+        assert_eq!(q.as_slice()[0], 0.0);
+        assert_eq!(q.as_slice()[2], 1.0);
+        assert!((q.as_slice()[1] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn act_mask_zeroes_out_of_range() {
+        let x = Tensor::from_vec(vec![-0.1, 0.5, 1.1], &[3]).unwrap();
+        assert_eq!(act_grad_mask(&x).as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn more_bits_reduce_weight_error() {
+        let w = Tensor::from_fn(&[256], |i| ((i as f32) / 128.0 - 1.0) * 0.8);
+        let e2 = crate::quantization_mse(&w, &quantize_weights(&w, 2));
+        let e4 = crate::quantization_mse(&w, &quantize_weights(&w, 4));
+        let e8 = crate::quantization_mse(&w, &quantize_weights(&w, 8));
+        assert!(e2 > e4 && e4 > e8, "e2={e2} e4={e4} e8={e8}");
+    }
+}

@@ -1,0 +1,175 @@
+//! LSQ — Learned Step Size Quantization (Esser et al., 2019).
+//!
+//! The related-work §b "non-uniform step-size learned along the training"
+//! family: the quantizer's step `s` is a learnable parameter trained by
+//! backpropagation through the straight-through estimator,
+//!
+//! `v_q = clamp(round(v/s), −Q_N, Q_P) · s`,
+//!
+//! with the step gradient per element
+//!
+//! `∂v_q/∂s = (−v/s + round(v/s))` inside the range, `−Q_N` / `Q_P` at the
+//! clips, scaled by `1/√(N·Q_P)` (the paper's gradient scale) so that step
+//! updates are commensurate with weight updates.
+
+use ccq_tensor::Tensor;
+
+/// Integer range for `bits`-bit *signed* (weight) quantization:
+/// `(Q_N, Q_P) = (2^{b−1}, 2^{b−1} − 1)`.
+pub fn signed_range(bits: u32) -> (f32, f32) {
+    let qp = ((1i64 << (bits - 1)) - 1).max(1) as f32;
+    let qn = (1i64 << (bits - 1)) as f32;
+    (qn, qp)
+}
+
+/// Integer range for `bits`-bit *unsigned* (activation) quantization:
+/// `(0, 2^b − 1)`.
+pub fn unsigned_range(bits: u32) -> (f32, f32) {
+    (0.0, ((1i64 << bits) - 1) as f32)
+}
+
+/// The paper's step initialization: `s = 2·E[|v|] / √Q_P`.
+pub fn init_step(v: &Tensor, qp: f32) -> f32 {
+    let s = 2.0 * v.mean_abs() / qp.max(1.0).sqrt();
+    if s > 0.0 && s.is_finite() {
+        s
+    } else {
+        1e-3
+    }
+}
+
+/// Fake-quantizes `v` with step `s` over `[−q_n·s, q_p·s]`.
+pub fn quantize(v: &Tensor, s: f32, q_n: f32, q_p: f32) -> Tensor {
+    let s = s.max(1e-8);
+    v.map(|x| (x / s).round().clamp(-q_n, q_p) * s)
+}
+
+/// Result of the LSQ backward pass.
+#[derive(Debug, Clone)]
+pub struct LsqBackward {
+    /// STE-masked gradient w.r.t. the input values.
+    pub grad_values: Tensor,
+    /// Scalar gradient w.r.t. the step (already gradient-scaled).
+    pub grad_step: f32,
+}
+
+/// Backward pass: `grad_out` is `∂L/∂v_q`; `v` is the pre-quantization
+/// tensor fed to [`quantize`] with the same `(s, q_n, q_p)`.
+///
+/// # Panics
+///
+/// Panics when the tensors have different shapes.
+pub fn backward(grad_out: &Tensor, v: &Tensor, s: f32, q_n: f32, q_p: f32) -> LsqBackward {
+    assert_eq!(grad_out.shape(), v.shape(), "LSQ backward shape mismatch");
+    let s = s.max(1e-8);
+    let grad_scale = 1.0 / ((v.len().max(1) as f32) * q_p.max(1.0)).sqrt();
+    let mut grad_step = 0.0f32;
+    let mut grad_values = grad_out.clone();
+    let gv = grad_values.as_mut_slice();
+    for (g, &x) in gv.iter_mut().zip(v.as_slice()) {
+        let t = x / s;
+        if t <= -q_n {
+            grad_step += *g * -q_n;
+            *g = 0.0;
+        } else if t >= q_p {
+            grad_step += *g * q_p;
+            *g = 0.0;
+        } else {
+            grad_step += *g * (t.round() - t);
+            // STE: gradient passes through to the value.
+        }
+    }
+    LsqBackward { grad_values, grad_step: grad_step * grad_scale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_tensor::{rng, Init};
+
+    #[test]
+    fn ranges_match_lsq_paper() {
+        assert_eq!(signed_range(2), (2.0, 1.0));
+        assert_eq!(signed_range(4), (8.0, 7.0));
+        assert_eq!(unsigned_range(2), (0.0, 3.0));
+        assert_eq!(unsigned_range(4), (0.0, 15.0));
+    }
+
+    #[test]
+    fn quantize_lands_on_step_grid() {
+        let v = Tensor::from_vec(vec![0.34, -0.81, 2.6, -5.0], &[4]).unwrap();
+        let (qn, qp) = signed_range(3);
+        let q = quantize(&v, 0.5, qn, qp);
+        for &x in q.as_slice() {
+            let steps = x / 0.5;
+            assert!((steps - steps.round()).abs() < 1e-5);
+            assert!((-qn * 0.5..=qp * 0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn step_init_is_positive_and_scales_with_magnitude() {
+        let small = Init::Normal { mean: 0.0, std: 0.1 }.sample(&[512], &mut rng(0));
+        let large = Init::Normal { mean: 0.0, std: 1.0 }.sample(&[512], &mut rng(0));
+        let (_, qp) = signed_range(4);
+        let s_small = init_step(&small, qp);
+        let s_large = init_step(&large, qp);
+        assert!(s_small > 0.0);
+        assert!((s_large / s_small - 10.0).abs() < 0.5);
+        assert!(init_step(&Tensor::zeros(&[4]), qp) > 0.0);
+    }
+
+    #[test]
+    fn backward_masks_clipped_values() {
+        let v = Tensor::from_vec(vec![-100.0, 0.3, 100.0], &[3]).unwrap();
+        let g = Tensor::ones(&[3]);
+        let (qn, qp) = signed_range(3);
+        let b = backward(&g, &v, 1.0, qn, qp);
+        assert_eq!(b.grad_values.as_slice()[0], 0.0);
+        assert_eq!(b.grad_values.as_slice()[2], 0.0);
+        assert_eq!(b.grad_values.as_slice()[1], 1.0);
+    }
+
+    #[test]
+    fn step_gradient_matches_lsq_closed_form() {
+        // LSQ's step gradient is the *STE composite* gradient (round
+        // treated as identity towards `v`), NOT the almost-everywhere
+        // derivative of the quantizer: per element it is
+        // `−v/s + round(v/s)` inside the range and `±Q` at the clips,
+        // times the 1/√(N·Q_P) gradient scale.
+        let v = Tensor::from_vec(vec![0.30, -1.20, 2.10, 0.85, -9.0], &[5]).unwrap();
+        let (qn, qp) = signed_range(4);
+        let s = 0.437;
+        let b = backward(&Tensor::ones(&[5]), &v, s, qn, qp);
+        let mut expected = 0.0f32;
+        for &x in v.as_slice() {
+            let t = x / s;
+            expected += if t <= -qn {
+                -qn
+            } else if t >= qp {
+                qp
+            } else {
+                t.round() - t
+            };
+        }
+        expected /= (5.0f32 * qp).sqrt();
+        assert!(
+            (b.grad_step - expected).abs() < 1e-5,
+            "analytic={} expected={expected}",
+            b.grad_step
+        );
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let v = Init::Normal { mean: 0.0, std: 1.0 }.sample(&[2048], &mut rng(3));
+        let mut last = f32::INFINITY;
+        for bits in [2u32, 4, 8] {
+            let (qn, qp) = signed_range(bits);
+            let s = init_step(&v, qp);
+            let e = crate::quantization_mse(&v, &quantize(&v, s, qn, qp));
+            assert!(e < last, "bits={bits}");
+            last = e;
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-policy quantization kernels.
+//!
+//! Each submodule implements one published policy from its paper's
+//! equations. All kernels are *fake-quant*: inputs and outputs are `f32`
+//! tensors; outputs lie on the policy's quantization grid.
+
+pub mod aciq;
+pub mod dorefa;
+pub mod lsq;
+pub mod pact;
+pub mod sawb;
+pub mod uniform;
+pub mod wrpn;
+
+use ccq_tensor::Tensor;
+
+/// Quantizes values already normalized to `[0, 1]` onto the `2^bits`-level
+/// uniform grid: `round(x · (L−1)) / (L−1)`.
+///
+/// This is the `quantize_k` primitive shared by DoReFa, WRPN, and PACT.
+pub(crate) fn quantize_unit(x: f32, bits: u32) -> f32 {
+    debug_assert!((1..32).contains(&bits));
+    let steps = ((1u64 << bits) - 1) as f32;
+    (x * steps).round() / steps
+}
+
+/// Symmetric uniform quantization with clip value `alpha` and a sign bit:
+/// `round(clip(w, ±α)/α · s)/s · α` with `s = 2^(bits−1) − 1`.
+///
+/// For `bits == 1` this degenerates to `α · sign(w)`.
+pub(crate) fn quantize_symmetric(w: &Tensor, alpha: f32, bits: u32) -> Tensor {
+    if alpha <= 0.0 {
+        return Tensor::zeros(w.shape());
+    }
+    if bits <= 1 {
+        return w.map(|v| if v >= 0.0 { alpha } else { -alpha });
+    }
+    let s = ((1u64 << (bits - 1)) - 1) as f32;
+    w.map(|v| {
+        let c = (v / alpha).clamp(-1.0, 1.0);
+        (c * s).round() / s * alpha
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_unit_endpoints_are_exact() {
+        for bits in 1..9 {
+            assert_eq!(quantize_unit(0.0, bits), 0.0);
+            assert_eq!(quantize_unit(1.0, bits), 1.0);
+        }
+    }
+
+    #[test]
+    fn quantize_unit_level_count() {
+        // 2 bits → grid {0, 1/3, 2/3, 1}.
+        let vals: Vec<f32> = (0..=12)
+            .map(|i| quantize_unit(i as f32 / 12.0, 2))
+            .collect();
+        let mut uniq: Vec<f32> = vals.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4);
+    }
+
+    #[test]
+    fn symmetric_respects_clip_and_sign() {
+        let w = Tensor::from_vec(vec![2.0, -2.0, 0.1, -0.1, 0.0], &[5]).unwrap();
+        let q = quantize_symmetric(&w, 1.0, 3);
+        assert_eq!(q.as_slice()[0], 1.0);
+        assert_eq!(q.as_slice()[1], -1.0);
+        assert!(q.max_abs() <= 1.0);
+        assert_eq!(q.as_slice()[4], 0.0);
+    }
+
+    #[test]
+    fn symmetric_one_bit_is_sign() {
+        let w = Tensor::from_vec(vec![0.7, -0.2], &[2]).unwrap();
+        let q = quantize_symmetric(&w, 0.5, 1);
+        assert_eq!(q.as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn symmetric_zero_alpha_yields_zeros() {
+        let w = Tensor::ones(&[3]);
+        assert_eq!(quantize_symmetric(&w, 0.0, 4).as_slice(), &[0.0; 3]);
+    }
+}

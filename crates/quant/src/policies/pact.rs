@@ -1,0 +1,142 @@
+//! PACT quantization (Choi et al., 2018).
+//!
+//! PACT's contribution is a *learned* activation clipping value `α` per
+//! layer: `y = clip(x, 0, α)`, quantized as
+//! `y_q = round(y · (2^k − 1)/α) · α/(2^k − 1)`.
+//!
+//! The gradient w.r.t. `α` through the STE is
+//! `∂y_q/∂α = 1 if x ≥ α else 0`, and `∂y_q/∂x = 1 if 0 < x < α else 0`.
+//! Weights follow DoReFa's scheme (as in the PACT paper's experiments).
+
+use super::quantize_unit;
+use ccq_tensor::Tensor;
+
+/// The PACT paper's initial clipping value. The CCQ paper notes PACT "can
+/// adapt well with the sudden change in bit-width" exactly because α keeps
+/// learning as the grid changes.
+pub const DEFAULT_ALPHA: f32 = 8.0;
+
+/// Quantizes activations with clipping value `alpha`.
+///
+/// Full-precision (`bits >= 32`) still clips to `[0, α]` — PACT replaces the
+/// ReLU — but skips the grid rounding.
+pub fn quantize_acts(x: &Tensor, alpha: f32, bits: u32) -> Tensor {
+    let a = alpha.max(f32::EPSILON);
+    if bits >= 32 {
+        return x.map(|v| v.clamp(0.0, a));
+    }
+    x.map(|v| quantize_unit(v.clamp(0.0, a) / a, bits) * a)
+}
+
+/// Result of the PACT activation backward pass.
+#[derive(Debug, Clone)]
+pub struct ActBackward {
+    /// Gradient w.r.t. the layer input `x`.
+    pub grad_input: Tensor,
+    /// Scalar gradient w.r.t. the clipping value `α` (summed over elements).
+    pub grad_alpha: f32,
+}
+
+/// Backward pass through the PACT activation quantizer.
+///
+/// `grad_out` is the upstream gradient and `x` the *pre-quantization* input
+/// that was fed to [`quantize_acts`].
+///
+/// # Panics
+///
+/// Panics when `grad_out` and `x` have different shapes (programming error
+/// in the layer wiring).
+pub fn act_backward(grad_out: &Tensor, x: &Tensor, alpha: f32) -> ActBackward {
+    assert_eq!(
+        grad_out.shape(),
+        x.shape(),
+        "grad/input shape mismatch in PACT backward"
+    );
+    let a = alpha.max(f32::EPSILON);
+    let mut grad_alpha = 0.0f32;
+    let mut grad_input = grad_out.clone();
+    let gi = grad_input.as_mut_slice();
+    for (g, &v) in gi.iter_mut().zip(x.as_slice()) {
+        if v >= a {
+            grad_alpha += *g;
+            *g = 0.0;
+        } else if v <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    ActBackward {
+        grad_input,
+        grad_alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clips_to_alpha() {
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 3.0], &[3]).unwrap();
+        let q = quantize_acts(&x, 2.0, 4);
+        assert_eq!(q.as_slice()[0], 0.0);
+        assert_eq!(q.as_slice()[2], 2.0);
+        assert!(q.as_slice()[1] > 0.0 && q.as_slice()[1] <= 2.0);
+    }
+
+    #[test]
+    fn grid_granularity_scales_with_alpha() {
+        let x = Tensor::from_vec(vec![0.9], &[1]).unwrap();
+        // 1 bit over [0, 4]: grid {0, 4} → 0.9 rounds to 0.
+        assert_eq!(quantize_acts(&x, 4.0, 1).as_slice()[0], 0.0);
+        // 1 bit over [0, 1]: grid {0, 1} → 0.9 rounds to 1.
+        assert_eq!(quantize_acts(&x, 1.0, 1).as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn fp_path_only_clips() {
+        let x = Tensor::from_vec(vec![0.123456, 9.0], &[2]).unwrap();
+        let q = quantize_acts(&x, 2.0, 32);
+        assert_eq!(q.as_slice(), &[0.123456, 2.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient() {
+        let x = Tensor::from_vec(vec![-0.5, 1.0, 5.0], &[3]).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = act_backward(&g, &x, 2.0);
+        // Below zero: dropped. Inside: passes. Above α: goes to α.
+        assert_eq!(b.grad_input.as_slice(), &[0.0, 2.0, 0.0]);
+        assert_eq!(b.grad_alpha, 3.0);
+    }
+
+    #[test]
+    fn backward_alpha_grad_accumulates_over_saturated() {
+        let x = Tensor::from_vec(vec![3.0, 4.0, 1.0], &[3]).unwrap();
+        let g = Tensor::ones(&[3]);
+        let b = act_backward(&g, &x, 2.0);
+        assert_eq!(b.grad_alpha, 2.0);
+    }
+
+    #[test]
+    fn finite_difference_validates_alpha_gradient() {
+        // For x > α the output is exactly α, so d out/d α = 1; check with a
+        // central difference on the *unquantized* clip path (fp bits).
+        let x = Tensor::from_vec(vec![5.0], &[1]).unwrap();
+        let eps = 1e-3;
+        let f = |a: f32| quantize_acts(&x, a, 32).as_slice()[0];
+        let fd = (f(2.0 + eps) - f(2.0 - eps)) / (2.0 * eps);
+        let b = act_backward(&Tensor::ones(&[1]), &x, 2.0);
+        assert!(
+            (fd - b.grad_alpha).abs() < 1e-2,
+            "fd={fd} analytic={}",
+            b.grad_alpha
+        );
+    }
+
+    #[test]
+    fn tiny_alpha_does_not_divide_by_zero() {
+        let x = Tensor::ones(&[4]);
+        let q = quantize_acts(&x, 0.0, 4);
+        assert!(q.all_finite());
+    }
+}

@@ -1,0 +1,87 @@
+//! Uniform affine and symmetric max-abs quantization.
+//!
+//! These are the "static quantization" baselines of the paper's related
+//! work (TensorRT-style min/max calibration without retraining): an affine
+//! map with a zero-point covering the observed `[min, max]`, and a
+//! symmetric variant scaled to `max|x|`.
+
+use super::quantize_symmetric;
+use ccq_tensor::Tensor;
+
+/// Uniform affine quantization over the tensor's own `[min, max]` range.
+///
+/// `scale = (max − min)/(2^bits − 1)`, `x_q = round((x − min)/scale)·scale + min`.
+/// Degenerate ranges (`max == min`) return the input unchanged.
+pub fn quantize_affine(x: &Tensor, bits: u32) -> Tensor {
+    if bits >= 32 || x.is_empty() {
+        return x.clone();
+    }
+    let (lo, hi) = (x.min(), x.max());
+    if hi <= lo {
+        return x.clone();
+    }
+    let steps = ((1u64 << bits) - 1) as f32;
+    let scale = (hi - lo) / steps;
+    x.map(|v| ((v - lo) / scale).round() * scale + lo)
+}
+
+/// Symmetric quantization with scale `max|x|` and a sign bit.
+pub fn quantize_maxabs(x: &Tensor, bits: u32) -> Tensor {
+    if bits >= 32 {
+        return x.clone();
+    }
+    quantize_symmetric(x, x.max_abs(), bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_preserves_endpoints() {
+        let x = Tensor::from_vec(vec![-3.0, 0.1, 7.0], &[3]).unwrap();
+        let q = quantize_affine(&x, 4);
+        assert!((q.min() + 3.0).abs() < 1e-5);
+        assert!((q.max() - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn affine_error_bounded_by_half_step() {
+        let x = Tensor::from_fn(&[100], |i| i as f32 * 0.13 - 5.0);
+        let q = quantize_affine(&x, 5);
+        let step = (x.max() - x.min()) / 31.0;
+        for (a, b) in x.as_slice().iter().zip(q.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn affine_constant_tensor_unchanged() {
+        let x = Tensor::full(&[8], 4.2);
+        assert_eq!(quantize_affine(&x, 4), x);
+    }
+
+    #[test]
+    fn maxabs_preserves_extreme() {
+        let x = Tensor::from_vec(vec![-2.0, 1.0, 0.3], &[3]).unwrap();
+        let q = quantize_maxabs(&x, 4);
+        assert!((q.as_slice()[0] + 2.0).abs() < 1e-5);
+        assert!(q.max_abs() <= 2.0 + 1e-5);
+    }
+
+    #[test]
+    fn full_precision_is_identity() {
+        let x = Tensor::from_vec(vec![0.12345], &[1]).unwrap();
+        assert_eq!(quantize_affine(&x, 32), x);
+        assert_eq!(quantize_maxabs(&x, 32), x);
+    }
+
+    #[test]
+    fn affine_handles_all_negative() {
+        let x = Tensor::from_vec(vec![-5.0, -1.0, -3.0], &[3]).unwrap();
+        let q = quantize_affine(&x, 3);
+        assert!(q.all_finite());
+        assert!((q.min() + 5.0).abs() < 1e-5);
+        assert!((q.max() + 1.0).abs() < 1e-5);
+    }
+}

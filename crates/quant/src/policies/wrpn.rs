@@ -1,0 +1,98 @@
+//! WRPN quantization (Mishra et al., 2017).
+//!
+//! Weights are clipped to `[-1, 1]` and quantized with `bits − 1` fractional
+//! bits plus a sign bit: `w_q = round(clip(w)·s)/s`, `s = 2^(bits−1) − 1`.
+//! Activations are clipped to `[0, 1]` and use all `bits` bits.
+
+use super::quantize_unit;
+use ccq_tensor::Tensor;
+
+/// Quantizes a weight tensor with WRPN's clipped-uniform scheme.
+pub fn quantize_weights(w: &Tensor, bits: u32) -> Tensor {
+    if bits >= 32 {
+        return w.clone();
+    }
+    if bits == 1 {
+        return w.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+    }
+    let s = ((1u64 << (bits - 1)) - 1) as f32;
+    w.map(|v| (v.clamp(-1.0, 1.0) * s).round() / s)
+}
+
+/// Quantizes an activation tensor: clip to `[0, 1]`, then `quantize_k`.
+///
+/// As in DoReFa, the clamp applies even at 32 bits — WRPN networks bound
+/// their activations by construction, so full-precision training happens
+/// under the clamp too.
+pub fn quantize_acts(x: &Tensor, bits: u32) -> Tensor {
+    if bits >= 32 {
+        return x.map(|v| v.clamp(0.0, 1.0));
+    }
+    x.map(|v| quantize_unit(v.clamp(0.0, 1.0), bits))
+}
+
+/// STE gradient mask for WRPN weights: pass inside `[-1, 1]`, zero outside
+/// (the clip saturates, so the true local gradient is zero there).
+pub fn weight_grad_mask(w: &Tensor) -> Tensor {
+    w.map(|v| if (-1.0..=1.0).contains(&v) { 1.0 } else { 0.0 })
+}
+
+/// STE gradient mask for WRPN activations: pass inside `[0, 1]`.
+pub fn act_grad_mask(x: &Tensor) -> Tensor {
+    x.map(|v| if (0.0..=1.0).contains(&v) { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_clip_to_unit_ball() {
+        let w = Tensor::from_vec(vec![3.0, -3.0, 0.26], &[3]).unwrap();
+        let q = quantize_weights(&w, 2);
+        assert_eq!(q.as_slice()[0], 1.0);
+        assert_eq!(q.as_slice()[1], -1.0);
+        // 2-bit: s = 1, so 0.26 rounds to 0.
+        assert_eq!(q.as_slice()[2], 0.0);
+    }
+
+    #[test]
+    fn three_bit_grid() {
+        // s = 3 → grid {0, ±1/3, ±2/3, ±1}.
+        let w = Tensor::from_vec(vec![0.4, -0.9, 0.17], &[3]).unwrap();
+        let q = quantize_weights(&w, 3);
+        assert!((q.as_slice()[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((q.as_slice()[1] + 1.0).abs() < 1e-6);
+        assert!((q.as_slice()[2] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_bit_is_sign() {
+        let w = Tensor::from_vec(vec![0.2, -0.2, 0.0], &[3]).unwrap();
+        assert_eq!(quantize_weights(&w, 1).as_slice(), &[1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn full_precision_is_identity() {
+        let w = Tensor::from_vec(vec![2.5, -0.1], &[2]).unwrap();
+        assert_eq!(quantize_weights(&w, 32), w);
+    }
+
+    #[test]
+    fn masks_zero_saturated_entries() {
+        let w = Tensor::from_vec(vec![-1.5, 0.0, 1.5], &[3]).unwrap();
+        assert_eq!(weight_grad_mask(&w).as_slice(), &[0.0, 1.0, 0.0]);
+        let x = Tensor::from_vec(vec![-0.5, 0.5, 2.0], &[3]).unwrap();
+        assert_eq!(act_grad_mask(&x).as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn idempotent_on_grid_values() {
+        let w = Tensor::from_vec(vec![1.0, -1.0 / 3.0, 0.0], &[3]).unwrap();
+        let q = quantize_weights(&w, 3);
+        let qq = quantize_weights(&q, 3);
+        for (a, b) in q.as_slice().iter().zip(qq.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

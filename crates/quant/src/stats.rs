@@ -1,0 +1,85 @@
+//! Quantization error metrics.
+
+use ccq_tensor::Tensor;
+
+/// Mean squared quantization error `‖w − Q(w)‖² / n` (Eq. 3 of the paper,
+/// normalized by element count so layers of different sizes compare).
+///
+/// # Panics
+///
+/// Panics when the tensors have different shapes.
+///
+/// # Example
+///
+/// ```
+/// use ccq_quant::quantization_mse;
+/// use ccq_tensor::Tensor;
+///
+/// let w = Tensor::from_vec(vec![1.0, 2.0], &[2])?;
+/// let q = Tensor::from_vec(vec![1.0, 1.0], &[2])?;
+/// assert_eq!(quantization_mse(&w, &q), 0.5);
+/// # Ok::<(), ccq_tensor::TensorError>(())
+/// ```
+pub fn quantization_mse(w: &Tensor, q: &Tensor) -> f32 {
+    assert_eq!(w.shape(), q.shape(), "quantization_mse shape mismatch");
+    if w.is_empty() {
+        return 0.0;
+    }
+    w.as_slice()
+        .iter()
+        .zip(q.as_slice())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / w.len() as f32
+}
+
+/// Signal-to-quantization-noise ratio in decibels:
+/// `10·log10(E[w²] / E[(w − Q(w))²])`. Returns `f32::INFINITY` for exact
+/// reconstruction.
+///
+/// # Panics
+///
+/// Panics when the tensors have different shapes.
+pub fn quantization_sqnr_db(w: &Tensor, q: &Tensor) -> f32 {
+    assert_eq!(w.shape(), q.shape(), "quantization_sqnr_db shape mismatch");
+    let noise = quantization_mse(w, q);
+    if noise == 0.0 {
+        return f32::INFINITY;
+    }
+    let signal = if w.is_empty() {
+        0.0
+    } else {
+        w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32
+    };
+    10.0 * (signal / noise).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identity_is_zero() {
+        let w = Tensor::from_vec(vec![0.5, -0.25], &[2]).unwrap();
+        assert_eq!(quantization_mse(&w, &w), 0.0);
+        assert_eq!(quantization_sqnr_db(&w, &w), f32::INFINITY);
+    }
+
+    #[test]
+    fn sqnr_improves_with_bits() {
+        let w = ccq_tensor::Init::Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample(&[2048], &mut ccq_tensor::rng(9));
+        let q2 = crate::policies::dorefa::quantize_weights(&w, 2);
+        let q6 = crate::policies::dorefa::quantize_weights(&w, 6);
+        assert!(quantization_sqnr_db(&w, &q6) > quantization_sqnr_db(&w, &q2));
+    }
+
+    #[test]
+    fn empty_tensors_are_silent() {
+        let e = Tensor::zeros(&[0]);
+        assert_eq!(quantization_mse(&e, &e), 0.0);
+    }
+}

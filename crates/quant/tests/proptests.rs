@@ -1,0 +1,109 @@
+//! Property-based tests for quantization policies.
+
+use ccq_quant::policies::{dorefa, pact, sawb, uniform, wrpn};
+use ccq_quant::{quantization_mse, BitLadder, BitWidth, LayerQuant, PolicyKind, QuantSpec};
+use ccq_tensor::Tensor;
+use proptest::prelude::*;
+
+fn weights() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, 4..128).prop_map(|v| {
+        let n = v.len();
+        Tensor::from_vec(v, &[n]).expect("len matches")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every policy's fake-quantized output is finite and bounded by the
+    /// input's dynamic range (up to the policy's own scale).
+    #[test]
+    fn outputs_finite_and_bounded(w in weights(), bits in 1u32..9) {
+        for policy in PolicyKind::ALL {
+            let lq = LayerQuant::new(QuantSpec::new(
+                policy, BitWidth::of(bits), BitWidth::of(bits)));
+            let q = lq.quantize_weights(&w);
+            prop_assert!(q.all_finite(), "{policy} produced non-finite values");
+            prop_assert_eq!(q.shape(), w.shape());
+        }
+    }
+
+    /// Quantization error vanishes as bits → 32 for uniform affine.
+    #[test]
+    fn affine_error_decreases_with_bits(w in weights()) {
+        let e4 = quantization_mse(&w, &uniform::quantize_affine(&w, 4));
+        let e8 = quantization_mse(&w, &uniform::quantize_affine(&w, 8));
+        let e16 = quantization_mse(&w, &uniform::quantize_affine(&w, 16));
+        prop_assert!(e8 <= e4 + 1e-6);
+        prop_assert!(e16 <= e8 + 1e-6);
+    }
+
+    /// The number of distinct quantized values never exceeds 2^bits.
+    #[test]
+    fn level_count_bound(w in weights(), bits in 1u32..5) {
+        for (name, q) in [
+            ("dorefa", dorefa::quantize_weights(&w, bits)),
+            ("wrpn", wrpn::quantize_weights(&w, bits)),
+            ("sawb", sawb::quantize_weights(&w, bits)),
+            ("affine", uniform::quantize_affine(&w, bits)),
+            ("maxabs", uniform::quantize_maxabs(&w, bits)),
+        ] {
+            let mut vals: Vec<i64> =
+                q.as_slice().iter().map(|&v| (v as f64 * 1e6).round() as i64).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            // WRPN/maxabs/sawb use a sign bit: 2^bits − 1 midrise levels
+            // plus possible zero; affine/dorefa 2^bits. Allow the max.
+            let cap = 1usize << bits.min(16);
+            prop_assert!(vals.len() <= cap + 1, "{name}: {} levels > {cap}", vals.len());
+        }
+    }
+
+    /// PACT activations are always inside [0, α].
+    #[test]
+    fn pact_range(w in weights(), alpha in 0.1f32..8.0, bits in 1u32..9) {
+        let q = pact::quantize_acts(&w, alpha, bits);
+        prop_assert!(q.min() >= -1e-6);
+        prop_assert!(q.max() <= alpha + 1e-5);
+    }
+
+    /// PACT backward: grad_input + contributions to grad_alpha conserve the
+    /// upstream gradient mass routed somewhere (no invention of gradient).
+    #[test]
+    fn pact_backward_conserves(w in weights(), alpha in 0.1f32..4.0) {
+        let g = Tensor::ones(w.shape());
+        let b = pact::act_backward(&g, &w, alpha);
+        let interior: f32 = w.as_slice().iter()
+            .filter(|&&v| v > 0.0 && v < alpha).count() as f32;
+        let saturated: f32 = w.as_slice().iter().filter(|&&v| v >= alpha).count() as f32;
+        prop_assert!((b.grad_input.sum() - interior).abs() < 1e-3);
+        prop_assert!((b.grad_alpha - saturated).abs() < 1e-3);
+    }
+
+    /// SAWB's searched α never exceeds max|w| and its MSE is no worse than
+    /// max-abs scaling.
+    #[test]
+    fn sawb_dominates_maxabs(w in weights(), bits in 2u32..6) {
+        let e_sawb = quantization_mse(&w, &sawb::quantize_weights(&w, bits));
+        let e_max = quantization_mse(&w, &uniform::quantize_maxabs(&w, bits));
+        prop_assert!(e_sawb <= e_max * 1.05 + 1e-6,
+            "sawb {e_sawb} should not lose to maxabs {e_max}");
+    }
+
+    /// Bit ladders built from arbitrary descending sequences walk to the
+    /// floor and stop.
+    #[test]
+    fn ladder_walk_terminates(start in 2u32..32) {
+        let rungs: Vec<u32> = (1..=start).rev().collect();
+        let ladder = BitLadder::new(&rungs).unwrap();
+        let mut cur = ladder.top();
+        let mut steps = 0;
+        while let Some(next) = ladder.next_below(cur) {
+            prop_assert!(next < cur);
+            cur = next;
+            steps += 1;
+            prop_assert!(steps <= rungs.len());
+        }
+        prop_assert_eq!(cur, ladder.floor());
+    }
+}

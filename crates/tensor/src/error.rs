@@ -1,0 +1,125 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors returned by fallible tensor operations.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger; the `Display` output is lowercase and concise per Rust API
+/// guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+    },
+    /// The data buffer length does not match the number of elements implied
+    /// by the shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Length of the supplied buffer.
+        actual: usize,
+    },
+    /// The operation requires a tensor of a particular rank.
+    RankMismatch {
+        /// Rank expected by the operation.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product did not agree.
+    MatmulDimMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A convolution/pooling geometry was inconsistent (e.g. kernel larger
+    /// than padded input).
+    InvalidGeometry(String),
+    /// An argument failed validation (empty shape, zero dimension where
+    /// nonzero is required, non-finite scalar, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape volume {expected}"
+                )
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "rank mismatch: expected rank {expected}, got rank {actual}"
+                )
+            }
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => {
+                write!(
+                    f,
+                    "matmul inner dimensions disagree: {left_cols} vs {right_rows}"
+                )
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_contextful() {
+        let e = TensorError::ShapeMismatch {
+            expected: vec![2, 2],
+            actual: vec![3],
+        };
+        let s = e.to_string();
+        assert!(s.contains("[2, 2]"));
+        assert!(s.contains("[3]"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn matmul_mismatch_mentions_both_dims() {
+        let e = TensorError::MatmulDimMismatch {
+            left_cols: 3,
+            right_rows: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'));
+    }
+}

@@ -1,0 +1,224 @@
+//! Dense matrix products (row-major, `f32`).
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_rank2(t: &Tensor) -> Result<(usize, usize)> {
+    t.shape_obj().expect_rank(2)?;
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// Uses the cache-friendly i-k-j loop order with an accumulation row, which
+/// is adequate for the layer sizes in this workspace.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::MatmulDimMismatch`] when the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use ccq_tensor::{ops::matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = matmul(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok::<(), ccq_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2(a)?;
+    let (k2, n) = check_rank2(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut ov[i * n..(i + 1) * n];
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (o, &bpj) in orow.iter_mut().zip(brow) {
+                *o += aip * bpj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` without materializing `Aᵀ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::MatmulDimMismatch`] when the shared `k` dimensions
+/// disagree.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = check_rank2(a)?;
+    let (k2, n) = check_rank2(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &api) in arow.iter().enumerate() {
+            if api == 0.0 {
+                continue;
+            }
+            let orow = &mut ov[i * n..(i + 1) * n];
+            for (o, &bpj) in orow.iter_mut().zip(brow) {
+                *o += api * bpj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` without materializing `Bᵀ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::MatmulDimMismatch`] when the shared `k` dimensions
+/// disagree.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2(a)?;
+    let (n, k2) = check_rank2(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut ov[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o += acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Transpose of a matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+pub fn transpose2d(a: &Tensor) -> Result<Tensor> {
+    let (m, n) = check_rank2(a)?;
+    let av = a.as_slice();
+    let mut out = Tensor::zeros(&[n, m]);
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        for j in 0..n {
+            ov[j * m + i] = av[i * n + j];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_2x3_3x2() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = matmul(&a, &Tensor::eye(2)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch {
+                left_cols: 3,
+                right_rows: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn matmul_rejects_non_matrix() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        assert!(matches!(
+            matmul(&a, &Tensor::eye(2)),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[1.0, 0.0, 2.0, 1.0, 0.0, 3.0], &[3, 2]);
+        let via_t = matmul(&transpose2d(&a).unwrap(), &b).unwrap();
+        let direct = matmul_at_b(&a, &b).unwrap();
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0, 9.0, 10.0], &[3, 2]);
+        let via_t = matmul(&a, &transpose2d(&b).unwrap()).unwrap();
+        let direct = matmul_a_bt(&a, &b).unwrap();
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let back = transpose2d(&transpose2d(&a).unwrap()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn zero_sized_matmul() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[0, 2]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Reductions and row-wise softmax.
+
+use crate::{Result, Tensor};
+
+/// Per-channel first and second moments of an NCHW tensor, as used by batch
+/// normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Per-channel mean over the batch and spatial dimensions, length `C`.
+    pub mean: Vec<f32>,
+    /// Per-channel population variance, length `C`.
+    pub var: Vec<f32>,
+    /// Number of elements reduced per channel (`N·H·W`).
+    pub count: usize,
+}
+
+/// Computes per-channel mean/variance of an NCHW tensor.
+///
+/// # Errors
+///
+/// Returns a rank error for non-4D input.
+///
+/// # Example
+///
+/// ```
+/// use ccq_tensor::{ops::channel_stats, Tensor};
+///
+/// let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 2.0], &[2, 2, 1, 1])?;
+/// let s = channel_stats(&x)?;
+/// assert_eq!(s.mean, vec![1.5, 2.5]);
+/// # Ok::<(), ccq_tensor::TensorError>(())
+/// ```
+pub fn channel_stats(x: &Tensor) -> Result<ChannelStats> {
+    x.shape_obj().expect_rank(4)?;
+    let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+    let per = n * h * w;
+    let mut mean = vec![0.0f32; c];
+    let mut var = vec![0.0f32; c];
+    let xv = x.as_slice();
+    let plane = h * w;
+    for ci in 0..c {
+        let mut sum = 0.0f32;
+        let mut sq = 0.0f32;
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            for &v in &xv[base..base + plane] {
+                sum += v;
+                sq += v * v;
+            }
+        }
+        let m = if per > 0 { sum / per as f32 } else { 0.0 };
+        mean[ci] = m;
+        var[ci] = if per > 0 {
+            (sq / per as f32 - m * m).max(0.0)
+        } else {
+            0.0
+        };
+    }
+    Ok(ChannelStats {
+        mean,
+        var,
+        count: per,
+    })
+}
+
+/// Sums a matrix over its rows, returning a `[cols]` vector tensor.
+///
+/// # Errors
+///
+/// Returns a rank error for non-matrix input.
+pub fn sum_axis0(x: &Tensor) -> Result<Tensor> {
+    x.shape_obj().expect_rank(2)?;
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    let mut out = Tensor::zeros(&[cols]);
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    for r in 0..rows {
+        for (o, &v) in ov.iter_mut().zip(&xv[r * cols..(r + 1) * cols]) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+/// Numerically-stable row-wise softmax of a `[rows, cols]` matrix.
+///
+/// # Errors
+///
+/// Returns a rank error for non-matrix input.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
+    x.shape_obj().expect_rank(2)?;
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    let mut out = x.clone();
+    let ov = out.as_mut_slice();
+    for r in 0..rows {
+        let row = &mut ov[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Numerically-stable row-wise log-softmax of a `[rows, cols]` matrix.
+///
+/// # Errors
+///
+/// Returns a rank error for non-matrix input.
+pub fn log_softmax_rows(x: &Tensor) -> Result<Tensor> {
+    x.shape_obj().expect_rank(2)?;
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    let mut out = x.clone();
+    let ov = out.as_mut_slice();
+    for r in 0..rows {
+        let row = &mut ov[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_stats_basic() {
+        // 2 samples, 2 channels, 1x2 spatial.
+        let x = Tensor::from_vec(
+            vec![1.0, 3.0, 10.0, 10.0, 5.0, 7.0, 10.0, 10.0],
+            &[2, 2, 1, 2],
+        )
+        .unwrap();
+        let s = channel_stats(&x).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, vec![4.0, 10.0]);
+        // channel 0 values: 1,3,5,7 → var 5
+        assert!((s.var[0] - 5.0).abs() < 1e-5);
+        assert!((s.var[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn channel_stats_variance_never_negative() {
+        let x = Tensor::full(&[4, 3, 8, 8], 123.456);
+        let s = channel_stats(&x).unwrap();
+        assert!(s.var.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn sum_axis0_matches_manual() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let s = sum_axis0(&x).unwrap();
+        assert_eq!(s.as_slice(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0], &[2, 3]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        for r in 0..2 {
+            let row_sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Monotone in the logits.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        assert!(s.all_finite());
+        assert!((s.at(&[0, 0]) + s.at(&[0, 1]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.0, 0.5, -0.5], &[2, 3]).unwrap();
+        let a = log_softmax_rows(&x).unwrap();
+        let b = softmax_rows(&x).unwrap().map(f32::ln);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for tensor kernels.
+
+use ccq_tensor::ops::{
+    col2im, im2col, matmul, matmul_a_bt, matmul_at_b, softmax_rows, transpose2d, Conv2dGeometry,
+};
+use ccq_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..6
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]).expect("len matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes((m, k, n) in (small_dim(), small_dim(), small_dim()),
+                          seed in 0u64..1000) {
+        let mut r = ccq_tensor::rng(seed);
+        let a = ccq_tensor::Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[m, k], &mut r);
+        let b = ccq_tensor::Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[k, n], &mut r);
+        let c = ccq_tensor::Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[k, n], &mut r);
+        let lhs = matmul(&a, &(&b + &c)).unwrap();
+        let rhs = &matmul(&a, &b).unwrap() + &matmul(&a, &c).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_identity((m, k, n) in (small_dim(), small_dim(), small_dim()),
+                                 seed in 0u64..1000) {
+        let mut r = ccq_tensor::rng(seed);
+        let a = ccq_tensor::Init::Uniform { lo: -2.0, hi: 2.0 }.sample(&[m, k], &mut r);
+        let b = ccq_tensor::Init::Uniform { lo: -2.0, hi: 2.0 }.sample(&[k, n], &mut r);
+        let lhs = transpose2d(&matmul(&a, &b).unwrap()).unwrap();
+        let rhs = matmul(&transpose2d(&b).unwrap(), &transpose2d(&a).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// The fused transpose products agree with explicit transposition.
+    #[test]
+    fn fused_transpose_products(a in matrix(4, 3), b in matrix(4, 5)) {
+        let direct = matmul_at_b(&a, &b).unwrap();
+        let explicit = matmul(&transpose2d(&a).unwrap(), &b).unwrap();
+        prop_assert_eq!(direct, explicit);
+
+        let c = transpose2d(&b).unwrap(); // [5, 4]
+        let direct2 = matmul_a_bt(&c, &a.reshape(&[3, 4]).unwrap()).unwrap();
+        let explicit2 = matmul(&c, &transpose2d(&a.reshape(&[3, 4]).unwrap()).unwrap()).unwrap();
+        prop_assert_eq!(direct2, explicit2);
+    }
+
+    /// <im2col(x), y> == <x, col2im(y)>: adjointness for arbitrary geometry.
+    #[test]
+    fn im2col_col2im_adjoint(
+        (n, c) in (1usize..3, 1usize..3),
+        hw in 3usize..7,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let geom = Conv2dGeometry { kernel_h: k, kernel_w: k, stride, padding };
+        prop_assume!(geom.output_hw(hw, hw).is_ok());
+        let mut r = ccq_tensor::rng(seed);
+        let x = ccq_tensor::Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[n, c, hw, hw], &mut r);
+        let cols = im2col(&x, geom).unwrap();
+        let y = ccq_tensor::Init::Uniform { lo: -1.0, hi: 1.0 }.sample(cols.shape(), &mut r);
+        let lhs = cols.dot(&y).unwrap();
+        let rhs = x.dot(&col2im(&y, n, c, hw, hw, geom).unwrap()).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// Softmax rows are probability vectors, invariant to shifting logits.
+    #[test]
+    fn softmax_shift_invariance(x in matrix(3, 5), shift in -50.0f32..50.0) {
+        let s1 = softmax_rows(&x).unwrap();
+        let s2 = softmax_rows(&x.map(|v| v + shift)).unwrap();
+        for (a, b) in s1.as_slice().iter().zip(s2.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        for r in 0..3 {
+            let sum: f32 = s1.as_slice()[r * 5..(r + 1) * 5].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Reshape round-trips preserve the data exactly.
+    #[test]
+    fn reshape_round_trip(v in proptest::collection::vec(-1e6f32..1e6, 1..64)) {
+        let n = v.len();
+        let t = Tensor::from_vec(v.clone(), &[n]).unwrap();
+        let r = t.reshape(&[1, n]).unwrap().reshape(&[n]).unwrap();
+        prop_assert_eq!(r.as_slice(), &v[..]);
+    }
+}

@@ -1,0 +1,97 @@
+//! The deployment path end-to-end: quantize with CCQ, checkpoint to disk,
+//! reload into a fresh network, validate with true integer arithmetic,
+//! and produce the silicon budget (energy/inference, MAC area).
+//!
+//! ```sh
+//! cargo run --release --example deploy_checkpoint
+//! ```
+
+use ccq_repro::ccq::{layer_profiles, CcqConfig, CcqRunner, RecoveryMode};
+use ccq_repro::data::{gaussian_blobs, BlobsConfig};
+use ccq_repro::hw::{inference_report, model_size, MacEnergyModel};
+use ccq_repro::models::mlp;
+use ccq_repro::nn::checkpoint::Checkpoint;
+use ccq_repro::nn::integer::{int_linear, QuantizedTensor};
+use ccq_repro::nn::train::{evaluate, train_epoch};
+use ccq_repro::nn::{Mode, Sgd};
+use ccq_repro::quant::{BitLadder, PolicyKind};
+use ccq_repro::tensor::{rng, Init, Rng64};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train a baseline and let CCQ pick a mixed-precision assignment.
+    // MaxAbs is the policy whose fake-quant semantics map 1:1 onto
+    // integer hardware, so it is the deployment-oriented choice here.
+    let data = gaussian_blobs(&BlobsConfig {
+        classes: 4,
+        dim: 8,
+        samples_per_class: 64,
+        std: 0.4,
+        seed: 20,
+    });
+    let (train, val) = data.split_at(192);
+    let (train_b, val_b) = (train.batches(16), val.batches(32));
+    let mut net = mlp(&[8, 24, 4], PolicyKind::MaxAbs, 21);
+    let mut opt = Sgd::new(0.05).momentum(0.9);
+    let mut r = rng(22);
+    for _ in 0..20 {
+        train_epoch(&mut net, &train_b, &mut opt, &mut r)?;
+    }
+    let mut runner = CcqRunner::new(CcqConfig {
+        ladder: BitLadder::new(&[8, 6, 4, 3])?,
+        target_compression: Some(7.0),
+        recovery: RecoveryMode::Adaptive { tolerance: 0.01, max_epochs: 5 },
+        seed: 23,
+        ..CcqConfig::default()
+    });
+    let mut provider = |_: &mut Rng64| train_b.clone();
+    let report = runner.run_with_sources(&mut net, &mut provider, &val_b)?;
+    println!("{report}");
+
+    // Checkpoint to disk and reload into a fresh network.
+    let path = std::env::temp_dir().join("ccq_deploy_example.ckpt");
+    let ckpt = Checkpoint::capture(&mut net);
+    ckpt.save(std::fs::File::create(&path)?)?;
+    let loaded = Checkpoint::load(std::fs::File::open(&path)?)?;
+    let mut deployed = mlp(&[8, 24, 4], PolicyKind::MaxAbs, 0);
+    loaded.apply(&mut deployed)?;
+    let acc = evaluate(&mut deployed, &val_b)?;
+    println!(
+        "reloaded from {} ({} state tensors): {:.1}% top-1",
+        path.display(),
+        loaded.tensor_count(),
+        100.0 * acc.accuracy
+    );
+
+    // Validate fake-quant against true integer execution on one layer.
+    let spec = deployed.quant_spec(0);
+    let x = Init::Uniform { lo: 0.0, hi: 1.0 }.sample(&[4, 8], &mut r);
+    let mut max_err = 0.0f32;
+    deployed.visit_quant(&mut |h| {
+        if h.label == "fc0" {
+            let wb = spec.weight_bits.bits().min(8);
+            let qw = QuantizedTensor::from_tensor(&h.weight.value, wb);
+            let qx = QuantizedTensor::from_tensor(&x, wb);
+            let y_int = int_linear(&qx, &qw, None).expect("int path");
+            let wq = h.quant.quantize_weights(&h.weight.value);
+            // Compare against the fake-quant product at the same widths.
+            let y_fake = ccq_repro::tensor::ops::matmul_a_bt(&qx.dequantize(), &wq)
+                .expect("fake path");
+            for (a, b) in y_int.as_slice().iter().zip(y_fake.as_slice()) {
+                max_err = max_err.max((a - b).abs());
+            }
+        }
+    });
+    println!("fake-quant vs integer execution max |Δ| on fc0: {max_err:.2e}");
+
+    // Silicon budget of the deployed assignment.
+    let _ = deployed.forward(&x, Mode::Eval)?; // populate MAC counts
+    let profiles = layer_profiles(&mut deployed);
+    let size = model_size(&profiles);
+    let inf = inference_report(&MacEnergyModel::node_32nm(), &profiles);
+    println!(
+        "deployed: {:.2}x weight compression, {} MACs/inference, {:.3} nJ/inference, {:.4} mm2 MAC area",
+        size.compression, inf.total_macs, inf.energy_nj, inf.mac_area_mm2
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Mixed-precision search on a ResNet: the paper's intro workload.
+//!
+//! Trains a ResNet20-style network on SynthCIFAR, lets CCQ learn a
+//! per-layer bit assignment to a 10x compression target, and then analyses
+//! the result with the hardware model: model size, per-layer power, and
+//! the first/last-layer power story of Fig. 5.
+//!
+//! ```sh
+//! cargo run --release --example mixed_precision_search
+//! ```
+
+use ccq_repro::ccq::{layer_profiles, CcqConfig, CcqRunner, RecoveryMode};
+use ccq_repro::data::{synth_cifar, Augment, SynthCifarConfig};
+use ccq_repro::hw::{model_size, network_power, MacEnergyModel};
+use ccq_repro::models::{resnet20, ModelConfig};
+use ccq_repro::nn::train::{evaluate, train_epoch};
+use ccq_repro::nn::Sgd;
+use ccq_repro::quant::PolicyKind;
+use ccq_repro::tensor::rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A compact workload so the example finishes in about a minute.
+    let data = synth_cifar(&SynthCifarConfig {
+        classes: 10,
+        samples_per_class: 40,
+        image_size: 16,
+        noise_std: 0.35,
+        jitter: 0.4,
+        monochrome: true,
+        seed: 0,
+    });
+    let (train, val) = data.split_at(320);
+    let mut net = resnet20(&ModelConfig {
+        classes: 10,
+        width: 4,
+        policy: PolicyKind::Pact,
+        seed: 0,
+    });
+
+    // Pre-train the fp32 baseline.
+    let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
+    let mut r = rng(1);
+    let aug = Augment::standard();
+    for _ in 0..24 {
+        let batches = train.augmented_batches(32, &aug, &mut r);
+        train_epoch(&mut net, &batches, &mut opt, &mut r)?;
+    }
+    let val_b = val.batches(32);
+    let baseline = evaluate(&mut net, &val_b)?;
+    println!("fp32 baseline: {:.1}% top-1", 100.0 * baseline.accuracy);
+
+    // CCQ search to a 10x compression target.
+    let cfg = CcqConfig {
+        target_compression: Some(10.0),
+        recovery: RecoveryMode::Adaptive {
+            tolerance: 0.02,
+            max_epochs: 4,
+        },
+        seed: 2,
+        ..CcqConfig::default()
+    };
+    let mut runner = CcqRunner::new(cfg);
+    let report = runner.run(&mut net, &train, &val)?;
+    println!("{report}");
+
+    // Hardware analysis of the learned assignment.
+    let profiles = layer_profiles(&mut net);
+    let size = model_size(&profiles);
+    println!(
+        "weights: {} params, {:.1} KiB quantized (vs {:.1} KiB fp32), {:.2}x",
+        size.param_count,
+        size.quantized_bits as f64 / 8192.0,
+        size.fp32_bits as f64 / 8192.0,
+        size.compression
+    );
+    let power = network_power(&MacEnergyModel::node_32nm(), &profiles, 1.0e4);
+    println!(
+        "iso-throughput power: {:.3} mW total ({:.3} mW in first+last layers, {:.0}% share)",
+        power.total_mw,
+        power.first_last_mw,
+        100.0 * power.first_last_mw / power.total_mw.max(1e-12)
+    );
+    let mut top: Vec<_> = power.layers.iter().collect();
+    top.sort_by(|a, b| b.power_mw.total_cmp(&a.power_mw));
+    println!("hottest layers:");
+    for l in top.iter().take(3) {
+        println!(
+            "  {:<22} {:.4} mW ({} MACs/inference)",
+            l.label, l.power_mw, l.macs
+        );
+    }
+    Ok(())
+}

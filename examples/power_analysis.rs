@@ -1,0 +1,113 @@
+//! Design-space exploration with the MAC power model: what does each bit
+//! of precision cost in silicon?
+//!
+//! Sweeps operand widths for a single MAC unit at several technology
+//! nodes, then breaks a ResNet down layer by layer under three deployment
+//! configurations — the accelerator-design view behind the paper's Fig. 5.
+//!
+//! ```sh
+//! cargo run --release --example power_analysis
+//! ```
+
+use ccq_repro::ccq::layer_profiles;
+use ccq_repro::hw::{model_size, network_power, LayerProfile, MacEnergyModel};
+use ccq_repro::models::{resnet18, ModelConfig};
+use ccq_repro::nn::Mode;
+use ccq_repro::quant::{BitWidth, PolicyKind};
+use ccq_repro::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Part 1: per-MAC energy across operand widths and nodes.
+    println!("energy per MAC (pJ):");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "node", "2b", "4b", "8b", "16b", "fp32"
+    );
+    for node in [45.0, 32.0, 16.0] {
+        let m = MacEnergyModel::at_node(node);
+        let mut row = format!("{:<8}", format!("{node}nm"));
+        for bits in [2u32, 4, 8, 16] {
+            row.push_str(&format!(
+                " {:>8.4}",
+                m.energy_pj(BitWidth::of(bits), BitWidth::of(bits))
+            ));
+        }
+        row.push_str(&format!(
+            " {:>8.4}",
+            m.energy_pj(BitWidth::FP32, BitWidth::FP32)
+        ));
+        println!("{row}");
+    }
+
+    // Part 2: layer-by-layer power of a ResNet18-style network under three
+    // deployment configurations at iso-throughput.
+    let mut net = resnet18(&ModelConfig {
+        classes: 10,
+        width: 4,
+        policy: PolicyKind::Pact,
+        seed: 0,
+    });
+    let _ = net.forward(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval)?;
+    let base = layer_profiles(&mut net);
+    let model = MacEnergyModel::node_32nm();
+    let throughput = 1.0e4;
+
+    let apply = |bits_of: &dyn Fn(usize, usize) -> BitWidth| -> Vec<LayerProfile> {
+        let n = base.len();
+        base.iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let b = bits_of(i, n);
+                LayerProfile {
+                    weight_bits: b,
+                    act_bits: b,
+                    ..p.clone()
+                }
+            })
+            .collect()
+    };
+    let configs: Vec<(&str, Vec<LayerProfile>)> = vec![
+        ("all fp32", apply(&|_, _| BitWidth::FP32)),
+        (
+            "fp-4b-fp",
+            apply(&|i, n| {
+                if i == 0 || i + 1 == n {
+                    BitWidth::FP32
+                } else {
+                    BitWidth::of(4)
+                }
+            }),
+        ),
+        (
+            "fully quantized 6/4/6",
+            apply(&|i, n| {
+                if i == 0 || i + 1 == n {
+                    BitWidth::of(6)
+                } else {
+                    BitWidth::of(4)
+                }
+            }),
+        ),
+    ];
+
+    for (name, profiles) in &configs {
+        let p = network_power(&model, profiles, throughput);
+        let s = model_size(profiles);
+        println!(
+            "\n{name}: {:.3} mW total, {:.2}x weight compression",
+            p.total_mw, s.compression
+        );
+        for l in p.layers.iter().take(2) {
+            println!("  {:<18} {:>10.5} mW", l.label, l.power_mw);
+        }
+        println!("  ...");
+        if let Some(l) = p.layers.last() {
+            println!("  {:<18} {:>10.5} mW", l.label, l.power_mw);
+        }
+        println!(
+            "  first+last share: {:.1}%",
+            100.0 * p.first_last_mw / p.total_mw.max(1e-12)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper into results/.
+set -x
+cd /root/repo
+cargo build --release -p ccq-bench 2> results/build.log
+time target/release/fig5_power > results/fig5_power.csv 2> results/fig5_power.log
+time target/release/fig4_lr > results/fig4_lr.csv 2> results/fig4_lr.log
+time target/release/fig2_curve > results/fig2_curve.csv 2> results/fig2_curve.log
+time target/release/fig3_recovery > results/fig3_recovery.csv 2> results/fig3_recovery.log
+time target/release/fig1_lambda > results/fig1_lambda.csv 2> results/fig1_lambda.log
+time target/release/table1 > results/table1.csv 2> results/table1.log
+time target/release/ablations > results/ablations.csv 2> results/ablations.log
+time target/release/table2 > results/table2.csv 2> results/table2.log
+echo ALL_DONE

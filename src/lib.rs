@@ -1,0 +1,31 @@
+//! Umbrella crate for the CCQ reproduction workspace.
+//!
+//! This crate re-exports every member crate so that the repository-level
+//! examples (in `examples/`) and integration tests (in `tests/`) can use a
+//! single dependency. Library users should normally depend on the member
+//! crates directly:
+//!
+//! - [`tensor`] — dense `f32` tensors and numeric kernels
+//! - [`quant`] — quantization policies (DoReFa, WRPN, PACT, SAWB, ...)
+//! - [`nn`] — layers, backprop, optimizers, learning-rate schedules
+//! - [`data`] — synthetic datasets and augmentation
+//! - [`models`] — ResNet-style architecture builders
+//! - [`hw`] — MAC energy/power and model-size analysis
+//! - [`ccq`] — the competitive-collaborative quantization framework
+//!
+//! # Example
+//!
+//! ```
+//! use ccq_repro::tensor::Tensor;
+//!
+//! let t = Tensor::zeros(&[2, 3]);
+//! assert_eq!(t.shape(), &[2, 3]);
+//! ```
+
+pub use ccq;
+pub use ccq_data as data;
+pub use ccq_hw as hw;
+pub use ccq_models as models;
+pub use ccq_nn as nn;
+pub use ccq_quant as quant;
+pub use ccq_tensor as tensor;

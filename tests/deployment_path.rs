@@ -1,0 +1,95 @@
+//! Cross-crate integration: the deployment path — CCQ quantizes a network,
+//! the result survives a checkpoint round trip, and the max-abs layers
+//! execute identically in true integer arithmetic.
+
+use ccq_repro::ccq::{CcqConfig, CcqRunner, RecoveryMode};
+use ccq_repro::data::{gaussian_blobs, BlobsConfig};
+use ccq_repro::models::mlp;
+use ccq_repro::nn::checkpoint::Checkpoint;
+use ccq_repro::nn::integer::{int_linear, QuantizedTensor};
+use ccq_repro::nn::train::train_epoch;
+use ccq_repro::nn::{Mode, Network, Sgd};
+use ccq_repro::quant::{BitLadder, BitWidth, PolicyKind, QuantSpec};
+use ccq_repro::tensor::{rng, Init, Rng64, Tensor};
+
+fn trained_mlp() -> (Network, Vec<ccq_repro::nn::train::Batch>, Vec<ccq_repro::nn::train::Batch>) {
+    let ds = gaussian_blobs(&BlobsConfig {
+        classes: 3,
+        dim: 6,
+        samples_per_class: 48,
+        std: 0.35,
+        seed: 70,
+    });
+    let (train, val) = ds.split_at(108);
+    let (train_b, val_b) = (train.batches(16), val.batches(36));
+    let mut net = mlp(&[6, 12, 3], PolicyKind::MaxAbs, 15);
+    let mut opt = Sgd::new(0.05).momentum(0.9);
+    let mut r = rng(16);
+    for _ in 0..12 {
+        train_epoch(&mut net, &train_b, &mut opt, &mut r).unwrap();
+    }
+    (net, train_b, val_b)
+}
+
+#[test]
+fn ccq_result_survives_checkpoint_round_trip() {
+    let (mut net, train_b, val_b) = trained_mlp();
+    let cfg = CcqConfig {
+        ladder: BitLadder::new(&[8, 4]).unwrap(),
+        recovery: RecoveryMode::Manual { epochs: 1 },
+        probe_val_batches: 1,
+        seed: 17,
+        ..CcqConfig::default()
+    };
+    let mut provider = |_: &mut Rng64| train_b.clone();
+    let report =
+        CcqRunner::new(cfg).run_with_sources(&mut net, &mut provider, &val_b).unwrap();
+
+    let x = Tensor::ones(&[2, 6]);
+    let y_before = net.forward(&x, Mode::Eval).unwrap();
+    let bytes = Checkpoint::capture(&mut net).to_bytes();
+
+    // A fresh network of the same architecture, different weights.
+    let mut fresh = mlp(&[6, 12, 3], PolicyKind::MaxAbs, 999);
+    Checkpoint::from_bytes(&bytes).unwrap().apply(&mut fresh).unwrap();
+    let y_after = fresh.forward(&x, Mode::Eval).unwrap();
+    assert_eq!(y_before.as_slice(), y_after.as_slice());
+
+    // The mixed-precision assignment came along.
+    let restored: Vec<BitWidth> =
+        (0..fresh.quant_layer_count()).map(|i| fresh.quant_spec(i).weight_bits).collect();
+    let from_report: Vec<BitWidth> = report.bit_assignment.iter().map(|(_, w, _)| *w).collect();
+    assert_eq!(restored, from_report);
+}
+
+#[test]
+fn fake_quant_linear_matches_integer_execution() {
+    // A single max-abs quantized linear layer must compute the same result
+    // through the fake-quant f32 path and the integer path.
+    let mut r = rng(18);
+    let w = Init::Normal { mean: 0.0, std: 0.5 }.sample(&[4, 6], &mut r);
+    let x = Init::Uniform { lo: 0.0, hi: 1.0 }.sample(&[3, 6], &mut r);
+    for bits in [3u32, 4, 8] {
+        // Integer path.
+        let qx = QuantizedTensor::from_tensor(&x, bits);
+        let qw = QuantizedTensor::from_tensor(&w, bits);
+        let y_int = int_linear(&qx, &qw, None).unwrap();
+        // Fake-quant path through the quant crate's kernels.
+        let spec = QuantSpec::new(PolicyKind::MaxAbs, BitWidth::of(bits), BitWidth::of(bits));
+        let lq = ccq_repro::quant::LayerQuant::new(spec);
+        let wq = lq.quantize_weights(&w);
+        let xq = lq.quantize_acts(&x);
+        let y_fake = ccq_repro::tensor::ops::matmul_a_bt(&xq, &wq).unwrap();
+        for (a, b) in y_int.as_slice().iter().zip(y_fake.as_slice()) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "bits={bits}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn checkpoint_bytes_are_stable_across_captures() {
+    let (mut net, _, _) = trained_mlp();
+    let a = Checkpoint::capture(&mut net).to_bytes();
+    let b = Checkpoint::capture(&mut net).to_bytes();
+    assert_eq!(a, b, "capturing twice without training must be identical");
+}

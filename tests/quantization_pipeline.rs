@@ -1,0 +1,115 @@
+//! Cross-crate integration: quantization-aware training with every policy,
+//! and consistency between the quant specs and the hardware accounting.
+
+use ccq_repro::ccq::layer_profiles;
+use ccq_repro::data::{gaussian_blobs, BlobsConfig};
+use ccq_repro::hw::{model_size, network_power, MacEnergyModel};
+use ccq_repro::models::{mlp, plain_cnn};
+use ccq_repro::nn::train::{evaluate, train_epoch};
+use ccq_repro::nn::{Mode, Sgd};
+use ccq_repro::quant::{BitWidth, PolicyKind, QuantSpec};
+use ccq_repro::tensor::{rng, Tensor};
+
+/// QAT with each policy at 4 bits still learns the blob task.
+#[test]
+fn qat_learns_under_every_policy() {
+    let data = gaussian_blobs(&BlobsConfig {
+        classes: 3,
+        dim: 6,
+        samples_per_class: 48,
+        std: 0.35,
+        seed: 40,
+    });
+    let (train, val) = data.split_at(108);
+    let (train_b, val_b) = (train.batches(16), val.batches(36));
+    for policy in PolicyKind::ALL {
+        let mut net = mlp(&[6, 16, 3], policy, 11);
+        net.set_all_quant_specs(QuantSpec::new(policy, BitWidth::of(4), BitWidth::of(4)));
+        let mut opt = Sgd::new(0.05).momentum(0.9);
+        let mut r = rng(12);
+        for _ in 0..25 {
+            train_epoch(&mut net, &train_b, &mut opt, &mut r).unwrap();
+        }
+        let acc = evaluate(&mut net, &val_b).unwrap().accuracy;
+        assert!(
+            acc > 0.7,
+            "{policy}: 4-bit QAT should learn blobs, got {acc}"
+        );
+    }
+}
+
+/// The compression reported by the hw crate matches the spec arithmetic.
+#[test]
+fn size_accounting_matches_specs() {
+    let mut net = plain_cnn(5, 2, PolicyKind::Dorefa, 0);
+    // Mixed assignment: 8/4/2/fp across the four quantizable layers.
+    let widths = [
+        BitWidth::of(8),
+        BitWidth::of(4),
+        BitWidth::of(2),
+        BitWidth::FP32,
+    ];
+    for (i, w) in widths.iter().enumerate() {
+        let spec = net.quant_spec(i);
+        net.set_quant_spec(i, spec.with_bits(*w, *w));
+    }
+    let profiles = layer_profiles(&mut net);
+    let size = model_size(&profiles);
+    let manual_bits: u64 = profiles
+        .iter()
+        .map(|p| p.weight_count as u64 * u64::from(p.weight_bits.bits()))
+        .sum();
+    assert_eq!(size.quantized_bits, manual_bits);
+    assert_eq!(size.fp32_bits, 32 * size.param_count as u64);
+}
+
+/// Power accounting reacts to bit-width changes in the right direction.
+#[test]
+fn power_decreases_when_bits_decrease() {
+    let mut net = plain_cnn(5, 2, PolicyKind::Pact, 1);
+    let _ = net
+        .forward(&Tensor::zeros(&[1, 3, 8, 8]), Mode::Eval)
+        .unwrap();
+    let model = MacEnergyModel::node_32nm();
+
+    let p_fp = network_power(&model, &layer_profiles(&mut net), 1e4).total_mw;
+    net.set_all_quant_specs(QuantSpec::new(
+        PolicyKind::Pact,
+        BitWidth::of(8),
+        BitWidth::of(8),
+    ));
+    let p8 = network_power(&model, &layer_profiles(&mut net), 1e4).total_mw;
+    net.set_all_quant_specs(QuantSpec::new(
+        PolicyKind::Pact,
+        BitWidth::of(2),
+        BitWidth::of(2),
+    ));
+    let p2 = network_power(&model, &layer_profiles(&mut net), 1e4).total_mw;
+    assert!(
+        p_fp > p8 && p8 > p2,
+        "power must fall with precision: {p_fp} {p8} {p2}"
+    );
+    assert!(
+        p_fp / p2 > 20.0,
+        "fp vs 2-bit should be an order of magnitude: {}",
+        p_fp / p2
+    );
+}
+
+/// Quantized forward passes produce finite outputs across specs mid-switch
+/// (the exact operation CCQ's competition performs on a live network).
+#[test]
+fn spec_flipping_mid_inference_is_safe() {
+    let mut net = plain_cnn(4, 2, PolicyKind::Pact, 2);
+    let x = Tensor::zeros(&[2, 3, 8, 8]);
+    let layers = net.quant_layer_count();
+    for bits in [8u32, 4, 3, 2] {
+        for i in 0..layers {
+            let spec = net.quant_spec(i);
+            net.set_quant_spec(i, spec.with_bits(BitWidth::of(bits), BitWidth::of(bits)));
+            let y = net.forward(&x, Mode::Eval).unwrap();
+            assert!(y.all_finite(), "bits={bits} layer={i}");
+            net.set_quant_spec(i, spec);
+        }
+    }
+}
