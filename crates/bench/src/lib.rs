@@ -121,7 +121,6 @@ pub fn build_data(scale: Scale, classes: usize, seed: u64) -> (ImageDataset, Ima
         jitter: 0.45,
         monochrome: true,
         seed,
-        ..Default::default()
     });
     ds.split_at(classes * scale.train_per_class())
 }

@@ -248,6 +248,63 @@ impl Competition {
         spec
     }
 
+    /// Hypothetically applies one expert's move, measures the validation
+    /// loss (Eq. 4), and restores the previous spec.
+    fn probe_one(net: &mut Network, e: &Expert, val: &[Batch]) -> Result<f32> {
+        let before = Self::apply(net, e);
+        let loss = evaluate(net, val).map_err(CcqError::from)?.loss;
+        net.set_quant_spec(e.layer, before);
+        Ok(loss)
+    }
+
+    /// Probes every expert in order on one network, returning the losses
+    /// in expert order.
+    fn probe_round_serial(net: &mut Network, experts: &[Expert], val: &[Batch]) -> Result<Vec<f32>> {
+        experts.iter().map(|e| Self::probe_one(net, e, val)).collect()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn probe_round(net: &mut Network, experts: &[Expert], val: &[Batch]) -> Result<Vec<f32>> {
+        Self::probe_round_serial(net, experts, val)
+    }
+
+    /// Splits a round's experts over worker clones of the network, keeping
+    /// chunk 0 on the original (so its MAC counters warm up as in a serial
+    /// run) and flattening per-chunk losses back into expert order.
+    #[cfg(feature = "parallel")]
+    fn probe_round(net: &mut Network, experts: &[Expert], val: &[Batch]) -> Result<Vec<f32>> {
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || experts.len() < 2 {
+            return Self::probe_round_serial(net, experts, val);
+        }
+        let chunk = experts.len().div_ceil(threads);
+        let chunks: Vec<&[Expert]> = experts.chunks(chunk).collect();
+        let mut clones: Vec<Network> = (1..chunks.len()).map(|_| net.clone()).collect();
+        let mut results: Vec<Result<Vec<f32>>> = chunks.iter().map(|_| Ok(Vec::new())).collect();
+        let (head, tail) = results.split_at_mut(1);
+        // The calling thread probes chunk 0 under a single-thread pool so
+        // its inner evaluation doesn't oversubscribe while workers run.
+        let single = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("single-thread pool");
+        rayon::scope(|s| {
+            for ((chunk_experts, clone), slot) in chunks[1..]
+                .iter()
+                .zip(clones.iter_mut())
+                .zip(tail.iter_mut())
+            {
+                s.spawn(move |_| *slot = Self::probe_round_serial(clone, chunk_experts, val));
+            }
+            head[0] = single.install(|| Self::probe_round_serial(net, chunks[0], val));
+        });
+        let mut losses = Vec::with_capacity(experts.len());
+        for r in results {
+            losses.extend(r?);
+        }
+        Ok(losses)
+    }
+
     /// Runs one competition: `U` probe rounds of Hedge updates, then a draw
     /// from the λ-blended distribution, then the winning layer is
     /// *permanently* lowered one rung. Returns `None` when every layer is
@@ -257,6 +314,7 @@ impl Competition {
     ///
     /// Returns [`CcqError::EmptyValidationSet`] when `val` is empty, or a
     /// network error from the probe evaluations.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         &mut self,
         net: &mut Network,
@@ -302,22 +360,20 @@ impl Competition {
             ),
         };
 
-        // Hypothetically apply one expert's move, measure, restore
-        // (Eq. 4/5), and apply the Hedge update π ← π·exp(−γξ).
-        let probe_expert = |net: &mut Network, pi: &mut [f32], e: &Expert| -> Result<f32> {
-            let before = Self::apply(net, e);
-            let loss = evaluate(net, val).map_err(CcqError::from)?.loss;
-            net.set_quant_spec(e.layer, before);
-            pi[e.slot] *= (-self.gamma * loss).exp();
-            Ok(loss)
-        };
-
         let mut probes = Vec::with_capacity(rounds * probes_per_round);
         for u in 0..rounds {
             match self.regime {
                 ProbeRegime::FullInformation => {
-                    for e in &experts {
-                        let loss = probe_expert(net, &mut self.pi, e)?;
+                    // A round's probe losses are mutually independent (each
+                    // probe applies, measures, and restores its own move,
+                    // and π is only read again after the round), so they
+                    // can be evaluated concurrently; the Hedge updates
+                    // π ← π·exp(−γξ) are then replayed in expert order,
+                    // keeping every per-slot update sequence — and thus
+                    // the float results — identical to a serial run.
+                    let losses = Self::probe_round(net, &experts, val)?;
+                    for (e, loss) in experts.iter().zip(losses) {
+                        self.pi[e.slot] *= (-self.gamma * loss).exp();
                         probes.push(ProbeRecord {
                             round: u,
                             layer: e.layer,
@@ -327,11 +383,14 @@ impl Competition {
                     }
                 }
                 ProbeRegime::Sampled => {
+                    // Each draw depends on the π updated by the previous
+                    // probe, so this regime is inherently sequential.
                     let p = lambda.blend(step, &self.pi, &sizes, &active);
                     let slot = sample_categorical(&p, rng)
                         .ok_or_else(|| CcqError::InvalidConfig("degenerate distribution".into()))?;
                     let e = experts[by_slot[slot].expect("sampled slot is active")];
-                    let loss = probe_expert(net, &mut self.pi, &e)?;
+                    let loss = Self::probe_one(net, &e, val)?;
+                    self.pi[e.slot] *= (-self.gamma * loss).exp();
                     probes.push(ProbeRecord {
                         round: u,
                         layer: e.layer,
@@ -377,7 +436,8 @@ impl Default for Competition {
 /// Samples an index from an unnormalized non-negative weight vector.
 fn sample_categorical(p: &[f32], rng: &mut Rng64) -> Option<usize> {
     let total: f32 = p.iter().sum();
-    if !(total > 0.0) || !total.is_finite() {
+    // `<= 0.0` is false for NaN, but NaN is non-finite and still rejected.
+    if total <= 0.0 || !total.is_finite() {
         return None;
     }
     let mut x: f32 = rng.gen::<f32>() * total;
@@ -561,8 +621,8 @@ mod tests {
             )
             .unwrap()
             .unwrap();
-        let mut sums = vec![0.0f32; 3];
-        let mut counts = vec![0usize; 3];
+        let mut sums = [0.0f32; 3];
+        let mut counts = [0usize; 3];
         for p in &out.probes {
             sums[p.layer] += p.val_loss;
             counts[p.layer] += 1;

@@ -4,7 +4,7 @@ use ccq::{CcqConfig, CcqRunner, Competition, LambdaSchedule, ProbeRegime, Recove
 use ccq_data::{gaussian_blobs, BlobsConfig};
 use ccq_models::mlp;
 use ccq_nn::train::Batch;
-use ccq_quant::{BitLadder, BitWidth, PolicyKind};
+use ccq_quant::{BitLadder, PolicyKind};
 use ccq_tensor::{rng, Rng64};
 use proptest::prelude::*;
 
@@ -105,8 +105,8 @@ proptest! {
             .expect("competition")
             .expect("all layers active");
         let mut changed = 0;
-        for i in 0..layers {
-            if net.quant_spec(i) != before[i] {
+        for (i, spec) in before.iter().enumerate().take(layers) {
+            if net.quant_spec(i) != *spec {
                 changed += 1;
                 prop_assert_eq!(i, out.winner);
             }

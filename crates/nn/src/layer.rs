@@ -40,13 +40,34 @@ pub struct QuantHandle<'a> {
     pub weight: &'a mut Param,
 }
 
+/// Object-safe cloning for boxed layers; blanket-implemented for every
+/// `Clone` layer so `Box<dyn Layer>` (and with it [`crate::Network`])
+/// is cloneable. Parallel evaluation and competition probing run on
+/// cloned networks, which is why [`Layer`] also requires `Send + Sync`.
+pub trait LayerClone {
+    /// Clones the layer behind the trait object.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl<T: Layer + Clone + 'static> LayerClone for T {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// A differentiable network layer.
 ///
 /// Layers own their parameters and the caches their backward pass needs.
 /// `backward` must be called after a `Train`-mode `forward` with the
 /// gradient of the loss w.r.t. the layer output, and returns the gradient
 /// w.r.t. the layer input while accumulating parameter gradients.
-pub trait Layer {
+pub trait Layer: LayerClone + Send + Sync {
     /// Runs the layer on `x`, caching intermediates when `mode` is
     /// [`Mode::Train`].
     ///

@@ -11,7 +11,7 @@ use ccq_tensor::{Tensor, TensorError};
 /// running averages; evaluation mode normalizes with the running averages
 /// (which is what CCQ's cheap validation probes rely on). The affine
 /// `γ`/`β` parameters opt out of weight decay, as is conventional.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     label: String,
     channels: usize,
@@ -24,7 +24,7 @@ pub struct BatchNorm2d {
     cache: Option<BnCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BnCache {
     /// Normalized activations `x̂`.
     xhat: Tensor,
@@ -108,10 +108,10 @@ impl Layer for BatchNorm2d {
                 let mut xhat = x.clone();
                 let xv = xhat.as_mut_slice();
                 for ni in 0..n {
-                    for ci in 0..c {
+                    for (ci, (&m, &is)) in stats.mean.iter().zip(&inv_std).enumerate() {
                         let base = (ni * c + ci) * plane;
                         for v in &mut xv[base..base + plane] {
-                            *v = (*v - stats.mean[ci]) * inv_std[ci];
+                            *v = (*v - m) * is;
                         }
                     }
                 }

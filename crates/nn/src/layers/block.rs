@@ -12,7 +12,7 @@ use ccq_tensor::{Rng64, Tensor};
 /// When the spatial stride or channel count changes, the shortcut is a
 /// 1×1 projection convolution plus batch-norm (ResNet "option B"); it is
 /// quantizable like any other convolution, so CCQ sees it as a layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BasicBlock {
     label: String,
     conv1: QConv2d,
@@ -140,7 +140,7 @@ impl Layer for BasicBlock {
 
 /// The three-convolution bottleneck block of deeper ResNets:
 /// 1×1 reduce → 3×3 → 1×1 expand, with a residual connection.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Bottleneck {
     label: String,
     conv1: QConv2d,

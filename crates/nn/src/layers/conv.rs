@@ -14,7 +14,7 @@ use ccq_tensor::{Init, Rng64, Tensor, TensorError};
 /// quantization-aware training with a straight-through estimator.
 ///
 /// Weight layout is `[out_ch, in_ch, kh, kw]`; activations are NCHW.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct QConv2d {
     label: String,
     in_ch: usize,
@@ -27,7 +27,7 @@ pub struct QConv2d {
     cache: Option<ConvCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ConvCache {
     /// Pre-quantization input (needed by the activation-quantizer backward).
     input: Tensor,

@@ -5,7 +5,7 @@ use crate::{NnError, Param, Result};
 use ccq_tensor::Tensor;
 
 /// Flattens `[N, d1, d2, …]` to `[N, d1·d2·…]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Flatten {
     in_shape: Option<Vec<usize>>,
 }

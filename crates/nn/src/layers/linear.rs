@@ -11,7 +11,7 @@ use ccq_tensor::{Init, Rng64, Tensor, TensorError};
 ///
 /// Weight layout is `[out_features, in_features]`; the input is
 /// `[batch, in_features]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct QLinear {
     label: String,
     in_features: usize,
@@ -23,7 +23,7 @@ pub struct QLinear {
     cache: Option<LinearCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LinearCache {
     /// Pre-quantization input.
     input: Tensor,

@@ -6,14 +6,14 @@ use ccq_tensor::ops::conv_output_size;
 use ccq_tensor::Tensor;
 
 /// Max pooling over square windows (no padding).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     kernel: usize,
     stride: usize,
     cache: Option<MaxPoolCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct MaxPoolCache {
     /// For every output element, the flat input index of its maximum.
     argmax: Vec<usize>,
@@ -95,7 +95,7 @@ impl Layer for MaxPool2d {
 }
 
 /// Global average pooling: NCHW → `[N, C]` (the ResNet head).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GlobalAvgPool {
     in_shape: Option<Vec<usize>>,
 }

@@ -5,7 +5,7 @@ use crate::{NnError, Param, Result};
 use ccq_tensor::Tensor;
 
 /// Elementwise `max(0, x)` with a cached mask for the backward pass.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Relu {
     mask: Option<Tensor>,
 }

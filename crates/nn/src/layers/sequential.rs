@@ -5,6 +5,7 @@ use crate::{Param, Result};
 use ccq_tensor::Tensor;
 
 /// Runs child layers in order; backward runs them in reverse.
+#[derive(Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
     name: String,

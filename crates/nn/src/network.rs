@@ -36,6 +36,10 @@ pub struct NetworkState {
 /// The traversal order of [`Network::visit_quant`] defines CCQ's layer
 /// indexing: index 0 is the first (stem) layer, the last index is the
 /// classifier head.
+///
+/// Networks are `Clone`: parallel evaluation and competition probing
+/// run worker clones so the original's state is never raced.
+#[derive(Clone)]
 pub struct Network {
     root: Sequential,
 }

@@ -57,30 +57,93 @@ pub struct EvalResult {
 /// This is the "cheap feed-forward on a small validation set" that CCQ's
 /// competition stage runs for every probe.
 ///
+/// With the `parallel` feature, batches are split into contiguous chunks
+/// evaluated concurrently on cloned network states; per-batch metrics are
+/// then reduced in batch order with one serial `f64` chain, so the result
+/// is bit-identical to the serial path at any thread count.
+///
 /// # Errors
 ///
 /// Propagates layer errors.
 pub fn evaluate(net: &mut Network, batches: &[Batch]) -> Result<EvalResult> {
+    let per_batch = eval_batches(net, batches)?;
+    Ok(reduce_metrics(&per_batch, batches))
+}
+
+/// Per-batch `(mean loss, accuracy)` for one minibatch.
+fn eval_batch(net: &mut Network, batch: &Batch) -> Result<(f32, f32)> {
+    let logits = net.forward(&batch.images, Mode::Eval)?;
+    let (loss, _) = cross_entropy(&logits, &batch.labels)?;
+    Ok((loss, accuracy(&logits, &batch.labels)))
+}
+
+fn eval_batches_serial(net: &mut Network, batches: &[Batch]) -> Result<Vec<(f32, f32)>> {
+    batches.iter().map(|b| eval_batch(net, b)).collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn eval_batches(net: &mut Network, batches: &[Batch]) -> Result<Vec<(f32, f32)>> {
+    eval_batches_serial(net, batches)
+}
+
+/// Splits the batches over worker clones, keeping chunk 0 on the original
+/// network (so its MAC counters warm up exactly as in a serial run) and
+/// flattening per-chunk results in batch order.
+#[cfg(feature = "parallel")]
+fn eval_batches(net: &mut Network, batches: &[Batch]) -> Result<Vec<(f32, f32)>> {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || batches.len() < 2 {
+        return eval_batches_serial(net, batches);
+    }
+    let chunk = batches.len().div_ceil(threads);
+    let chunks: Vec<&[Batch]> = batches.chunks(chunk).collect();
+    let mut clones: Vec<Network> = (1..chunks.len()).map(|_| net.clone()).collect();
+    let mut results: Vec<Result<Vec<(f32, f32)>>> = chunks.iter().map(|_| Ok(Vec::new())).collect();
+    let (head, tail) = results.split_at_mut(1);
+    // The calling thread works chunk 0 under a single-thread pool so its
+    // inner tensor kernels don't oversubscribe while workers run.
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+    rayon::scope(|s| {
+        for ((chunk_batches, clone), slot) in chunks[1..]
+            .iter()
+            .zip(clones.iter_mut())
+            .zip(tail.iter_mut())
+        {
+            s.spawn(move |_| *slot = eval_batches_serial(clone, chunk_batches));
+        }
+        head[0] = single.install(|| eval_batches_serial(net, chunks[0]));
+    });
+    let mut per_batch = Vec::with_capacity(batches.len());
+    for r in results {
+        per_batch.extend(r?);
+    }
+    Ok(per_batch)
+}
+
+/// The seed's exact reduction: weighted `f64` sums accumulated in batch
+/// order, divided once at the end.
+fn reduce_metrics(per_batch: &[(f32, f32)], batches: &[Batch]) -> EvalResult {
     let mut total_loss = 0.0f64;
     let mut total_correct = 0.0f64;
     let mut total = 0usize;
-    for batch in batches {
-        let logits = net.forward(&batch.images, Mode::Eval)?;
-        let (loss, _) = cross_entropy(&logits, &batch.labels)?;
-        total_loss += f64::from(loss) * batch.len() as f64;
-        total_correct += f64::from(accuracy(&logits, &batch.labels)) * batch.len() as f64;
+    for ((loss, acc), batch) in per_batch.iter().zip(batches) {
+        total_loss += f64::from(*loss) * batch.len() as f64;
+        total_correct += f64::from(*acc) * batch.len() as f64;
         total += batch.len();
     }
     if total == 0 {
-        return Ok(EvalResult {
+        return EvalResult {
             loss: 0.0,
             accuracy: 0.0,
-        });
+        };
     }
-    Ok(EvalResult {
+    EvalResult {
         loss: (total_loss / total as f64) as f32,
         accuracy: (total_correct / total as f64) as f32,
-    })
+    }
 }
 
 /// Runs one epoch of SGD over shuffled batches; returns the mean training

@@ -67,11 +67,12 @@ mod tests {
 
     #[test]
     fn sqnr_improves_with_bits() {
-        let w = ccq_tensor::Init::Normal {
-            mean: 0.0,
-            std: 1.0,
-        }
-        .sample(&[2048], &mut ccq_tensor::rng(9));
+        // Stay inside DoReFa's near-linear tanh region: for wide (e.g.
+        // N(0,1)) weights the tanh warp dominates reconstruction error
+        // and SQNR saturates near ~7.6 dB regardless of bit depth, so
+        // the 2-vs-6-bit ordering becomes seed-dependent noise.
+        let w = ccq_tensor::Init::Uniform { lo: -0.8, hi: 0.8 }
+            .sample(&[2048], &mut ccq_tensor::rng(9));
         let q2 = crate::policies::dorefa::quantize_weights(&w, 2);
         let q6 = crate::policies::dorefa::quantize_weights(&w, 6);
         assert!(quantization_sqnr_db(&w, &q6) > quantization_sqnr_db(&w, &q2));

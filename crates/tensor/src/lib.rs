@@ -21,6 +21,7 @@
 mod error;
 mod init;
 pub mod ops;
+pub mod par;
 mod shape;
 mod tensor;
 

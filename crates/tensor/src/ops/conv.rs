@@ -7,6 +7,7 @@
 //! sample in one GEMM. `col2im` is the adjoint (scatter-add), used for the
 //! input gradient.
 
+use crate::par::for_each_chunk_mut;
 use crate::{Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution (square stride/padding per side).
@@ -94,37 +95,53 @@ pub fn im2col(input: &Tensor, geom: Conv2dGeometry) -> Result<Tensor> {
     let rows = c * geom.kernel_h * geom.kernel_w;
     let cols = n * oh * ow;
     let mut out = Tensor::zeros(&[rows, cols]);
+    if rows == 0 || cols == 0 {
+        return Ok(out);
+    }
     let iv = input.as_slice();
-    let ov = out.as_mut_slice();
+    // Each output row corresponds to one (channel, kernel-element)
+    // triple and is written by exactly one worker: the C·kh·kw rows are
+    // disjoint, so parallelizing over them is race-free and
+    // bit-identical to the sequential fill.
+    for_each_chunk_mut(out.as_mut_slice(), cols, move |row, orow| {
+        im2col_row(iv, orow, row, geom, (n, c, h, w), (oh, ow));
+    });
+    Ok(out)
+}
+
+/// Fills one `[N·OH·OW]` row of the patch matrix: kernel element
+/// `(row % kw, (row / kw) % kh)` of channel `row / (kh·kw)`.
+fn im2col_row(
+    iv: &[f32],
+    orow: &mut [f32],
+    row: usize,
+    geom: Conv2dGeometry,
+    (n, c, h, w): (usize, usize, usize, usize),
+    (oh, ow): (usize, usize),
+) {
     let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = (ci * kh + ki) * kw + kj;
-                let orow = &mut ov[row * cols..(row + 1) * cols];
-                for ni in 0..n {
-                    let in_base = (ni * c + ci) * h * w;
-                    for ohi in 0..oh {
-                        // Input row for this kernel element, may be in padding.
-                        let iy = (ohi * s + ki) as isize - p as isize;
-                        let col_base = (ni * oh + ohi) * ow;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // zeros already in place
-                        }
-                        let in_row = in_base + iy as usize * w;
-                        for owi in 0..ow {
-                            let ix = (owi * s + kj) as isize - p as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            orow[col_base + owi] = iv[in_row + ix as usize];
-                        }
-                    }
+    let ci = row / (kh * kw);
+    let ki = (row / kw) % kh;
+    let kj = row % kw;
+    for ni in 0..n {
+        let in_base = (ni * c + ci) * h * w;
+        for ohi in 0..oh {
+            // Input row for this kernel element, may be in padding.
+            let iy = (ohi * s + ki) as isize - p as isize;
+            let col_base = (ni * oh + ohi) * ow;
+            if iy < 0 || iy >= h as isize {
+                continue; // zeros already in place
+            }
+            let in_row = in_base + iy as usize * w;
+            for owi in 0..ow {
+                let ix = (owi * s + kj) as isize - p as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
                 }
+                orow[col_base + owi] = iv[in_row + ix as usize];
             }
         }
     }
-    Ok(out)
 }
 
 /// Adjoint of [`im2col`]: scatter-adds a `[C·kh·kw, N·OH·OW]` patch matrix
@@ -156,36 +173,56 @@ pub fn col2im(
         });
     }
     let mut out = Tensor::zeros(&[n, c, h, w]);
+    if n == 0 || c == 0 || h * w == 0 {
+        return Ok(out);
+    }
     let cv = cols.as_slice();
-    let ov = out.as_mut_slice();
+    // The scatter-add only overlaps *within* one (sample, channel)
+    // image plane: every accumulated element belongs to exactly one
+    // `[h·w]` block, so parallelizing over those blocks is race-free.
+    // Within a block, contributions accumulate in the same
+    // (ki, kj, ohi, owi) order as the sequential loop — bit-identical.
+    for_each_chunk_mut(out.as_mut_slice(), h * w, move |block, plane| {
+        let (ni, ci) = (block / c, block % c);
+        col2im_plane(cv, plane, ni, ci, geom, (n, h, w), (oh, ow));
+    });
+    Ok(out)
+}
+
+/// Accumulates channel `ci` of sample `ni` (one `[h·w]` plane) from the
+/// patch-matrix rows belonging to that channel.
+fn col2im_plane(
+    cv: &[f32],
+    plane: &mut [f32],
+    ni: usize,
+    ci: usize,
+    geom: Conv2dGeometry,
+    (n, h, w): (usize, usize, usize),
+    (oh, ow): (usize, usize),
+) {
     let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = (ci * kh + ki) * kw + kj;
-                let crow = &cv[row * ncols..(row + 1) * ncols];
-                for ni in 0..n {
-                    let out_base = (ni * c + ci) * h * w;
-                    for ohi in 0..oh {
-                        let iy = (ohi * s + ki) as isize - p as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let out_row = out_base + iy as usize * w;
-                        let col_base = (ni * oh + ohi) * ow;
-                        for owi in 0..ow {
-                            let ix = (owi * s + kj) as isize - p as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            ov[out_row + ix as usize] += crow[col_base + owi];
-                        }
+    let ncols = n * oh * ow;
+    for ki in 0..kh {
+        for kj in 0..kw {
+            let row = (ci * kh + ki) * kw + kj;
+            let crow = &cv[row * ncols..(row + 1) * ncols];
+            for ohi in 0..oh {
+                let iy = (ohi * s + ki) as isize - p as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let out_row = iy as usize * w;
+                let col_base = (ni * oh + ohi) * ow;
+                for owi in 0..ow {
+                    let ix = (owi * s + kj) as isize - p as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
                     }
+                    plane[out_row + ix as usize] += crow[col_base + owi];
                 }
             }
         }
     }
-    Ok(out)
 }
 
 #[cfg(test)]

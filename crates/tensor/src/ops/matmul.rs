@@ -1,16 +1,95 @@
 //! Dense matrix products (row-major, `f32`).
+//!
+//! Every product is computed by a per-row-chunk microkernel that both
+//! the serial and the parallel dispatch paths share. Parallelism (the
+//! `parallel` feature) only partitions the *output rows* into
+//! contiguous chunks; within a chunk the microkernel accumulates each
+//! output element over `k` in strictly ascending order, so the result
+//! is bit-identical at any thread count and with the feature disabled.
+//!
+//! The microkernels are register-blocked: `matmul` streams each `B` row
+//! through [`MR`] output rows at once (amortizing the `B` loads that
+//! dominate the naive i-k-j loop), and `matmul_a_bt` computes [`MR`]
+//! dot products per pass over an `A` row. Blocking groups *rows*, never
+//! partial sums, which is what preserves bit-identity.
 
+use crate::par::{for_each_chunk_mut, num_threads};
 use crate::{Result, Tensor, TensorError};
+
+/// Register-blocked row group size for the microkernels.
+const MR: usize = 4;
+
+/// Square tile edge for the cache-blocked transpose.
+const TRANSPOSE_TILE: usize = 32;
+
+/// Minimum number of multiply-adds before a kernel bothers spawning
+/// workers; below this the split overhead dominates.
+const PAR_MIN_FLOPS: usize = 1 << 15;
 
 fn check_rank2(t: &Tensor) -> Result<(usize, usize)> {
     t.shape_obj().expect_rank(2)?;
     Ok((t.shape()[0], t.shape()[1]))
 }
 
+/// Rows per chunk so that `rows` splits into at most `num_threads()`
+/// pieces, or one piece when the total work is too small to split.
+fn row_chunk(rows: usize, flops: usize) -> usize {
+    let threads = num_threads();
+    if threads <= 1 || rows <= 1 || flops < PAR_MIN_FLOPS {
+        return rows.max(1);
+    }
+    rows.div_ceil(threads)
+}
+
+/// Computes output rows `[row0, row0 + rows)` of `C = A·B` into
+/// `ov_rows` (exactly those rows of `C`). `A: [m, k]`, `B: [k, n]`.
+fn matmul_rows(av: &[f32], bv: &[f32], ov_rows: &mut [f32], row0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = ov_rows.len() / n;
+    let mut i = 0;
+    while i < rows {
+        let block = (rows - i).min(MR);
+        let a_block = &av[(row0 + i) * k..(row0 + i + block) * k];
+        let out_block = &mut ov_rows[i * n..(i + block) * n];
+        if block == MR {
+            // Four output rows per pass over each B row: one load of
+            // b[j] feeds four fused multiply-adds.
+            let (o0, rest) = out_block.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            for p in 0..k {
+                let (a0, a1, a2, a3) = (a_block[p], a_block[k + p], a_block[2 * k + p], a_block[3 * k + p]);
+                let brow = &bv[p * n..(p + 1) * n];
+                for j in 0..n {
+                    let b = brow[j];
+                    o0[j] += a0 * b;
+                    o1[j] += a1 * b;
+                    o2[j] += a2 * b;
+                    o3[j] += a3 * b;
+                }
+            }
+        } else {
+            for bi in 0..block {
+                let arow = &a_block[bi * k..(bi + 1) * k];
+                let orow = &mut out_block[bi * n..(bi + 1) * n];
+                for (p, &aip) in arow.iter().enumerate() {
+                    let brow = &bv[p * n..(p + 1) * n];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += aip * b;
+                    }
+                }
+            }
+        }
+        i += block;
+    }
+}
+
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
-/// Uses the cache-friendly i-k-j loop order with an accumulation row, which
-/// is adequate for the layer sizes in this workspace.
+/// Row-chunk parallel with a register-blocked microkernel; bit-identical
+/// across thread counts and with the `parallel` feature disabled.
 ///
 /// # Errors
 ///
@@ -38,25 +117,44 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (av, bv) = (a.as_slice(), b.as_slice());
-    let ov = out.as_mut_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut ov[i * n..(i + 1) * n];
-        for (p, &aip) in arow.iter().enumerate() {
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            for (o, &bpj) in orow.iter_mut().zip(brow) {
-                *o += aip * bpj;
-            }
-        }
+    if m == 0 || n == 0 {
+        return Ok(out);
     }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let chunk = row_chunk(m, m * n * k);
+    for_each_chunk_mut(out.as_mut_slice(), chunk * n, move |ci, ov_rows| {
+        matmul_rows(av, bv, ov_rows, ci * chunk, k, n);
+    });
     Ok(out)
 }
 
+/// Computes output rows `[row0, row0 + rows)` of `C = Aᵀ·B` into
+/// `ov_rows`. `A: [k, m]`, `B: [k, n]`; row `i` of `C` reads column
+/// `row0 + i` of `A`.
+fn matmul_at_b_rows(av: &[f32], bv: &[f32], ov_rows: &mut [f32], row0: usize, k: usize, m: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = ov_rows.len() / n;
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for i in 0..rows {
+            let api = arow[row0 + i];
+            if api == 0.0 {
+                continue; // axpy of zero; skip the memory traffic
+            }
+            let orow = &mut ov_rows[i * n..(i + 1) * n];
+            for (o, &b) in orow.iter_mut().zip(brow) {
+                *o += api * b;
+            }
+        }
+    }
+}
+
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` without materializing `Aᵀ`.
+///
+/// Row-chunk parallel; bit-identical across thread counts.
 ///
 /// # Errors
 ///
@@ -73,25 +171,66 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (av, bv) = (a.as_slice(), b.as_slice());
-    let ov = out.as_mut_slice();
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &api) in arow.iter().enumerate() {
-            if api == 0.0 {
-                continue;
-            }
-            let orow = &mut ov[i * n..(i + 1) * n];
-            for (o, &bpj) in orow.iter_mut().zip(brow) {
-                *o += api * bpj;
-            }
-        }
+    if m == 0 || n == 0 {
+        return Ok(out);
     }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let chunk = row_chunk(m, m * n * k);
+    for_each_chunk_mut(out.as_mut_slice(), chunk * n, move |ci, ov_rows| {
+        matmul_at_b_rows(av, bv, ov_rows, ci * chunk, k, m, n);
+    });
     Ok(out)
 }
 
+/// Computes output rows `[row0, row0 + rows)` of `C = A·Bᵀ` into
+/// `ov_rows`. `A: [m, k]`, `B: [n, k]`.
+fn matmul_a_bt_rows(av: &[f32], bv: &[f32], ov_rows: &mut [f32], row0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = ov_rows.len() / n;
+    for i in 0..rows {
+        let arow = &av[(row0 + i) * k..(row0 + i + 1) * k];
+        let orow = &mut ov_rows[i * n..(i + 1) * n];
+        let mut j = 0;
+        // MR dot products per pass over arow: each a[p] load feeds
+        // four B rows. Each dot still accumulates over p in ascending
+        // order into a single accumulator, preserving bit-identity
+        // with the scalar tail below.
+        while j + MR <= n {
+            let b0 = &bv[j * k..(j + 1) * k];
+            let b1 = &bv[(j + 1) * k..(j + 2) * k];
+            let b2 = &bv[(j + 2) * k..(j + 3) * k];
+            let b3 = &bv[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for p in 0..k {
+                let ap = arow[p];
+                s0 += ap * b0[p];
+                s1 += ap * b1[p];
+                s2 += ap * b2[p];
+                s3 += ap * b3[p];
+            }
+            orow[j] += s0;
+            orow[j + 1] += s1;
+            orow[j + 2] += s2;
+            orow[j + 3] += s3;
+            j += MR;
+        }
+        while j < n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            orow[j] += acc;
+            j += 1;
+        }
+    }
+}
+
 /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` without materializing `Bᵀ`.
+///
+/// Row-chunk parallel; bit-identical across thread counts.
 ///
 /// # Errors
 ///
@@ -108,38 +247,61 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (av, bv) = (a.as_slice(), b.as_slice());
-    let ov = out.as_mut_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut ov[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *o += acc;
-        }
+    if m == 0 || n == 0 {
+        return Ok(out);
     }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let chunk = row_chunk(m, m * n * k);
+    for_each_chunk_mut(out.as_mut_slice(), chunk * n, move |ci, ov_rows| {
+        matmul_a_bt_rows(av, bv, ov_rows, ci * chunk, k, n);
+    });
     Ok(out)
 }
 
-/// Transpose of a matrix.
+/// Fills output rows `[jrow0, jrow0 + rows)` of the transpose (each of
+/// length `m`) from `A: [m, n]`, tile by tile so both the strided reads
+/// and the writes stay within cache lines of a [`TRANSPOSE_TILE`]²
+/// block.
+fn transpose_rows(av: &[f32], ov_rows: &mut [f32], jrow0: usize, m: usize, n: usize) {
+    if m == 0 {
+        return;
+    }
+    let rows = ov_rows.len() / m;
+    let mut ib = 0;
+    while ib < m {
+        let ie = (ib + TRANSPOSE_TILE).min(m);
+        let mut jb = 0;
+        while jb < rows {
+            let je = (jb + TRANSPOSE_TILE).min(rows);
+            for i in ib..ie {
+                let in_row = &av[i * n..(i + 1) * n];
+                for j in jb..je {
+                    ov_rows[j * m + i] = in_row[jrow0 + j];
+                }
+            }
+            jb = je;
+        }
+        ib = ie;
+    }
+}
+
+/// Transpose of a matrix, tiled for cache locality (the naive loop's
+/// column-stride writes thrash on tall matrices) and row-chunk parallel.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
 pub fn transpose2d(a: &Tensor) -> Result<Tensor> {
     let (m, n) = check_rank2(a)?;
-    let av = a.as_slice();
     let mut out = Tensor::zeros(&[n, m]);
-    let ov = out.as_mut_slice();
-    for i in 0..m {
-        for j in 0..n {
-            ov[j * m + i] = av[i * n + j];
-        }
+    if m == 0 || n == 0 {
+        return Ok(out);
     }
+    let av = a.as_slice();
+    let chunk = row_chunk(n, m * n);
+    for_each_chunk_mut(out.as_mut_slice(), chunk * m, move |ci, ov_rows| {
+        transpose_rows(av, ov_rows, ci * chunk, m, n);
+    });
     Ok(out)
 }
 
@@ -220,5 +382,47 @@ mod tests {
         let b = Tensor::zeros(&[3, 2]);
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.shape(), &[0, 2]);
+    }
+
+    /// Integer-valued matrices larger than the tile/register blocks:
+    /// blocked kernels must agree exactly with a reference triple loop
+    /// (all intermediate sums are exactly representable).
+    #[test]
+    fn blocked_kernels_match_reference_on_odd_shapes() {
+        // 7 rows exercises the MR=4 block plus a 3-row tail; 70 columns
+        // exercises the a_bt 4-dot block plus a 2-dot tail.
+        let (m, k, n) = (7, 9, 70);
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 7 + 3) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 5 + 1) % 11) as f32 - 5.0);
+        let c = matmul(&a, &b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                assert_eq!(c.at(&[i, j]), acc, "matmul mismatch at ({i}, {j})");
+            }
+        }
+        let at = transpose2d(&a).unwrap(); // [k, m] viewed as Aᵀ input
+        assert_eq!(matmul_at_b(&at, &b).unwrap(), c);
+        let bt = transpose2d(&b).unwrap(); // [n, k]
+        assert_eq!(matmul_a_bt(&a, &bt).unwrap(), c);
+    }
+
+    /// Tiled transpose on shapes larger than one tile, including
+    /// non-multiples of the tile edge.
+    #[test]
+    fn tiled_transpose_matches_naive() {
+        for (m, n) in [(1, 1), (3, 100), (100, 3), (33, 65), (64, 64)] {
+            let a = Tensor::from_fn(&[m, n], |i| i as f32);
+            let tr = transpose2d(&a).unwrap();
+            assert_eq!(tr.shape(), &[n, m]);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(tr.at(&[j, i]), a.at(&[i, j]), "({i}, {j}) of {m}x{n}");
+                }
+            }
+        }
     }
 }

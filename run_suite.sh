@@ -1,7 +1,16 @@
 #!/bin/bash
-# Regenerates every table and figure of the paper into results/.
+# Gate (tests, serial-build tests, clippy), then regenerate every table
+# and figure of the paper into results/, plus the parallel bench snapshot.
 set -x
 cd /root/repo
+mkdir -p results
+
+# --- gates: both feature configurations must pass, lints are errors ---
+cargo test --workspace -q 2> results/test.log || exit 1
+cargo test --workspace -q --no-default-features 2> results/test_serial.log || exit 1
+cargo clippy --workspace --all-targets -- -D warnings 2> results/clippy.log || exit 1
+
+# --- experiment harness ---
 cargo build --release -p ccq-bench 2> results/build.log
 time target/release/fig5_power > results/fig5_power.csv 2> results/fig5_power.log
 time target/release/fig4_lr > results/fig4_lr.csv 2> results/fig4_lr.log
@@ -11,4 +20,5 @@ time target/release/fig1_lambda > results/fig1_lambda.csv 2> results/fig1_lambda
 time target/release/table1 > results/table1.csv 2> results/table1.log
 time target/release/ablations > results/ablations.csv 2> results/ablations.log
 time target/release/table2 > results/table2.csv 2> results/table2.log
+time target/release/bench_parallel BENCH_parallel.json 2> results/bench_parallel.log
 echo ALL_DONE

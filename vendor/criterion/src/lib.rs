@@ -1,0 +1,298 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! A minimal wall-clock harness: each benchmark warms up once, then
+//! runs until a per-bench time budget (`CCQ_BENCH_MS`, default 200 ms)
+//! elapses, reporting mean ns/iter to stdout. No statistics, plots, or
+//! saved baselines — but [`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion::bench_function`], groups, and
+//! [`Bencher::iter`]/[`Bencher::iter_batched`] are source-compatible so
+//! benches build unchanged against registry criterion.
+//!
+//! CLI behaviour matches what cargo needs: `--bench` is accepted and
+//! ignored, `--test` switches to smoke mode (each routine runs once),
+//! and the first free argument is a substring filter on bench names.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (the only mode this workspace uses).
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Timing collector handed to benchmark closures.
+pub struct Bencher {
+    smoke: bool,
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the budget elapses.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warmup / fault-in
+        if self.smoke {
+            self.total = Duration::from_nanos(1);
+            self.iters = 1;
+            return;
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if (elapsed >= self.budget && iters >= 10) || iters >= 1_000_000_000 {
+                self.total = elapsed;
+                self.iters = iters;
+                return;
+            }
+        }
+    }
+
+    /// Times `routine` on inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        if self.smoke {
+            self.total = Duration::from_nanos(1);
+            self.iters = 1;
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget || iters < 10 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+            if iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.total.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// Benchmark registry/driver (stand-in for criterion's `Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+    budget: Duration,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms = std::env::var("CCQ_BENCH_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(200);
+        Criterion {
+            filter: None,
+            smoke: false,
+            budget: Duration::from_millis(budget_ms.max(1)),
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process CLI arguments (see module docs).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                "--test" => c.smoke = true,
+                s if s.starts_with('-') => {} // ignore unknown flags (e.g. --save-baseline)
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.should_run(id) {
+            return;
+        }
+        let mut b = Bencher {
+            smoke: self.smoke,
+            budget: self.budget,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        self.ran += 1;
+        if self.smoke {
+            println!("bench {id:<48} ok (smoke)");
+        } else {
+            let ns = b.ns_per_iter();
+            println!("bench {:<48} {:>14} ({} iters)", id, format_ns(ns), b.iters);
+        }
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    /// Opens a named group; member ids are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Prints the run footer (called by [`criterion_main!`]).
+    pub fn final_summary(&self) {
+        println!("bench summary: {} benchmark(s) run", self.ran);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and runs one member benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Defines a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $bench_fn(c); )+
+        }
+    };
+}
+
+/// Defines `main` driving the listed groups with CLI-derived settings.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut c = Criterion {
+            filter: None,
+            smoke: false,
+            budget: Duration::from_millis(5),
+            ran: 0,
+        };
+        let mut total = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                total = total.wrapping_add(1);
+                black_box(total)
+            })
+        });
+        assert_eq!(c.ran, 1);
+        assert!(total >= 10, "ran {total} iterations");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("keep".to_string()),
+            smoke: true,
+            budget: Duration::from_millis(1),
+            ran: 0,
+        };
+        let mut hit = false;
+        c.bench_function("skipped_bench", |b| b.iter(|| ()));
+        c.bench_function("keep_this", |b| {
+            hit = true;
+            b.iter(|| ())
+        });
+        assert!(hit);
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn groups_prefix_and_batched_runs() {
+        let mut c = Criterion {
+            filter: None,
+            smoke: true,
+            budget: Duration::from_millis(1),
+            ran: 0,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("member", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.ran, 1);
+    }
+}

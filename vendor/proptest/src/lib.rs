@@ -1,0 +1,442 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, range/tuple/vec/bool strategies
+//! with [`Strategy::prop_map`], and the `prop_assert*`/[`prop_assume!`]
+//! macros. Compared to the registry crate the runner here is much
+//! simpler: cases are generated from a deterministic per-test RNG
+//! (seeded from the test's module path and name), there is **no input
+//! shrinking**, and a failing case reports its case index so it can be
+//! replayed by rerunning the test (generation is deterministic).
+//! Call sites stay source-compatible with registry proptest.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values for property tests.
+    pub trait Strategy {
+        /// Type of values this strategy produces.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % width;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % width;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let v = self.start as f64 + (self.end as f64 - self.start as f64) * unit;
+                    v as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    (lo as f64 + (hi as f64 - lo as f64) * unit) as $t
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Inclusive length bounds for [`vec`]; built from a `usize`
+    /// (exact length) or a `Range<usize>` (half-open, as in proptest).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length in `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `elem` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.max - self.size.min;
+            let len = if span == 0 {
+                self.size.min
+            } else {
+                self.size.min + (rng.next_u64() as usize) % (span + 1)
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Runner configuration, RNG, and case-level error type.
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered this input out; try another.
+        Reject,
+        /// `prop_assert*` failed with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Deterministic generator: SplitMix64 seeded from the test's
+    /// fully-qualified name and the case index, so every run of a test
+    /// binary generates identical inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Glob-import surface matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests. Accepts an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            let max_attempts = config.cases.saturating_mul(20).max(200);
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases && attempts < max_attempts {
+                let case = attempts;
+                attempts += 1;
+                let mut rng = $crate::test_runner::TestRng::for_case(test_name, case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("{test_name} failed at case {case} (deterministic; rerun reproduces): {msg}");
+                    }
+                }
+            }
+            assert!(
+                accepted >= config.cases,
+                "{test_name}: only {accepted}/{} cases accepted after {attempts} attempts (prop_assume too strict)",
+                config.cases,
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (not panicking directly) so the runner can report the case
+/// index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case when `cond` is false; the runner draws a
+/// fresh input instead of counting it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds; assume/assert plumbing works.
+        #[test]
+        fn ranges_in_bounds((a, b) in (0usize..10, -5.0f32..5.0), flag in crate::bool::ANY) {
+            prop_assert!(a < 10);
+            prop_assert!((-5.0..5.0).contains(&b));
+            prop_assume!(a != 3);
+            prop_assert!(a != 3, "assume should have filtered a={}", a);
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u32..100, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn exact_vec_and_map(v in crate::collection::vec(0.0f32..1.0, 12).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 12);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::test_runner::TestRng;
+        let s = (0u64..1000, crate::collection::vec(-1.0f32..1.0, 1..5));
+        let a = s.generate(&mut TestRng::for_case("x", 7));
+        let b = s.generate(&mut TestRng::for_case("x", 7));
+        assert_eq!(a, b);
+        let c = s.generate(&mut TestRng::for_case("x", 8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_index() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

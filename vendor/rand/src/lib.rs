@@ -1,0 +1,310 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! Implements [`Rng`]/[`RngCore`]/[`SeedableRng`], a seeded
+//! [`rngs::StdRng`] backed by xoshiro256++, and
+//! [`seq::SliceRandom::shuffle`]. The generated streams differ from
+//! upstream `rand` (which never guaranteed stream stability across
+//! versions either); everything in this workspace seeds explicitly and
+//! only relies on determinism, not on specific values.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut r = rand::rngs::StdRng::seed_from_u64(7);
+//! let x: f32 = r.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! assert_eq!(r.gen_range(3..4usize), 3);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random bits.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`
+    /// (`[0, 1)` for floats, uniform bits for integers and `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of seeded generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from their "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 24 high bits -> [0, 1) with full f32 mantissa coverage.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % width;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % width;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic generator: xoshiro256++ seeded via
+    /// SplitMix64. Small, fast, and statistically solid for simulation
+    /// workloads (not cryptographic).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_splitmix(mut state: u64) -> Self {
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng::from_splitmix(state)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice with a Fisher–Yates pass.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_respected() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f32 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&y));
+            let z = r.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn int_ranges_respected() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.gen_range(10..15usize);
+            assert!((10..15).contains(&v));
+            seen[v - 10] = true;
+            let w = r.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all bucket values reachable");
+    }
+
+    #[test]
+    fn mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| f64::from(r.gen::<f32>())).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut r = StdRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,678 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! Data-parallel iterators (`par_iter`, `par_chunks`, `par_chunks_mut`,
+//! ranges) with `map`/`enumerate`/`for_each`/`collect`, plus [`scope`]
+//! and a [`ThreadPoolBuilder`] whose pools only scope a thread-count
+//! override. Unlike real rayon there is no persistent work-stealing
+//! pool: each parallel call splits its input into at most
+//! [`current_num_threads`] contiguous, order-preserving pieces and runs
+//! them on `std::thread::scope` threads. A thread-local flag marks
+//! worker threads so nested parallel calls degrade to sequential
+//! execution instead of spawning unbounded threads.
+//!
+//! Determinism contract relied on by the workspace: splitting is purely
+//! structural (contiguous pieces, results concatenated in input order),
+//! so any `collect` returns items in exactly the order a sequential run
+//! would produce, at every thread count.
+
+use std::cell::Cell;
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel calls may use on this thread:
+/// 1 inside a worker (nested calls run sequentially), otherwise the
+/// innermost [`ThreadPool::install`] override, otherwise
+/// `RAYON_NUM_THREADS`, otherwise `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    if let Some(n) = POOL_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Builder for a scoped thread-count override (mirrors rayon's API).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; construction
+/// here cannot actually fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with no explicit thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of threads `install` will expose; 0 means "use
+    /// the environment default" as in real rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Never fails in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that scopes a thread-count override for parallel calls made
+/// inside [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// call it makes, restoring the previous setting afterwards.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let prev = POOL_OVERRIDE.with(Cell::get);
+        let effective = self.num_threads.or(prev);
+        POOL_OVERRIDE.with(|c| c.set(effective));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// The thread count this pool exposes.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+/// Splittable data-parallel iterator. All combinators preserve input
+/// order; `collect`/`for_each` run pieces on scoped OS threads.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// True when the iterator yields no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into `[0, mid)` and `[mid, len)` pieces.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Drives the piece sequentially in input order.
+    fn drive<F: FnMut(Self::Item)>(self, f: F);
+
+    /// Maps each item through `f` (applied on worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index in the unsplit input.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Consumes every item, in parallel across contiguous pieces.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send + Clone,
+    {
+        let pieces = split_even(self);
+        run_pieces(pieces, |piece| piece.drive(f.clone()));
+    }
+
+    /// Collects into `C`, preserving sequential order exactly.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        let pieces = split_even(self);
+        let total: usize = pieces.iter().map(ParallelIterator::len).sum();
+        let per_piece = run_pieces(pieces, |piece| {
+            let mut out = Vec::with_capacity(piece.len());
+            piece.drive(|x| out.push(x));
+            out
+        });
+        let mut flat = Vec::with_capacity(total);
+        for v in per_piece {
+            flat.extend(v);
+        }
+        C::from_ordered(flat)
+    }
+}
+
+/// Splits `it` into at most `current_num_threads()` contiguous pieces
+/// of near-equal length, in order.
+fn split_even<I: ParallelIterator>(it: I) -> Vec<I> {
+    let n = it.len();
+    let threads = current_num_threads().min(n).max(1);
+    let (base, rem) = (n / threads, n % threads);
+    let mut pieces = Vec::with_capacity(threads);
+    let mut rest = it;
+    for i in 0..threads.saturating_sub(1) {
+        let take = base + usize::from(i < rem);
+        let (head, tail) = rest.split_at(take);
+        pieces.push(head);
+        rest = tail;
+    }
+    pieces.push(rest);
+    pieces
+}
+
+/// Runs `op` over each piece — sequentially when only one piece (or
+/// when already on a worker thread), otherwise one scoped thread per
+/// piece — returning results in piece order.
+fn run_pieces<I, R, F>(pieces: Vec<I>, op: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I) -> R + Sync + Send,
+{
+    if pieces.len() <= 1 || IN_WORKER.with(Cell::get) {
+        return pieces.into_iter().map(op).collect();
+    }
+    let op = &op;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pieces
+            .into_iter()
+            .map(|piece| {
+                s.spawn(move || {
+                    IN_WORKER.with(|c| c.set(true));
+                    op(piece)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+/// Conversion from an ordered item vector (the tail of `collect`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection from items already in sequential order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// `map` adapter (see [`ParallelIterator::map`]).
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map {
+                base: r,
+                f: self.f,
+            },
+        )
+    }
+
+    fn drive<G: FnMut(Self::Item)>(self, mut g: G) {
+        let f = self.f;
+        self.base.drive(|x| g(f(x)));
+    }
+}
+
+/// `enumerate` adapter carrying the split-invariant base index.
+#[derive(Debug)]
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + mid,
+            },
+        )
+    }
+
+    fn drive<G: FnMut(Self::Item)>(self, mut g: G) {
+        let mut i = self.offset;
+        self.base.drive(|x| {
+            g((i, x));
+            i += 1;
+        });
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+#[derive(Debug)]
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let pivot = self.start + mid;
+        (
+            RangeIter {
+                start: self.start,
+                end: pivot,
+            },
+            RangeIter {
+                start: pivot,
+                end: self.end,
+            },
+        )
+    }
+
+    fn drive<G: FnMut(Self::Item)>(self, mut g: G) {
+        for i in self.start..self.end {
+            g(i);
+        }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+#[derive(Debug)]
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (SliceIter { slice: l }, SliceIter { slice: r })
+    }
+
+    fn drive<G: FnMut(Self::Item)>(self, mut g: G) {
+        for x in self.slice {
+            g(x);
+        }
+    }
+}
+
+/// Parallel iterator over contiguous `&[T]` chunks.
+#[derive(Debug)]
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            ChunksIter {
+                slice: l,
+                size: self.size,
+            },
+            ChunksIter {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn drive<G: FnMut(Self::Item)>(self, mut g: G) {
+        for c in self.slice.chunks(self.size) {
+            g(c);
+        }
+    }
+}
+
+/// Parallel iterator over contiguous `&mut [T]` chunks.
+#[derive(Debug)]
+pub struct ChunksMutIter<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMutIter<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksMutIter {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMutIter {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn drive<G: FnMut(Self::Item)>(self, mut g: G) {
+        for c in self.slice.chunks_mut(self.size) {
+            g(c);
+        }
+    }
+}
+
+/// Entry point mirroring rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type produced.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_iter` on shared slices/vecs (rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type produced.
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator<Item = &'a T>,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_chunks` on shared slices (rayon's `ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksIter { slice: self, size }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices (rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutIter<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutIter<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksMutIter { slice: self, size }
+    }
+}
+
+/// Scope for structured task spawning, backed by `std::thread::scope`.
+pub struct Scope<'s, 'env: 's> {
+    inner: &'s std::thread::Scope<'s, 'env>,
+}
+
+impl<'s, 'env> Scope<'s, 'env> {
+    /// Spawns `f` on a scoped worker thread. The worker is marked so
+    /// parallel calls inside it run sequentially.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'s, 'env>) + Send + 's,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            IN_WORKER.with(|c| c.set(true));
+            let scope = Scope { inner };
+            f(&scope);
+        });
+    }
+}
+
+/// Runs `op` with a [`Scope`] whose spawned tasks all finish before
+/// `scope` returns (panics propagate).
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'s> FnOnce(&Scope<'s, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let scope = Scope { inner: s };
+        op(&scope)
+    })
+}
+
+/// Glob-import surface matching `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+            .install(f)
+    }
+
+    #[test]
+    fn collect_preserves_order_at_every_thread_count() {
+        let expect: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        for t in [1, 2, 4, 8, 16] {
+            let got: Vec<usize> = with_threads(t, || (0..1000).into_par_iter().map(|i| i * 3).collect());
+            assert_eq!(got, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint_regions() {
+        let mut v = vec![0u32; 103];
+        with_threads(4, || {
+            v.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (ci * 10 + j) as u32;
+                }
+            });
+        });
+        let expect: Vec<u32> = (0..103).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_err() {
+        let r: Result<Vec<usize>, String> = with_threads(4, || {
+            (0..100)
+                .into_par_iter()
+                .map(|i| if i == 57 { Err(format!("bad {i}")) } else { Ok(i) })
+                .collect()
+        });
+        assert_eq!(r.unwrap_err(), "bad 57");
+        let ok: Result<Vec<usize>, String> =
+            with_threads(4, || (0..10).into_par_iter().map(Ok).collect());
+        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism_is_sequential_in_workers() {
+        let counts: Vec<usize> = with_threads(4, || {
+            (0..8).into_par_iter().map(|_| current_num_threads()).collect()
+        });
+        // Inside workers nested calls must see exactly one thread. With a
+        // single available piece the driver may run inline (not a worker),
+        // so allow 1-or-outer but require every multi-piece run to be 1.
+        assert!(counts.iter().all(|&c| c == 1 || c == 4), "{counts:?}");
+    }
+
+    #[test]
+    fn install_scopes_and_restores_thread_count() {
+        let outer = current_num_threads();
+        with_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_threads(2, || assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let mut results = vec![0usize; 6];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i + 1);
+            }
+        });
+        assert_eq!(results, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn par_iter_over_slice_and_vec() {
+        let v: Vec<i64> = (0..57).collect();
+        let doubled: Vec<i64> = with_threads(4, || v.par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled, (0..57).map(|x| x * 2).collect::<Vec<_>>());
+        let chunk_sums: Vec<i64> = with_threads(2, || {
+            v.par_chunks(10).map(|c| c.iter().sum::<i64>()).collect()
+        });
+        assert_eq!(
+            chunk_sums,
+            v.chunks(10).map(|c| c.iter().sum::<i64>()).collect::<Vec<_>>()
+        );
+    }
+}

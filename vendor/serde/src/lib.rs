@@ -1,0 +1,17 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to mark
+//! types as wire-ready; nothing serializes through serde at runtime
+//! (JSON artifacts are emitted by hand-rolled writers). So the traits
+//! here are plain markers and the derives (feature `derive`) expand to
+//! nothing. Swapping `[workspace.dependencies]` back to registry serde
+//! requires no code changes at any call site.
+
+/// Marker for types that registry serde could serialize.
+pub trait Serialize {}
+
+/// Marker for types that registry serde could deserialize.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

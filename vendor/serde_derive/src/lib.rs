@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize, Deserialize)]` backing the vendored
+//! `serde` marker traits. Accepts (and ignores) `#[serde(...)]`
+//! attributes so annotated types keep compiling.
+
+use proc_macro::TokenStream;
+
+/// Emits a blanket-free empty impl site: the vendored `serde` traits
+/// are markers, so deriving produces no code. We cannot easily emit
+/// `impl Serialize for T` without a full generics parser, and nothing
+/// in the workspace bounds on the traits, so emitting nothing is both
+/// sufficient and simplest.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// See [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
