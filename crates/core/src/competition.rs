@@ -28,6 +28,10 @@ pub struct CompetitionOutcome {
     pub winner: usize,
     /// Which operand of the winner was lowered.
     pub winner_kind: ExpertKind,
+    /// The winner's slot in the persistent π vector (equal to `winner` at
+    /// layer granularity, `2·winner (+1)` at weight/act granularity). The
+    /// guard's quarantine policy excludes this slot on a re-draw.
+    pub winner_slot: usize,
     /// Label of the winning layer.
     pub winner_label: String,
     /// The winner's precision before this step.
@@ -38,6 +42,10 @@ pub struct CompetitionOutcome {
     pub probabilities: Vec<f32>,
     /// Every probe taken during the competition.
     pub probes: Vec<ProbeRecord>,
+    /// Probes whose validation loss ξ came back non-finite and were
+    /// therefore excluded from the Hedge update `π ← π·exp(−γξ)` (they
+    /// still appear in `probes` for diagnosis).
+    pub skipped_probes: usize,
 }
 
 /// The probe/update regime within one competition.
@@ -160,6 +168,14 @@ impl Competition {
         self.pi.clear();
     }
 
+    /// Overwrites the expert weights (run-state resume). The next
+    /// [`Competition::run`] keeps the vector only when its length matches
+    /// the slot count implied by the network and granularity; resume
+    /// validation checks that before calling this.
+    pub fn set_expert_weights(&mut self, pi: Vec<f32>) {
+        self.pi = pi;
+    }
+
     /// The next rung below `cur`, honoring an optional per-layer floor
     /// (`None` = sleeping). A full-precision target freezes the operand.
     fn next_rung(
@@ -177,12 +193,14 @@ impl Competition {
         }
     }
 
-    /// Enumerates the awake experts for the current network state.
+    /// Enumerates the awake experts for the current network state,
+    /// excluding quarantined π slots (treated as sleeping for this step).
     fn experts(
         &self,
         net: &mut Network,
         ladder: &BitLadder,
         targets: Option<&[BitWidth]>,
+        quarantined: &[usize],
     ) -> (Vec<Expert>, usize) {
         let info = net.quant_layer_info();
         let m_layers = info.len();
@@ -227,6 +245,9 @@ impl Competition {
                     }
                 }
             }
+        }
+        if !quarantined.is_empty() {
+            experts.retain(|e| !quarantined.contains(&e.slot));
         }
         let slots = match self.granularity {
             ExpertGranularity::Layer => m_layers,
@@ -325,11 +346,34 @@ impl Competition {
         val: &[Batch],
         rng: &mut Rng64,
     ) -> Result<Option<CompetitionOutcome>> {
+        self.run_excluding(net, ladder, targets, lambda, step, val, rng, &[])
+    }
+
+    /// [`Competition::run`] with some π slots quarantined: those experts
+    /// are treated as sleeping for this step only — never probed, never
+    /// drawn. The guard's quarantine policy uses this to re-draw after a
+    /// divergent recovery without permanently retiring the expert.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Competition::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_excluding(
+        &mut self,
+        net: &mut Network,
+        ladder: &BitLadder,
+        targets: Option<&[BitWidth]>,
+        lambda: &LambdaSchedule,
+        step: usize,
+        val: &[Batch],
+        rng: &mut Rng64,
+        quarantined: &[usize],
+    ) -> Result<Option<CompetitionOutcome>> {
         if val.is_empty() {
             return Err(CcqError::EmptyValidationSet);
         }
         let info = net.quant_layer_info();
-        let (experts, slots) = self.experts(net, ladder, targets);
+        let (experts, slots) = self.experts(net, ladder, targets, quarantined);
         if self.pi.len() != slots {
             self.pi = vec![1.0; slots];
         }
@@ -361,6 +405,7 @@ impl Competition {
         };
 
         let mut probes = Vec::with_capacity(rounds * probes_per_round);
+        let mut skipped_probes = 0usize;
         for u in 0..rounds {
             match self.regime {
                 ProbeRegime::FullInformation => {
@@ -373,7 +418,14 @@ impl Competition {
                     // the float results — identical to a serial run.
                     let losses = Self::probe_round(net, &experts, val)?;
                     for (e, loss) in experts.iter().zip(losses) {
-                        self.pi[e.slot] *= (-self.gamma * loss).exp();
+                        // A non-finite ξ would poison π permanently
+                        // (exp(−γ·NaN) = NaN); record the probe but skip
+                        // the update.
+                        if loss.is_finite() {
+                            self.pi[e.slot] *= (-self.gamma * loss).exp();
+                        } else {
+                            skipped_probes += 1;
+                        }
                         probes.push(ProbeRecord {
                             round: u,
                             layer: e.layer,
@@ -390,7 +442,11 @@ impl Competition {
                         .ok_or_else(|| CcqError::InvalidConfig("degenerate distribution".into()))?;
                     let e = experts[by_slot[slot].expect("sampled slot is active")];
                     let loss = Self::probe_one(net, &e, val)?;
-                    self.pi[e.slot] *= (-self.gamma * loss).exp();
+                    if loss.is_finite() {
+                        self.pi[e.slot] *= (-self.gamma * loss).exp();
+                    } else {
+                        skipped_probes += 1;
+                    }
                     probes.push(ProbeRecord {
                         round: u,
                         layer: e.layer,
@@ -417,11 +473,13 @@ impl Competition {
         Ok(Some(CompetitionOutcome {
             winner: winner.layer,
             winner_kind: winner.kind,
+            winner_slot: winner.slot,
             winner_label: info[winner.layer].label.clone(),
             from_bits: winner.from,
             to_bits: winner.to,
             probabilities: p,
             probes,
+            skipped_probes,
         }))
     }
 }
@@ -551,6 +609,73 @@ mod tests {
         assert_eq!(net.quant_spec(1).weight_bits, BitWidth::of(3));
         assert!(net.quant_spec(0).weight_bits.is_full_precision());
         assert!(net.quant_spec(2).weight_bits.is_full_precision());
+    }
+
+    #[test]
+    fn quarantined_slots_are_never_drawn() {
+        let (mut net, val) = setup();
+        let ladder = BitLadder::new(&[8, 4]).unwrap();
+        let mut comp = Competition::new(0.5, 2);
+        let lambda = LambdaSchedule::constant(0.0);
+        let mut r = rng(21);
+        // Quarantine layers 0 and 2: only layer 1 may win.
+        for _ in 0..4 {
+            let out = comp
+                .run_excluding(&mut net, &ladder, None, &lambda, 0, &val, &mut r, &[0, 2])
+                .unwrap();
+            let Some(out) = out else { break };
+            assert_eq!(out.winner, 1, "quarantined experts must not be drawn");
+            assert!(out.probes.iter().all(|p| p.layer == 1));
+        }
+        assert!(net.quant_spec(0).weight_bits.is_full_precision());
+        assert!(net.quant_spec(2).weight_bits.is_full_precision());
+    }
+
+    #[test]
+    fn quarantining_every_expert_returns_none() {
+        let (mut net, val) = setup();
+        let mut comp = Competition::default();
+        let mut r = rng(22);
+        let out = comp
+            .run_excluding(
+                &mut net,
+                &BitLadder::paper_default(),
+                None,
+                &LambdaSchedule::constant(0.0),
+                0,
+                &val,
+                &mut r,
+                &[0, 1, 2],
+            )
+            .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn non_finite_probe_losses_are_skipped_not_fed_to_hedge() {
+        let (mut net, val) = setup();
+        let mut comp = Competition::new(0.5, 2);
+        let mut r = rng(23);
+        // Poison the network input path so every probe loss is NaN.
+        net.visit_params(&mut |p| p.value.fill(f32::NAN));
+        let out = comp
+            .run(
+                &mut net,
+                &BitLadder::paper_default(),
+                None,
+                &LambdaSchedule::constant(0.0),
+                0,
+                &val,
+                &mut r,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.skipped_probes, out.probes.len());
+        assert!(out.probes.iter().all(|p| !p.val_loss.is_finite()));
+        // π was never touched by a NaN ξ: the draw distribution is still
+        // finite and the winner well-defined.
+        assert!(comp.expert_weights().iter().all(|w| w.is_finite()));
+        assert!(out.probabilities.iter().all(|p| p.is_finite()));
     }
 
     #[test]

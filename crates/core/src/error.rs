@@ -16,6 +16,20 @@ pub enum CcqError {
     InvalidConfig(String),
     /// The validation set was empty — CCQ's competition cannot probe.
     EmptyValidationSet,
+    /// The descent diverged (non-finite loss, weights, or accuracy) and the
+    /// guard exhausted its retry budget at this quantization step.
+    Diverged {
+        /// The quantization step `t` that could not complete.
+        step: usize,
+        /// Rollback/retry attempts consumed before giving up.
+        retries: usize,
+    },
+    /// Reading or writing run-state/checkpoint files failed at the I/O
+    /// layer.
+    CheckpointIo(String),
+    /// A saved run state cannot resume under the current configuration or
+    /// network (architecture, ladder, seed, or granularity differ).
+    ResumeMismatch(String),
 }
 
 impl fmt::Display for CcqError {
@@ -27,6 +41,14 @@ impl fmt::Display for CcqError {
             CcqError::EmptyValidationSet => {
                 write!(f, "validation set is empty; competition cannot run probes")
             }
+            CcqError::Diverged { step, retries } => {
+                write!(
+                    f,
+                    "descent diverged at quantization step {step} after {retries} rollback retries"
+                )
+            }
+            CcqError::CheckpointIo(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CcqError::ResumeMismatch(msg) => write!(f, "cannot resume run state: {msg}"),
         }
     }
 }
@@ -43,7 +65,10 @@ impl std::error::Error for CcqError {
 
 impl From<NnError> for CcqError {
     fn from(e: NnError) -> Self {
-        CcqError::Network(e)
+        match e {
+            NnError::CheckpointIo(msg) => CcqError::CheckpointIo(msg),
+            other => CcqError::Network(other),
+        }
     }
 }
 

@@ -45,18 +45,26 @@
 pub mod baselines;
 mod competition;
 mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+mod guard;
 mod lambda;
 mod profiles;
 mod recovery;
+mod run_state;
 mod runner;
 
 pub use competition::{
     Competition, CompetitionOutcome, ExpertGranularity, ExpertKind, ProbeRecord, ProbeRegime,
 };
 pub use error::CcqError;
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
+pub use guard::GuardPolicy;
 pub use lambda::LambdaSchedule;
 pub use profiles::layer_profiles;
-pub use recovery::{Collaboration, RecoveryMode, RecoveryRecord};
+pub use recovery::{Collaboration, EpochHook, RecoveryMode, RecoveryRecord};
+pub use run_state::RunState;
 pub use runner::{CcqConfig, CcqReport, CcqRunner, StepRecord, TraceEvent, TracePoint};
 
 /// Crate-wide result alias. See [`CcqError`] for the error cases.

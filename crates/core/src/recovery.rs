@@ -58,9 +58,20 @@ pub struct RecoveryRecord {
     /// Whether the adaptive threshold was reached (always `true` for
     /// manual mode).
     pub reached_threshold: bool,
+    /// The stage hit a non-finite training loss or validation accuracy and
+    /// bailed out early. The guarded runner responds per its
+    /// [`crate::GuardPolicy`]; an unguarded caller sees the poisoned state
+    /// as-is (the seed behavior).
+    pub diverged: bool,
     /// Per-epoch trace.
     pub trace: Vec<RecoveryEpoch>,
 }
+
+/// A per-epoch callback into the recovery loop, called with the 0-based
+/// epoch index *before* that epoch trains. The deterministic
+/// fault-injection harness uses this to poison the network at exact
+/// (step, epoch) coordinates.
+pub type EpochHook<'a> = &'a mut dyn FnMut(usize, &mut Network);
 
 /// The collaboration engine: all layers fine-tune together under
 /// quantization-aware training until accuracy recovers.
@@ -110,6 +121,30 @@ impl Collaboration {
         hybrid: &mut HybridRestart,
         rng: &mut Rng64,
     ) -> Result<RecoveryRecord> {
+        self.recover_with_hook(net, train, val, threshold_acc, opt, hybrid, rng, None)
+    }
+
+    /// [`Collaboration::recover`] with an optional per-epoch hook (fault
+    /// injection) and an explicit divergence bail-out: a non-finite
+    /// training loss or validation accuracy ends the stage immediately
+    /// with `diverged = true` instead of burning the remaining epoch
+    /// budget on a poisoned network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors from training or evaluation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_with_hook(
+        &self,
+        net: &mut Network,
+        train: &[Batch],
+        val: &[Batch],
+        threshold_acc: f32,
+        opt: &mut Sgd,
+        hybrid: &mut HybridRestart,
+        rng: &mut Rng64,
+        mut hook: Option<EpochHook<'_>>,
+    ) -> Result<RecoveryRecord> {
         let (budget, tolerance) = match self.mode {
             RecoveryMode::Manual { epochs } => (epochs, f32::INFINITY),
             RecoveryMode::Adaptive {
@@ -120,14 +155,18 @@ impl Collaboration {
         hybrid.reset_plateau();
         let mut trace = Vec::new();
         let mut reached = false;
+        let mut diverged = false;
         let mut final_acc = evaluate(net, val)?.accuracy;
-        for _ in 0..budget {
+        for e in 0..budget {
             let lr = if self.use_hybrid_lr {
                 hybrid.next_lr(final_acc)
             } else {
                 hybrid.base_lr()
             };
             opt.set_lr(lr);
+            if let Some(hook) = hook.as_mut() {
+                hook(e, net);
+            }
             let train_loss = train_epoch(net, train, opt, rng)?;
             final_acc = evaluate(net, val)?.accuracy;
             trace.push(RecoveryEpoch {
@@ -135,6 +174,10 @@ impl Collaboration {
                 val_accuracy: final_acc,
                 lr,
             });
+            if !train_loss.is_finite() || !final_acc.is_finite() {
+                diverged = true;
+                break;
+            }
             if matches!(self.mode, RecoveryMode::Adaptive { .. })
                 && final_acc >= threshold_acc - tolerance
             {
@@ -142,13 +185,14 @@ impl Collaboration {
                 break;
             }
         }
-        if matches!(self.mode, RecoveryMode::Manual { .. }) {
+        if matches!(self.mode, RecoveryMode::Manual { .. }) && !diverged {
             reached = true;
         }
         Ok(RecoveryRecord {
             epochs: trace.len(),
             final_accuracy: final_acc,
             reached_threshold: reached,
+            diverged,
             trace,
         })
     }
@@ -244,6 +288,46 @@ mod tests {
             .unwrap();
         assert_eq!(rec.epochs, 2);
         assert!(!rec.reached_threshold);
+    }
+
+    #[test]
+    fn non_finite_train_loss_bails_out_as_diverged() {
+        let (mut net, train, val) = setup();
+        let collab = Collaboration::new(RecoveryMode::Manual { epochs: 10 });
+        let mut opt = Sgd::new(0.05).momentum(0.9);
+        let mut hybrid = HybridRestart::new(0.05);
+        // Poison the classifier bias right before epoch 2 trains (a NaN in
+        // an earlier layer could be masked by ReLU; the head feeds the
+        // logits directly).
+        let mut hook = |e: usize, net: &mut Network| {
+            if e == 2 {
+                let mut count = 0;
+                net.visit_params(&mut |_| count += 1);
+                let mut i = 0;
+                net.visit_params(&mut |p| {
+                    if i + 1 == count {
+                        p.value.as_mut_slice()[0] = f32::NAN;
+                    }
+                    i += 1;
+                });
+            }
+        };
+        let rec = collab
+            .recover_with_hook(
+                &mut net,
+                &train,
+                &val,
+                1.0,
+                &mut opt,
+                &mut hybrid,
+                &mut rng(7),
+                Some(&mut hook),
+            )
+            .unwrap();
+        assert!(rec.diverged);
+        assert!(!rec.reached_threshold);
+        assert_eq!(rec.epochs, 3, "bails on the poisoned epoch, not later");
+        assert!(!rec.trace.last().unwrap().train_loss.is_finite());
     }
 
     #[test]

@@ -1,0 +1,619 @@
+//! Crash-safe run state: everything needed to resume a CCQ descent
+//! bit-for-bit from a step boundary.
+//!
+//! A [`RunState`] extends the network [`Checkpoint`] with the descent's
+//! own mutable state — Hedge weights π, the RNG stream, SGD momentum, the
+//! LR schedule, step/epoch counters, the recovery baseline, and the
+//! learning curve so far. The on-disk format mirrors the checkpoint's
+//! self-contained little-endian layout under its own magic (`CCQRUNS`).
+//!
+//! Writes are atomic: the state is written to a temporary file, fsynced,
+//! and renamed over the destination, with the previous generation
+//! retained as `<path>.prev`. [`RunState::load_with_fallback`] falls back
+//! to the previous generation when the current file is torn or corrupt,
+//! so a crash mid-write never loses the run.
+
+use crate::runner::{StepRecord, TraceEvent, TracePoint};
+use crate::{CcqError, ExpertKind, Result};
+use ccq_nn::checkpoint::Checkpoint;
+use ccq_quant::BitWidth;
+use ccq_tensor::Tensor;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+const MAGIC: &[u8; 7] = b"CCQRUNS";
+const VERSION: u8 = 1;
+
+/// A serializable snapshot of an in-flight CCQ run at a step boundary.
+///
+/// The first block of fields fingerprints the configuration; resume
+/// refuses to continue under a different config
+/// ([`CcqError::ResumeMismatch`]). The rest is the mutable descent state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunState {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Hedge learning rate γ.
+    pub gamma: f32,
+    /// Ladder rungs, top to floor, as raw bit counts.
+    pub ladder: Vec<u32>,
+    /// Expert granularity code (0 = layer, 1 = weight/act).
+    pub granularity_code: u8,
+    /// Probe regime code (0 = full information, 1 = sampled).
+    pub regime_code: u8,
+    /// Per-layer forced floors, as raw bit counts, when configured.
+    pub targets: Option<Vec<u32>>,
+    /// The next quantization step `t` to run (1-based).
+    pub next_step: usize,
+    /// Global fine-tuning epoch counter.
+    pub epoch: usize,
+    /// Full-precision baseline accuracy (the adaptive recovery threshold).
+    pub baseline_accuracy: f32,
+    /// Validation accuracy entering `next_step`.
+    pub last_accuracy: f32,
+    /// Optimizer learning rate in effect.
+    pub lr: f32,
+    /// Base LR of the hybrid schedule (guard retries may have scaled it).
+    pub base_lr: f32,
+    /// xoshiro256++ state of the run's RNG stream.
+    pub rng: [u64; 4],
+    /// Plateau tracking of the hybrid LR schedule.
+    pub plateau: (f32, usize, Option<usize>),
+    /// Hedge expert weights π.
+    pub pi: Vec<f32>,
+    /// SGD momentum buffers, in parameter visit order.
+    pub velocities: Vec<Tensor>,
+    /// The network checkpoint (weights, batch-norm stats, α, specs).
+    pub ckpt: Checkpoint,
+    /// Learning curve so far.
+    pub trace: Vec<TracePoint>,
+    /// Completed quantization steps so far.
+    pub steps: Vec<StepRecord>,
+}
+
+impl RunState {
+    /// Serializes to the binary run-state format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        w_u64(&mut out, self.seed);
+        w_f32(&mut out, self.gamma);
+        w_u32(&mut out, self.ladder.len() as u32);
+        for &b in &self.ladder {
+            w_u32(&mut out, b);
+        }
+        out.push(self.granularity_code);
+        out.push(self.regime_code);
+        match &self.targets {
+            None => out.push(0),
+            Some(t) => {
+                out.push(1);
+                w_u32(&mut out, t.len() as u32);
+                for &b in t {
+                    w_u32(&mut out, b);
+                }
+            }
+        }
+        w_u64(&mut out, self.next_step as u64);
+        w_u64(&mut out, self.epoch as u64);
+        w_f32(&mut out, self.baseline_accuracy);
+        w_f32(&mut out, self.last_accuracy);
+        w_f32(&mut out, self.lr);
+        w_f32(&mut out, self.base_lr);
+        for &s in &self.rng {
+            w_u64(&mut out, s);
+        }
+        w_f32(&mut out, self.plateau.0);
+        w_u64(&mut out, self.plateau.1 as u64);
+        match self.plateau.2 {
+            None => out.push(0),
+            Some(k) => {
+                out.push(1);
+                w_u64(&mut out, k as u64);
+            }
+        }
+        w_u32(&mut out, self.pi.len() as u32);
+        for &p in &self.pi {
+            w_f32(&mut out, p);
+        }
+        w_u32(&mut out, self.velocities.len() as u32);
+        for t in &self.velocities {
+            w_u32(&mut out, t.rank() as u32);
+            for &d in t.shape() {
+                w_u32(&mut out, d as u32);
+            }
+            for &v in t.as_slice() {
+                w_f32(&mut out, v);
+            }
+        }
+        let ckpt = self.ckpt.to_bytes();
+        w_u32(&mut out, ckpt.len() as u32);
+        out.extend_from_slice(&ckpt);
+        w_u32(&mut out, self.trace.len() as u32);
+        for p in &self.trace {
+            w_u64(&mut out, p.epoch as u64);
+            w_f32(&mut out, p.val_accuracy);
+            w_f32(&mut out, p.lr);
+            match p.event {
+                TraceEvent::Baseline => out.push(0),
+                TraceEvent::InitQuantize => out.push(1),
+                TraceEvent::QuantStep { layer, to_bits } => {
+                    out.push(2);
+                    w_u32(&mut out, layer as u32);
+                    w_u32(&mut out, to_bits.bits());
+                }
+                TraceEvent::Recovery => out.push(3),
+            }
+        }
+        w_u32(&mut out, self.steps.len() as u32);
+        for s in &self.steps {
+            w_u64(&mut out, s.step as u64);
+            w_u32(&mut out, s.layer as u32);
+            out.push(kind_code(s.kind));
+            w_u32(&mut out, s.label.len() as u32);
+            out.extend_from_slice(s.label.as_bytes());
+            w_u32(&mut out, s.from_bits.bits());
+            w_u32(&mut out, s.to_bits.bits());
+            w_f32(&mut out, s.accuracy_before);
+            w_f32(&mut out, s.accuracy_after_quant);
+            w_f32(&mut out, s.accuracy_after_recovery);
+            w_u64(&mut out, s.recovery_epochs as u64);
+            out.extend_from_slice(&s.compression.to_le_bytes());
+            w_f32(&mut out, s.lambda);
+        }
+        out
+    }
+
+    /// Deserializes from the binary run-state format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcqError::CheckpointIo`] on a truncated or malformed
+    /// buffer, a bad magic, or an unsupported version.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let cur = &mut &bytes[..];
+        let mut magic = [0u8; 7];
+        r_exact(cur, &mut magic)?;
+        if &magic != MAGIC {
+            return Err(malformed("not a CCQ run state (bad magic)"));
+        }
+        let version = r_u8(cur)?;
+        if version != VERSION {
+            return Err(malformed(&format!(
+                "unsupported run-state version {version} (this build reads version {VERSION})"
+            )));
+        }
+        let seed = r_u64(cur)?;
+        let gamma = r_f32(cur)?;
+        let n_rungs = r_u32(cur)? as usize;
+        if n_rungs > 64 {
+            return Err(malformed("implausible ladder length"));
+        }
+        let mut ladder = Vec::with_capacity(n_rungs);
+        for _ in 0..n_rungs {
+            ladder.push(r_u32(cur)?);
+        }
+        let granularity_code = r_u8(cur)?;
+        let regime_code = r_u8(cur)?;
+        let targets = match r_u8(cur)? {
+            0 => None,
+            1 => {
+                let n = r_u32(cur)? as usize;
+                if n > 1 << 20 {
+                    return Err(malformed("implausible target count"));
+                }
+                let mut t = Vec::with_capacity(n);
+                for _ in 0..n {
+                    t.push(r_u32(cur)?);
+                }
+                Some(t)
+            }
+            other => return Err(malformed(&format!("bad targets tag {other}"))),
+        };
+        let next_step = r_u64(cur)? as usize;
+        let epoch = r_u64(cur)? as usize;
+        let baseline_accuracy = r_f32(cur)?;
+        let last_accuracy = r_f32(cur)?;
+        let lr = r_f32(cur)?;
+        let base_lr = r_f32(cur)?;
+        let mut rng = [0u64; 4];
+        for s in &mut rng {
+            *s = r_u64(cur)?;
+        }
+        let plateau_best = r_f32(cur)?;
+        let plateau_since = r_u64(cur)? as usize;
+        let plateau_restart = match r_u8(cur)? {
+            0 => None,
+            1 => Some(r_u64(cur)? as usize),
+            other => return Err(malformed(&format!("bad restart tag {other}"))),
+        };
+        let n_pi = r_u32(cur)? as usize;
+        if n_pi > 1 << 20 {
+            return Err(malformed("implausible π length"));
+        }
+        let mut pi = Vec::with_capacity(n_pi);
+        for _ in 0..n_pi {
+            pi.push(r_f32(cur)?);
+        }
+        let n_vel = r_u32(cur)? as usize;
+        if n_vel > 1 << 20 {
+            return Err(malformed("implausible velocity count"));
+        }
+        let mut velocities = Vec::with_capacity(n_vel);
+        for _ in 0..n_vel {
+            let rank = r_u32(cur)? as usize;
+            if rank > 8 {
+                return Err(malformed("implausible tensor rank"));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(r_u32(cur)? as usize);
+            }
+            let numel: usize = dims.iter().product();
+            if numel > 1 << 28 {
+                return Err(malformed("implausible tensor size"));
+            }
+            let mut data = Vec::with_capacity(numel);
+            for _ in 0..numel {
+                data.push(r_f32(cur)?);
+            }
+            velocities
+                .push(Tensor::from_vec(data, &dims).map_err(|e| malformed(&e.to_string()))?);
+        }
+        let ckpt_len = r_u32(cur)? as usize;
+        if cur.len() < ckpt_len {
+            return Err(malformed("truncated run state"));
+        }
+        let ckpt = Checkpoint::from_bytes(&cur[..ckpt_len])
+            .map_err(|e| malformed(&format!("embedded checkpoint: {e}")))?;
+        *cur = &cur[ckpt_len..];
+        let n_trace = r_u32(cur)? as usize;
+        if n_trace > 1 << 24 {
+            return Err(malformed("implausible trace length"));
+        }
+        let mut trace = Vec::with_capacity(n_trace);
+        for _ in 0..n_trace {
+            let epoch = r_u64(cur)? as usize;
+            let val_accuracy = r_f32(cur)?;
+            let lr = r_f32(cur)?;
+            let event = match r_u8(cur)? {
+                0 => TraceEvent::Baseline,
+                1 => TraceEvent::InitQuantize,
+                2 => {
+                    let layer = r_u32(cur)? as usize;
+                    let to_bits = bitwidth(r_u32(cur)?)?;
+                    TraceEvent::QuantStep { layer, to_bits }
+                }
+                3 => TraceEvent::Recovery,
+                other => return Err(malformed(&format!("bad trace event tag {other}"))),
+            };
+            trace.push(TracePoint {
+                epoch,
+                val_accuracy,
+                lr,
+                event,
+            });
+        }
+        let n_steps = r_u32(cur)? as usize;
+        if n_steps > 1 << 24 {
+            return Err(malformed("implausible step count"));
+        }
+        let mut steps = Vec::with_capacity(n_steps);
+        for _ in 0..n_steps {
+            let step = r_u64(cur)? as usize;
+            let layer = r_u32(cur)? as usize;
+            let kind = kind_from_code(r_u8(cur)?)?;
+            let label_len = r_u32(cur)? as usize;
+            if cur.len() < label_len || label_len > 1 << 16 {
+                return Err(malformed("truncated run state"));
+            }
+            let label = String::from_utf8(cur[..label_len].to_vec())
+                .map_err(|_| malformed("step label is not UTF-8"))?;
+            *cur = &cur[label_len..];
+            let from_bits = bitwidth(r_u32(cur)?)?;
+            let to_bits = bitwidth(r_u32(cur)?)?;
+            let accuracy_before = r_f32(cur)?;
+            let accuracy_after_quant = r_f32(cur)?;
+            let accuracy_after_recovery = r_f32(cur)?;
+            let recovery_epochs = r_u64(cur)? as usize;
+            let mut c = [0u8; 8];
+            r_exact(cur, &mut c)?;
+            let compression = f64::from_le_bytes(c);
+            let lambda = r_f32(cur)?;
+            steps.push(StepRecord {
+                step,
+                layer,
+                kind,
+                label,
+                from_bits,
+                to_bits,
+                accuracy_before,
+                accuracy_after_quant,
+                accuracy_after_recovery,
+                recovery_epochs,
+                compression,
+                lambda,
+            });
+        }
+        Ok(RunState {
+            seed,
+            gamma,
+            ladder,
+            granularity_code,
+            regime_code,
+            targets,
+            next_step,
+            epoch,
+            baseline_accuracy,
+            last_accuracy,
+            lr,
+            base_lr,
+            rng,
+            plateau: (plateau_best, plateau_since, plateau_restart),
+            pi,
+            velocities,
+            ckpt,
+            trace,
+            steps,
+        })
+    }
+
+    /// Atomically writes the state to `path`: the bytes go to
+    /// `<path>.tmp`, are fsynced, and renamed into place; an existing
+    /// current file is first rotated to `<path>.prev` so the last good
+    /// generation survives a torn write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcqError::CheckpointIo`] on any filesystem failure.
+    pub fn write_atomic(&self, path: &Path) -> Result<()> {
+        let io = |e: std::io::Error, what: &str| {
+            CcqError::CheckpointIo(format!("{what} {}: {e}", path.display()))
+        };
+        let tmp = sibling(path, ".tmp");
+        let prev = sibling(path, ".prev");
+        let mut f = fs::File::create(&tmp).map_err(|e| io(e, "create tmp for"))?;
+        f.write_all(&self.to_bytes())
+            .map_err(|e| io(e, "write tmp for"))?;
+        f.sync_all().map_err(|e| io(e, "fsync tmp for"))?;
+        drop(f);
+        if path.exists() {
+            fs::rename(path, &prev).map_err(|e| io(e, "rotate previous for"))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| io(e, "rename into"))?;
+        // Durability of the renames themselves: fsync the directory
+        // (best-effort; not every platform supports opening a directory).
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the state from `path`, falling back to the retained
+    /// `<path>.prev` generation when the current file is missing,
+    /// truncated, or corrupt.
+    ///
+    /// # Errors
+    ///
+    /// Returns the current file's [`CcqError::CheckpointIo`] when neither
+    /// generation loads.
+    pub fn load_with_fallback(path: &Path) -> Result<Self> {
+        let current = Self::load(path);
+        match current {
+            Ok(s) => Ok(s),
+            Err(primary) => match Self::load(&sibling(path, ".prev")) {
+                Ok(s) => Ok(s),
+                Err(_) => Err(primary),
+            },
+        }
+    }
+
+    /// Loads the state from exactly `path` (no fallback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcqError::CheckpointIo`] on a read failure or malformed
+    /// contents.
+    pub fn load(path: &Path) -> Result<Self> {
+        let bytes = fs::read(path)
+            .map_err(|e| CcqError::CheckpointIo(format!("read {}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// `<path><suffix>` alongside the original file.
+fn sibling(path: &Path, suffix: &str) -> std::path::PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(suffix);
+    std::path::PathBuf::from(s)
+}
+
+fn malformed(msg: &str) -> CcqError {
+    CcqError::CheckpointIo(format!("malformed run state: {msg}"))
+}
+
+fn kind_code(k: ExpertKind) -> u8 {
+    match k {
+        ExpertKind::Layer => 0,
+        ExpertKind::Weights => 1,
+        ExpertKind::Activations => 2,
+    }
+}
+
+fn kind_from_code(c: u8) -> Result<ExpertKind> {
+    Ok(match c {
+        0 => ExpertKind::Layer,
+        1 => ExpertKind::Weights,
+        2 => ExpertKind::Activations,
+        other => return Err(malformed(&format!("unknown expert kind {other}"))),
+    })
+}
+
+fn bitwidth(bits: u32) -> Result<BitWidth> {
+    BitWidth::new(bits).map_err(|e| malformed(&e.to_string()))
+}
+
+fn w_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn r_exact(cur: &mut &[u8], buf: &mut [u8]) -> Result<()> {
+    if cur.len() < buf.len() {
+        return Err(malformed("truncated run state"));
+    }
+    buf.copy_from_slice(&cur[..buf.len()]);
+    *cur = &cur[buf.len()..];
+    Ok(())
+}
+
+fn r_u8(cur: &mut &[u8]) -> Result<u8> {
+    let mut b = [0u8; 1];
+    r_exact(cur, &mut b)?;
+    Ok(b[0])
+}
+
+fn r_u32(cur: &mut &[u8]) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r_exact(cur, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u64(cur: &mut &[u8]) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r_exact(cur, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn r_f32(cur: &mut &[u8]) -> Result<f32> {
+    let mut b = [0u8; 4];
+    r_exact(cur, &mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_models::mlp;
+    use ccq_quant::PolicyKind;
+
+    fn sample() -> RunState {
+        let mut net = mlp(&[4, 8, 2], PolicyKind::Pact, 0);
+        RunState {
+            seed: 7,
+            gamma: 0.5,
+            ladder: vec![8, 4, 2],
+            granularity_code: 0,
+            regime_code: 0,
+            targets: Some(vec![32, 4]),
+            next_step: 3,
+            epoch: 11,
+            baseline_accuracy: 0.91,
+            last_accuracy: 0.88,
+            lr: 0.01,
+            base_lr: 0.02,
+            rng: [1, 2, 3, 4],
+            plateau: (0.9, 1, Some(2)),
+            pi: vec![1.0, 0.5],
+            velocities: crate::guard::capture_velocities(&mut net),
+            ckpt: Checkpoint::capture(&mut net),
+            trace: vec![
+                TracePoint {
+                    epoch: 0,
+                    val_accuracy: 0.91,
+                    lr: 0.02,
+                    event: TraceEvent::Baseline,
+                },
+                TracePoint {
+                    epoch: 1,
+                    val_accuracy: 0.85,
+                    lr: 0.02,
+                    event: TraceEvent::QuantStep {
+                        layer: 1,
+                        to_bits: BitWidth::of(4),
+                    },
+                },
+            ],
+            steps: vec![StepRecord {
+                step: 1,
+                layer: 1,
+                kind: ExpertKind::Layer,
+                label: "fc1".into(),
+                from_bits: BitWidth::of(8),
+                to_bits: BitWidth::of(4),
+                accuracy_before: 0.9,
+                accuracy_after_quant: 0.85,
+                accuracy_after_recovery: 0.89,
+                recovery_epochs: 4,
+                compression: 7.5,
+                lambda: 0.3,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let s = sample();
+        let restored = RunState::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(restored, s);
+    }
+
+    #[test]
+    fn rejects_bad_magic_wrong_version_and_truncation() {
+        let mut bytes = sample().to_bytes();
+        assert!(matches!(
+            RunState::from_bytes(b"NOTRUNS!"),
+            Err(CcqError::CheckpointIo(_))
+        ));
+        for keep in 0..bytes.len() {
+            assert!(
+                RunState::from_bytes(&bytes[..keep]).is_err(),
+                "prefix of {keep} bytes must not parse"
+            );
+        }
+        bytes[7] = 99;
+        match RunState::from_bytes(&bytes).unwrap_err() {
+            CcqError::CheckpointIo(msg) => assert!(msg.contains("version 99"), "{msg}"),
+            other => panic!("expected CheckpointIo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_write_retains_previous_generation() {
+        let dir = std::env::temp_dir().join("ccq_run_state_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("state.ccqruns");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(sibling(&path, ".prev"));
+
+        let a = sample();
+        a.write_atomic(&path).unwrap();
+        let mut b = a.clone();
+        b.next_step = 4;
+        b.write_atomic(&path).unwrap();
+
+        assert_eq!(RunState::load(&path).unwrap().next_step, 4);
+        assert_eq!(
+            RunState::load(&sibling(&path, ".prev")).unwrap().next_step,
+            3
+        );
+
+        // Corrupt the current generation: the loader falls back.
+        fs::write(&path, b"torn write").unwrap();
+        assert_eq!(RunState::load_with_fallback(&path).unwrap().next_step, 3);
+
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(sibling(&path, ".prev"));
+    }
+}

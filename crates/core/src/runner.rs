@@ -1,18 +1,24 @@
 //! The CCQ orchestration loop (paper Algorithm 1 plus Eq. 7).
 
+#[cfg(feature = "fault-inject")]
+use crate::fault::{inject_nan, FaultPlan};
+use crate::guard::{capture_velocities, restore_velocities, StepSnapshot};
+use crate::run_state::RunState;
 use crate::{
     layer_profiles, CcqError, Collaboration, Competition, ExpertGranularity, ExpertKind,
-    LambdaSchedule, ProbeRegime, RecoveryMode, Result,
+    GuardPolicy, LambdaSchedule, ProbeRegime, RecoveryMode, RecoveryRecord, Result,
 };
 use ccq_data::{Augment, ImageDataset};
 use ccq_hw::model_size;
+use ccq_nn::checkpoint::Checkpoint;
 use ccq_nn::schedule::HybridRestart;
 use ccq_nn::train::{evaluate, Batch};
 use ccq_nn::{Network, Sgd};
 use ccq_quant::{BitLadder, BitWidth};
-use ccq_tensor::{rng, Rng64};
+use ccq_tensor::{rng, rng_from_state, rng_state, Rng64};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Configuration for a [`CcqRunner`].
 #[derive(Debug, Clone)]
@@ -61,6 +67,16 @@ pub struct CcqConfig {
     pub augment: Augment,
     /// Master seed (sampling, shuffling, augmentation).
     pub seed: u64,
+    /// Divergence guard: what to do when a quantization step produces a
+    /// non-finite loss, accuracy, or weights.
+    pub guard: GuardPolicy,
+    /// When set, the runner atomically writes a [`RunState`] to this path
+    /// at every step boundary; [`CcqRunner::resume`] continues from it
+    /// bit-for-bit.
+    pub autosave: Option<PathBuf>,
+    /// Additional attempts for a failed autosave write before the run
+    /// surfaces [`CcqError::CheckpointIo`].
+    pub autosave_retries: usize,
 }
 
 impl Default for CcqConfig {
@@ -84,6 +100,9 @@ impl Default for CcqConfig {
             batch_size: 32,
             augment: Augment::standard(),
             seed: 0,
+            guard: GuardPolicy::default(),
+            autosave: None,
+            autosave_retries: 3,
         }
     }
 }
@@ -246,11 +265,29 @@ impl fmt::Display for CcqReport {
     }
 }
 
+/// The mutable state one descent carries between quantization steps —
+/// everything a [`RunState`] checkpoint captures and a rollback restores.
+struct DescentState {
+    r: Rng64,
+    opt: Sgd,
+    hybrid: HybridRestart,
+    collab: Collaboration,
+    trace: Vec<TracePoint>,
+    steps: Vec<StepRecord>,
+    epoch: usize,
+    baseline: f32,
+    last_acc: f32,
+    /// The next quantization step `t` to run (1-based).
+    next_step: usize,
+}
+
 /// Orchestrates the competition/collaboration loop over a network.
 #[derive(Debug)]
 pub struct CcqRunner {
     config: CcqConfig,
     competition: Competition,
+    #[cfg(feature = "fault-inject")]
+    fault: Option<FaultPlan>,
 }
 
 impl CcqRunner {
@@ -267,12 +304,32 @@ impl CcqRunner {
         CcqRunner {
             config,
             competition,
+            #[cfg(feature = "fault-inject")]
+            fault: None,
         }
+    }
+
+    /// Arms a deterministic fault-injection plan: the scheduled NaN
+    /// gradients and write failures fire during the next run.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
     }
 
     /// The configuration.
     pub fn config(&self) -> &CcqConfig {
         &self.config
+    }
+
+    /// The competition's current Hedge weights π (empty before a run).
+    pub fn expert_weights(&self) -> &[f32] {
+        self.competition.expert_weights()
+    }
+
+    /// The armed fault plan, when one was injected.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Runs CCQ over image datasets: training batches are rebuilt with
@@ -320,11 +377,11 @@ impl CcqRunner {
                 )));
             }
         }
-        let mut r = rng(self.config.seed);
-        let mut opt = Sgd::new(self.config.lr)
+        let r = rng(self.config.seed);
+        let opt = Sgd::new(self.config.lr)
             .momentum(self.config.momentum)
             .weight_decay(self.config.weight_decay);
-        let mut hybrid = HybridRestart::new(self.config.lr);
+        let hybrid = HybridRestart::new(self.config.lr);
         let collab = if self.config.use_hybrid_lr {
             Collaboration::new(self.config.recovery)
         } else {
@@ -332,10 +389,9 @@ impl CcqRunner {
         };
 
         let mut trace = Vec::new();
-        let mut epoch = 0usize;
         let baseline = evaluate(net, val)?.accuracy;
         trace.push(TracePoint {
-            epoch,
+            epoch: 0,
             val_accuracy: baseline,
             lr: self.config.lr,
             event: TraceEvent::Baseline,
@@ -358,87 +414,274 @@ impl CcqRunner {
         }
         let after_init = evaluate(net, val)?.accuracy;
         trace.push(TracePoint {
-            epoch,
+            epoch: 0,
             val_accuracy: after_init,
             lr: self.config.lr,
             event: TraceEvent::InitQuantize,
         });
-        let mut last_acc = self.collaborate(
-            net,
-            train_provider,
-            val,
+        let mut st = DescentState {
+            r,
+            opt,
+            hybrid,
+            collab,
+            trace,
+            steps: Vec::new(),
+            epoch: 0,
             baseline,
-            &collab,
-            &mut opt,
-            &mut hybrid,
-            &mut r,
-            &mut trace,
-            &mut epoch,
-        )?;
+            last_acc: after_init,
+            next_step: 1,
+        };
+        let rec = self.collaborate(net, train_provider, val, &mut st, 0)?;
+        st.last_acc = rec.final_accuracy;
+        self.descend(net, train_provider, val, st)
+    }
 
+    /// Resumes a run from a [`RunState`] autosaved by a previous
+    /// (possibly crashed) run of the *same* configuration over a
+    /// structurally identical, freshly built network. The continued run
+    /// is bit-for-bit identical to one that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcqError::CheckpointIo`] when neither the state file nor
+    /// its `.prev` generation loads, and [`CcqError::ResumeMismatch`]
+    /// when the saved run does not match this configuration or network.
+    pub fn resume(
+        &mut self,
+        path: &Path,
+        net: &mut Network,
+        train: &ImageDataset,
+        val: &ImageDataset,
+    ) -> Result<CcqReport> {
+        let val_batches = val.batches(self.config.batch_size.max(1));
+        let (batch_size, augment) = (self.config.batch_size.max(1), self.config.augment);
+        let mut provider =
+            |r: &mut Rng64| -> Vec<Batch> { train.augmented_batches(batch_size, &augment, r) };
+        self.resume_with_sources(path, net, &mut provider, &val_batches)
+    }
+
+    /// [`CcqRunner::resume`] with an explicit per-stage batch provider.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CcqRunner::resume`].
+    pub fn resume_with_sources(
+        &mut self,
+        path: &Path,
+        net: &mut Network,
+        train_provider: &mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
+        val: &[Batch],
+    ) -> Result<CcqReport> {
+        if val.is_empty() {
+            return Err(CcqError::EmptyValidationSet);
+        }
+        let state = RunState::load_with_fallback(path)?;
+        self.validate_resume(&state, net)?;
+        state.ckpt.apply(net).map_err(|e| {
+            CcqError::ResumeMismatch(format!("checkpoint does not fit this network: {e}"))
+        })?;
+        restore_velocities(net, &state.velocities);
+        self.competition.set_expert_weights(state.pi.clone());
+        let mut hybrid = HybridRestart::new(state.base_lr);
+        hybrid.set_plateau_state(state.plateau);
+        let mut opt = Sgd::new(self.config.lr)
+            .momentum(self.config.momentum)
+            .weight_decay(self.config.weight_decay);
+        opt.set_lr(state.lr);
+        let collab = if self.config.use_hybrid_lr {
+            Collaboration::new(self.config.recovery)
+        } else {
+            Collaboration::new(self.config.recovery).with_constant_lr()
+        };
+        let st = DescentState {
+            r: rng_from_state(state.rng),
+            opt,
+            hybrid,
+            collab,
+            trace: state.trace,
+            steps: state.steps,
+            epoch: state.epoch,
+            baseline: state.baseline_accuracy,
+            last_acc: state.last_accuracy,
+            next_step: state.next_step,
+        };
+        self.descend(net, train_provider, val, st)
+    }
+
+    /// Rejects a [`RunState`] whose configuration fingerprint or network
+    /// structure does not match this runner.
+    fn validate_resume(&self, state: &RunState, net: &mut Network) -> Result<()> {
+        let mismatch = |msg: String| Err(CcqError::ResumeMismatch(msg));
+        if state.seed != self.config.seed {
+            return mismatch(format!(
+                "saved seed {} != configured {}",
+                state.seed, self.config.seed
+            ));
+        }
+        if state.gamma.to_bits() != self.config.gamma.to_bits() {
+            return mismatch(format!(
+                "saved γ {} != configured {}",
+                state.gamma, self.config.gamma
+            ));
+        }
+        let ladder: Vec<u32> = self.config.ladder.rungs().iter().map(|b| b.bits()).collect();
+        if state.ladder != ladder {
+            return mismatch(format!(
+                "saved ladder {:?} != configured {ladder:?}",
+                state.ladder
+            ));
+        }
+        if state.granularity_code != granularity_code(self.config.granularity) {
+            return mismatch("saved expert granularity differs".into());
+        }
+        if state.regime_code != regime_code(self.config.probe_regime) {
+            return mismatch("saved probe regime differs".into());
+        }
+        let targets = self
+            .config
+            .targets
+            .as_ref()
+            .map(|t| t.iter().map(|b| b.bits()).collect::<Vec<u32>>());
+        if state.targets != targets {
+            return mismatch("saved per-layer targets differ".into());
+        }
+        let mut shapes: Vec<Vec<usize>> = Vec::new();
+        net.visit_params(&mut |p| shapes.push(p.velocity.shape().to_vec()));
+        if shapes.len() != state.velocities.len() {
+            return mismatch(format!(
+                "saved run has {} momentum buffers, network has {}",
+                state.velocities.len(),
+                shapes.len()
+            ));
+        }
+        for (i, (s, v)) in shapes.iter().zip(&state.velocities).enumerate() {
+            if s != v.shape() {
+                return mismatch(format!("momentum buffer {i} shape differs"));
+            }
+        }
+        let m = net.quant_layer_count();
+        let slots = match self.config.granularity {
+            ExpertGranularity::Layer => m,
+            ExpertGranularity::WeightAct => 2 * m,
+        };
+        if state.pi.len() != slots {
+            return mismatch(format!(
+                "saved π has {} slots, this run needs {slots}",
+                state.pi.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Walks quantization steps from `st.next_step` until the ladder is
+    /// exhausted, a compression target is hit, or the step cap is
+    /// reached. Each step is guarded per [`CcqConfig::guard`] and the run
+    /// state is autosaved at every step boundary.
+    fn descend(
+        &mut self,
+        net: &mut Network,
+        train_provider: &mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
+        val: &[Batch],
+        mut st: DescentState,
+    ) -> Result<CcqReport> {
         let probe_val = if self.config.probe_val_batches == 0 {
             val
         } else {
             &val[..self.config.probe_val_batches.min(val.len())]
         };
-        let mut steps = Vec::new();
-        for t in 1..=self.config.max_steps {
+        self.autosave(net, &st)?;
+        'steps: for t in st.next_step..=self.config.max_steps {
             let lambda_now = self.config.lambda.value(t - 1);
-            let outcome = self.competition.run(
-                net,
-                &self.config.ladder,
-                self.config.targets.as_deref(),
-                &self.config.lambda,
-                t - 1,
-                probe_val,
-                &mut r,
-            )?;
-            let Some(outcome) = outcome else {
-                break; // every expert is asleep: fully quantized
+            let mut attempt = 0usize;
+            let mut quarantined: Vec<usize> = Vec::new();
+            let (outcome, rec, valley) = loop {
+                let snap = if self.config.guard.is_off() {
+                    None
+                } else {
+                    Some(StepSnapshot::capture(
+                        net,
+                        self.competition.expert_weights(),
+                        &st.r,
+                        &st.opt,
+                        &st.hybrid,
+                        st.epoch,
+                        st.trace.len(),
+                    ))
+                };
+                let outcome = self.competition.run_excluding(
+                    net,
+                    &self.config.ladder,
+                    self.config.targets.as_deref(),
+                    &self.config.lambda,
+                    t - 1,
+                    probe_val,
+                    &mut st.r,
+                    &quarantined,
+                )?;
+                let Some(outcome) = outcome else {
+                    if quarantined.is_empty() {
+                        break 'steps; // every expert is asleep: fully quantized
+                    }
+                    // Only quarantined experts remain: nothing left to draw.
+                    return Err(CcqError::Diverged {
+                        step: t,
+                        retries: attempt,
+                    });
+                };
+                let valley = evaluate(net, val)?.accuracy;
+                st.trace.push(TracePoint {
+                    epoch: st.epoch,
+                    val_accuracy: valley,
+                    lr: st.opt.lr(),
+                    event: TraceEvent::QuantStep {
+                        layer: outcome.winner,
+                        to_bits: outcome.to_bits,
+                    },
+                });
+                let rec = self.collaborate(net, train_provider, val, &mut st, t)?;
+                let healthy = self.config.guard.is_off()
+                    || (!rec.diverged && rec.final_accuracy.is_finite() && net.all_finite());
+                if healthy {
+                    break (outcome, rec, valley);
+                }
+                // Divergence: roll everything back to the pre-step
+                // snapshot and apply the guard policy.
+                let snap = snap.as_ref().expect("guard on implies a snapshot");
+                self.restore_snapshot(snap, net, &mut st)?;
+                attempt += 1;
+                if attempt > self.config.guard.max_retries() {
+                    return Err(CcqError::Diverged {
+                        step: t,
+                        retries: attempt - 1,
+                    });
+                }
+                match self.config.guard {
+                    GuardPolicy::RollbackRetry { lr_factor, .. } => {
+                        st.hybrid.scale_base_lr(lr_factor);
+                        st.opt.set_lr(st.hybrid.base_lr());
+                    }
+                    GuardPolicy::Quarantine { .. } => quarantined.push(outcome.winner_slot),
+                    GuardPolicy::Off => unreachable!("Off never reaches the rollback path"),
+                }
             };
-            let valley = evaluate(net, val)?.accuracy;
-            trace.push(TracePoint {
-                epoch,
-                val_accuracy: valley,
-                lr: opt.lr(),
-                event: TraceEvent::QuantStep {
-                    layer: outcome.winner,
-                    to_bits: outcome.to_bits,
-                },
-            });
-            let recovered = self.collaborate(
-                net,
-                train_provider,
-                val,
-                baseline,
-                &collab,
-                &mut opt,
-                &mut hybrid,
-                &mut r,
-                &mut trace,
-                &mut epoch,
-            )?;
             let compression = model_size(&layer_profiles(net)).compression;
-            let recovery_epochs = trace
-                .iter()
-                .rev()
-                .take_while(|p| matches!(p.event, TraceEvent::Recovery))
-                .count();
-            steps.push(StepRecord {
+            st.steps.push(StepRecord {
                 step: t,
                 layer: outcome.winner,
                 kind: outcome.winner_kind,
                 label: outcome.winner_label,
                 from_bits: outcome.from_bits,
                 to_bits: outcome.to_bits,
-                accuracy_before: last_acc,
+                accuracy_before: st.last_acc,
                 accuracy_after_quant: valley,
-                accuracy_after_recovery: recovered,
-                recovery_epochs,
+                accuracy_after_recovery: rec.final_accuracy,
+                recovery_epochs: rec.epochs,
                 compression,
                 lambda: lambda_now,
             });
-            last_acc = recovered;
+            st.last_acc = rec.final_accuracy;
+            st.next_step = t + 1;
+            self.autosave(net, &st)?;
             if let Some(target) = self.config.target_compression {
                 if compression >= target {
                     break;
@@ -454,43 +697,172 @@ impl CcqRunner {
             .map(|i| (i.label, i.spec.weight_bits, i.spec.act_bits))
             .collect();
         Ok(CcqReport {
-            baseline_accuracy: baseline,
+            baseline_accuracy: st.baseline,
             final_accuracy,
             final_compression,
-            steps,
-            trace,
+            steps: st.steps,
+            trace: st.trace,
             bit_assignment,
         })
     }
 
+    /// Restores a pre-step snapshot after a divergent attempt: network
+    /// and momentum, Hedge weights, RNG stream, LR schedule, and the
+    /// learning-curve cursor.
+    fn restore_snapshot(
+        &mut self,
+        snap: &StepSnapshot,
+        net: &mut Network,
+        st: &mut DescentState,
+    ) -> Result<()> {
+        snap.restore_network(net)?;
+        self.competition.set_expert_weights(snap.pi.clone());
+        st.r = rng_from_state(snap.rng);
+        let mut hybrid = HybridRestart::new(snap.base_lr);
+        hybrid.set_plateau_state(snap.plateau);
+        st.hybrid = hybrid;
+        st.opt.set_lr(snap.lr);
+        st.epoch = snap.epoch;
+        st.trace.truncate(snap.trace_len);
+        Ok(())
+    }
+
     /// One collaboration stage; appends recovery epochs to the trace and
-    /// returns the final accuracy.
-    #[allow(clippy::too_many_arguments)]
+    /// returns the full [`RecoveryRecord`]. `step` identifies the
+    /// quantization step for fault-injection coordinates (0 = the initial
+    /// post-ladder-top stage).
     fn collaborate(
         &self,
         net: &mut Network,
         train_provider: &mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
         val: &[Batch],
-        baseline: f32,
-        collab: &Collaboration,
-        opt: &mut Sgd,
-        hybrid: &mut HybridRestart,
-        r: &mut Rng64,
-        trace: &mut Vec<TracePoint>,
-        epoch: &mut usize,
-    ) -> Result<f32> {
-        let train = train_provider(r);
-        let rec = collab.recover(net, &train, val, baseline, opt, hybrid, r)?;
+        st: &mut DescentState,
+        step: usize,
+    ) -> Result<RecoveryRecord> {
+        let train = train_provider(&mut st.r);
+        #[cfg(not(feature = "fault-inject"))]
+        let _ = step;
+        #[cfg(feature = "fault-inject")]
+        let rec = if let Some(plan) = self.fault.as_ref() {
+            let mut hook = |e: usize, n: &mut Network| {
+                if plan.take_nan_grad(step, e) {
+                    inject_nan(n);
+                }
+            };
+            st.collab.recover_with_hook(
+                net,
+                &train,
+                val,
+                st.baseline,
+                &mut st.opt,
+                &mut st.hybrid,
+                &mut st.r,
+                Some(&mut hook),
+            )?
+        } else {
+            st.collab.recover(
+                net,
+                &train,
+                val,
+                st.baseline,
+                &mut st.opt,
+                &mut st.hybrid,
+                &mut st.r,
+            )?
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let rec = st.collab.recover(
+            net,
+            &train,
+            val,
+            st.baseline,
+            &mut st.opt,
+            &mut st.hybrid,
+            &mut st.r,
+        )?;
         for e in &rec.trace {
-            *epoch += 1;
-            trace.push(TracePoint {
-                epoch: *epoch,
+            st.epoch += 1;
+            st.trace.push(TracePoint {
+                epoch: st.epoch,
                 val_accuracy: e.val_accuracy,
                 lr: e.lr,
                 event: TraceEvent::Recovery,
             });
         }
-        Ok(rec.final_accuracy)
+        Ok(rec)
+    }
+
+    /// Atomically writes the current run state to the configured autosave
+    /// path, retrying failed writes up to [`CcqConfig::autosave_retries`]
+    /// times. A no-op when autosave is off.
+    fn autosave(&self, net: &mut Network, st: &DescentState) -> Result<()> {
+        let Some(path) = self.config.autosave.clone() else {
+            return Ok(());
+        };
+        let state = self.capture_run_state(net, st);
+        let mut attempts = 0usize;
+        loop {
+            #[cfg(feature = "fault-inject")]
+            let injected = self.fault.as_ref().is_some_and(|p| p.take_write_failure());
+            #[cfg(not(feature = "fault-inject"))]
+            let injected = false;
+            let result = if injected {
+                Err(CcqError::CheckpointIo(format!(
+                    "injected write failure for {}",
+                    path.display()
+                )))
+            } else {
+                state.write_atomic(&path)
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(_) if attempts < self.config.autosave_retries => attempts += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Packages the current descent state as a [`RunState`].
+    fn capture_run_state(&self, net: &mut Network, st: &DescentState) -> RunState {
+        RunState {
+            seed: self.config.seed,
+            gamma: self.config.gamma,
+            ladder: self.config.ladder.rungs().iter().map(|b| b.bits()).collect(),
+            granularity_code: granularity_code(self.config.granularity),
+            regime_code: regime_code(self.config.probe_regime),
+            targets: self
+                .config
+                .targets
+                .as_ref()
+                .map(|t| t.iter().map(|b| b.bits()).collect()),
+            next_step: st.next_step,
+            epoch: st.epoch,
+            baseline_accuracy: st.baseline,
+            last_accuracy: st.last_acc,
+            lr: st.opt.lr(),
+            base_lr: st.hybrid.base_lr(),
+            rng: rng_state(&st.r),
+            plateau: st.hybrid.plateau_state(),
+            pi: self.competition.expert_weights().to_vec(),
+            velocities: capture_velocities(net),
+            ckpt: Checkpoint::capture(net),
+            trace: st.trace.clone(),
+            steps: st.steps.clone(),
+        }
+    }
+}
+
+fn granularity_code(g: ExpertGranularity) -> u8 {
+    match g {
+        ExpertGranularity::Layer => 0,
+        ExpertGranularity::WeightAct => 1,
+    }
+}
+
+fn regime_code(r: ProbeRegime) -> u8 {
+    match r {
+        ProbeRegime::FullInformation => 0,
+        ProbeRegime::Sampled => 1,
     }
 }
 

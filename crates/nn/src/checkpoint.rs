@@ -15,7 +15,8 @@ use ccq_quant::{BitWidth, PolicyKind, QuantSpec};
 use ccq_tensor::Tensor;
 use std::io::{Read, Write};
 
-const MAGIC: &[u8; 8] = b"CCQCKPT\x01";
+const MAGIC: &[u8; 7] = b"CCQCKPT";
+const VERSION: u8 = 1;
 
 /// A serializable network checkpoint.
 ///
@@ -109,6 +110,7 @@ impl Checkpoint {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
+        out.push(VERSION);
         write_u32(&mut out, self.tensors.len() as u32);
         for t in &self.tensors {
             write_u32(&mut out, t.rank() as u32);
@@ -135,24 +137,34 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::InvalidConfig`] on a malformed or truncated
-    /// buffer.
+    /// Returns [`NnError::CheckpointFormat`] on a malformed or truncated
+    /// buffer, a bad magic, or an unsupported version.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut cur = bytes;
-        let mut magic = [0u8; 8];
+        let mut magic = [0u8; 7];
         read_exact(&mut cur, &mut magic)?;
         if &magic != MAGIC {
-            return Err(NnError::InvalidConfig("not a CCQ checkpoint (bad magic)".into()));
+            return Err(NnError::CheckpointFormat(
+                "not a CCQ checkpoint (bad magic)".into(),
+            ));
+        }
+        let mut version = [0u8; 1];
+        read_exact(&mut cur, &mut version)?;
+        if version[0] != VERSION {
+            return Err(NnError::CheckpointFormat(format!(
+                "unsupported checkpoint version {} (this build reads version {VERSION})",
+                version[0]
+            )));
         }
         let n_tensors = read_u32(&mut cur)? as usize;
         if n_tensors > 1 << 24 {
-            return Err(NnError::InvalidConfig("implausible tensor count".into()));
+            return Err(NnError::CheckpointFormat("implausible tensor count".into()));
         }
         let mut tensors = Vec::with_capacity(n_tensors);
         for _ in 0..n_tensors {
             let rank = read_u32(&mut cur)? as usize;
             if rank > 8 {
-                return Err(NnError::InvalidConfig("implausible tensor rank".into()));
+                return Err(NnError::CheckpointFormat("implausible tensor rank".into()));
             }
             let mut dims = Vec::with_capacity(rank);
             for _ in 0..rank {
@@ -160,7 +172,7 @@ impl Checkpoint {
             }
             let numel: usize = dims.iter().product();
             if numel > 1 << 28 {
-                return Err(NnError::InvalidConfig("implausible tensor size".into()));
+                return Err(NnError::CheckpointFormat("implausible tensor size".into()));
             }
             let mut data = Vec::with_capacity(numel);
             for _ in 0..numel {
@@ -168,12 +180,12 @@ impl Checkpoint {
             }
             tensors.push(
                 Tensor::from_vec(data, &dims)
-                    .map_err(|e| NnError::InvalidConfig(e.to_string()))?,
+                    .map_err(|e| NnError::CheckpointFormat(e.to_string()))?,
             );
         }
         let n_specs = read_u32(&mut cur)? as usize;
         if n_specs > 1 << 20 {
-            return Err(NnError::InvalidConfig("implausible spec count".into()));
+            return Err(NnError::CheckpointFormat("implausible spec count".into()));
         }
         let mut specs = Vec::with_capacity(n_specs);
         let mut alphas = Vec::with_capacity(n_specs);
@@ -196,11 +208,11 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
+    /// Returns [`NnError::CheckpointIo`] on a write failure.
     pub fn save<W: Write>(&self, mut writer: W) -> Result<()> {
         writer
             .write_all(&self.to_bytes())
-            .map_err(|e| NnError::InvalidConfig(format!("checkpoint write failed: {e}")))
+            .map_err(|e| NnError::CheckpointIo(format!("checkpoint write failed: {e}")))
     }
 
     /// Reads a checkpoint from a reader. A `&mut` reference may be passed
@@ -208,12 +220,13 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors and format errors.
+    /// Returns [`NnError::CheckpointIo`] on a read failure and
+    /// [`NnError::CheckpointFormat`] on a malformed buffer.
     pub fn load<R: Read>(mut reader: R) -> Result<Self> {
         let mut buf = Vec::new();
         reader
             .read_to_end(&mut buf)
-            .map_err(|e| NnError::InvalidConfig(format!("checkpoint read failed: {e}")))?;
+            .map_err(|e| NnError::CheckpointIo(format!("checkpoint read failed: {e}")))?;
         Checkpoint::from_bytes(&buf)
     }
 
@@ -234,7 +247,7 @@ fn write_u32(out: &mut Vec<u8>, v: u32) {
 
 fn read_exact(cur: &mut &[u8], buf: &mut [u8]) -> Result<()> {
     if cur.len() < buf.len() {
-        return Err(NnError::InvalidConfig("truncated checkpoint".into()));
+        return Err(NnError::CheckpointFormat("truncated checkpoint".into()));
     }
     buf.copy_from_slice(&cur[..buf.len()]);
     *cur = &cur[buf.len()..];
@@ -276,12 +289,16 @@ fn policy_from_code(c: u32) -> Result<PolicyKind> {
         5 => PolicyKind::MaxAbs,
         6 => PolicyKind::Aciq,
         7 => PolicyKind::Lsq,
-        other => return Err(NnError::InvalidConfig(format!("unknown policy code {other}"))),
+        other => {
+            return Err(NnError::CheckpointFormat(format!(
+                "unknown policy code {other}"
+            )))
+        }
     })
 }
 
 fn bitwidth(bits: u32) -> Result<BitWidth> {
-    BitWidth::new(bits).map_err(|e| NnError::InvalidConfig(e.to_string()))
+    BitWidth::new(bits).map_err(|e| NnError::CheckpointFormat(e.to_string()))
 }
 
 #[cfg(test)]
@@ -334,10 +351,69 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_truncation() {
-        assert!(Checkpoint::from_bytes(b"NOTCKPT!").is_err());
+        assert!(matches!(
+            Checkpoint::from_bytes(b"NOTCKPT!"),
+            Err(NnError::CheckpointFormat(_))
+        ));
         let mut a = net();
         let bytes = Checkpoint::capture(&mut a).to_bytes();
-        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes[..bytes.len() / 2]),
+            Err(NnError::CheckpointFormat(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut a = net();
+        let mut bytes = Checkpoint::capture(&mut a).to_bytes();
+        bytes[7] = 99; // the version byte follows the 7-byte magic
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        match err {
+            NnError::CheckpointFormat(msg) => assert!(msg.contains("version 99"), "{msg}"),
+            other => panic!("expected CheckpointFormat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_errors_without_panicking() {
+        let mut a = net();
+        let bytes = Checkpoint::capture(&mut a).to_bytes();
+        for keep in 0..bytes.len() {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..keep]).is_err(),
+                "prefix of {keep} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn io_failures_surface_as_checkpoint_io() {
+        struct FailingWriter;
+        impl std::io::Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("bad sector"))
+            }
+        }
+        let mut a = net();
+        let ckpt = Checkpoint::capture(&mut a);
+        assert!(matches!(
+            ckpt.save(FailingWriter),
+            Err(NnError::CheckpointIo(_))
+        ));
+        assert!(matches!(
+            Checkpoint::load(FailingReader),
+            Err(NnError::CheckpointIo(_))
+        ));
     }
 
     #[test]

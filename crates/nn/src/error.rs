@@ -19,6 +19,13 @@ pub enum NnError {
         /// Number of state tensors supplied.
         actual: usize,
     },
+    /// Reading or writing a checkpoint failed at the I/O layer (the
+    /// message carries the underlying `std::io::Error` rendering; the
+    /// error itself stays `Clone + PartialEq`).
+    CheckpointIo(String),
+    /// A checkpoint buffer was malformed: bad magic, unsupported version,
+    /// truncation, or an implausible section header.
+    CheckpointFormat(String),
 }
 
 impl fmt::Display for NnError {
@@ -35,6 +42,8 @@ impl fmt::Display for NnError {
                     "network state mismatch: expected {expected} tensors, got {actual}"
                 )
             }
+            NnError::CheckpointIo(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            NnError::CheckpointFormat(msg) => write!(f, "malformed checkpoint: {msg}"),
         }
     }
 }

@@ -168,6 +168,15 @@ impl Network {
         self.root.visit_state(f);
     }
 
+    /// Whether every state tensor (parameters and batch-norm running
+    /// statistics) holds only finite values — the divergence sentinel's
+    /// post-recovery health check.
+    pub fn all_finite(&mut self) -> bool {
+        let mut ok = true;
+        self.visit_state_tensors(&mut |t| ok &= t.all_finite());
+        ok
+    }
+
     /// Captures every state tensor (parameters + batch-norm running stats)
     /// and PACT `α` value.
     pub fn snapshot(&mut self) -> NetworkState {

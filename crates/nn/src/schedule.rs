@@ -129,6 +129,40 @@ impl HybridRestart {
         self.base_lr
     }
 
+    /// Scales the base rate by `factor` (guarded-descent retries halve it
+    /// after a divergence rollback).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not finite and positive.
+    pub fn scale_base_lr(&mut self, factor: f32) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "LR scale factor must be positive"
+        );
+        self.base_lr *= factor;
+    }
+
+    /// The mutable plateau-tracking state `(best_acc,
+    /// epochs_since_improvement, restart_epoch)` — everything a run-state
+    /// checkpoint must capture for a bit-identical resume (the LR trace is
+    /// diagnostic only and is not part of this state).
+    pub fn plateau_state(&self) -> (f32, usize, Option<usize>) {
+        (
+            self.best_acc,
+            self.epochs_since_improvement,
+            self.restart_epoch,
+        )
+    }
+
+    /// Restores plateau-tracking state captured by
+    /// [`HybridRestart::plateau_state`].
+    pub fn set_plateau_state(&mut self, state: (f32, usize, Option<usize>)) {
+        self.best_acc = state.0;
+        self.epochs_since_improvement = state.1;
+        self.restart_epoch = state.2;
+    }
+
     /// Computes the learning rate for the *next* epoch given the accuracy
     /// just observed on validation.
     pub fn next_lr(&mut self, val_acc: f32) -> f32 {
@@ -259,6 +293,26 @@ mod tests {
             let _ = h.next_lr(0.5);
         }
         assert_eq!(h.trace().len(), 6);
+    }
+
+    #[test]
+    fn plateau_state_round_trip_resumes_schedule() {
+        let mut a = HybridRestart::new(1e-2).patience(2);
+        let _ = a.next_lr(0.8);
+        let _ = a.next_lr(0.8); // one epoch into the plateau
+        let mut b = HybridRestart::new(1e-2).patience(2);
+        b.set_plateau_state(a.plateau_state());
+        // Both schedules must now bump on the same (next) epoch.
+        assert_eq!(a.next_lr(0.8).to_bits(), b.next_lr(0.8).to_bits());
+        assert_eq!(a.next_lr(0.8).to_bits(), b.next_lr(0.8).to_bits());
+    }
+
+    #[test]
+    fn scale_base_lr_halves_rate() {
+        let mut h = HybridRestart::new(0.04);
+        h.scale_base_lr(0.5);
+        assert!((h.base_lr() - 0.02).abs() < 1e-9);
+        assert_eq!(h.next_lr(0.5), 0.02);
     }
 
     #[test]

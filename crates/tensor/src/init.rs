@@ -24,6 +24,30 @@ pub fn rng(seed: u64) -> Rng64 {
     Rng64::seed_from_u64(seed)
 }
 
+/// Captures the raw generator state of an [`Rng64`] so a long run can be
+/// checkpointed and resumed bit-for-bit.
+///
+/// # Example
+///
+/// ```
+/// use ccq_tensor::{rng, rng_from_state, rng_state};
+/// use rand::Rng;
+///
+/// let mut a = rng(7);
+/// let _: f32 = a.gen();
+/// let mut b = rng_from_state(rng_state(&a));
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn rng_state(r: &Rng64) -> [u64; 4] {
+    r.state()
+}
+
+/// Rebuilds an [`Rng64`] from a state captured with [`rng_state`],
+/// continuing the random stream exactly where the capture left off.
+pub fn rng_from_state(state: [u64; 4]) -> Rng64 {
+    Rng64::from_state(state)
+}
+
 /// Weight/bias initialization schemes.
 ///
 /// # Example

@@ -26,7 +26,7 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use init::{rng, Init, Rng64};
+pub use init::{rng, rng_from_state, rng_state, Init, Rng64};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -8,6 +8,15 @@
 //! ```sh
 //! cargo run --release --example mixed_precision_search
 //! ```
+//!
+//! The search autosaves its run state every quantization step; an
+//! interrupted (or crashed) search continues bit-for-bit from the last
+//! step boundary:
+//!
+//! ```sh
+//! cargo run --release --example mixed_precision_search -- \
+//!     --resume mixed_precision_search.ccqruns
+//! ```
 
 use ccq_repro::ccq::{layer_profiles, CcqConfig, CcqRunner, RecoveryMode};
 use ccq_repro::data::{synth_cifar, Augment, SynthCifarConfig};
@@ -17,8 +26,21 @@ use ccq_repro::nn::train::{evaluate, train_epoch};
 use ccq_repro::nn::Sgd;
 use ccq_repro::quant::PolicyKind;
 use ccq_repro::tensor::rng;
+use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let mut resume: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--resume" => {
+                let path = args.next().ok_or("--resume needs a run-state path")?;
+                resume = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+
     // A compact workload so the example finishes in about a minute.
     let data = synth_cifar(&SynthCifarConfig {
         classes: 10,
@@ -37,19 +59,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 0,
     });
 
-    // Pre-train the fp32 baseline.
-    let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
-    let mut r = rng(1);
-    let aug = Augment::standard();
-    for _ in 0..24 {
-        let batches = train.augmented_batches(32, &aug, &mut r);
-        train_epoch(&mut net, &batches, &mut opt, &mut r)?;
+    if resume.is_none() {
+        // Pre-train the fp32 baseline. A resumed run skips this: the run
+        // state restores the (already quantized) weights directly.
+        let mut opt = Sgd::new(0.05).momentum(0.9).weight_decay(5e-4);
+        let mut r = rng(1);
+        let aug = Augment::standard();
+        for _ in 0..24 {
+            let batches = train.augmented_batches(32, &aug, &mut r);
+            train_epoch(&mut net, &batches, &mut opt, &mut r)?;
+        }
+        let val_b = val.batches(32);
+        let baseline = evaluate(&mut net, &val_b)?;
+        println!("fp32 baseline: {:.1}% top-1", 100.0 * baseline.accuracy);
     }
-    let val_b = val.batches(32);
-    let baseline = evaluate(&mut net, &val_b)?;
-    println!("fp32 baseline: {:.1}% top-1", 100.0 * baseline.accuracy);
 
-    // CCQ search to a 10x compression target.
+    // CCQ search to a 10x compression target, with crash-safe autosaves
+    // at every step boundary.
     let cfg = CcqConfig {
         target_compression: Some(10.0),
         recovery: RecoveryMode::Adaptive {
@@ -57,10 +83,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_epochs: 4,
         },
         seed: 2,
+        autosave: Some(PathBuf::from("mixed_precision_search.ccqruns")),
         ..CcqConfig::default()
     };
     let mut runner = CcqRunner::new(cfg);
-    let report = runner.run(&mut net, &train, &val)?;
+    let report = match &resume {
+        Some(path) => {
+            println!("resuming from {}", path.display());
+            runner.resume(path, &mut net, &train, &val)?
+        }
+        None => runner.run(&mut net, &train, &val)?,
+    };
     println!("{report}");
 
     // Hardware analysis of the learned assignment.

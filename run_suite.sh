@@ -10,6 +10,11 @@ cargo test --workspace -q 2> results/test.log || exit 1
 cargo test --workspace -q --no-default-features 2> results/test_serial.log || exit 1
 cargo clippy --workspace --all-targets -- -D warnings 2> results/clippy.log || exit 1
 
+# --- fault gates: the injection harness must pass on the serial build
+# too, and interrupted+resumed must equal uninterrupted bit-for-bit ---
+cargo test -q -p ccq --no-default-features --features fault-inject 2> results/test_fault_serial.log || exit 1
+cargo test -q -p ccq --test resume_determinism --test guarded_descent 2> results/test_fault.log || exit 1
+
 # --- experiment harness ---
 cargo build --release -p ccq-bench 2> results/build.log
 time target/release/fig5_power > results/fig5_power.csv 2> results/fig5_power.log

@@ -178,6 +178,20 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw 256-bit generator state (for crash-safe run-state
+        /// checkpoints). Not part of upstream `rand`'s API: upstream never
+        /// exposes generator internals, so callers that need resumable
+        /// streams must pin this vendored stand-in.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`Self::state`],
+        /// continuing the stream exactly where the capture left off.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         fn from_splitmix(mut state: u64) -> Self {
             let mut next = || {
                 state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -242,6 +256,19 @@ mod tests {
     use super::*;
     use crate::rngs::StdRng;
     use crate::seq::SliceRandom;
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..37 {
+            let _ = a.next_u64();
+        }
+        let snap = a.state();
+        let ahead: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let mut b = StdRng::from_state(snap);
+        let resumed: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(ahead, resumed);
+    }
 
     #[test]
     fn deterministic_streams() {
