@@ -43,7 +43,11 @@ fn main() {
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1))
         .map(|s| s.split(',').map(str::to_string).collect());
-    let wants = |section: &str| only.as_ref().map(|o| o.iter().any(|s| s == section)).unwrap_or(true);
+    let wants = |section: &str| {
+        only.as_ref()
+            .map(|o| o.iter().any(|s| s == section))
+            .unwrap_or(true)
+    };
     println!("# CCQ ablations (ResNet20 / SynthCIFAR, 8x target)");
     println!("# scale: {scale:?}");
     println!("ablation,value,final_top1,compression,recovery_epochs");
@@ -92,7 +96,11 @@ fn main() {
             ..base_cfg(scale)
         };
         let (acc, comp, epochs) = run(cfg, scale);
-        println!("probe_regime,{name},{},{},{epochs}", fmt_pct(acc), fmt_ratio(comp));
+        println!(
+            "probe_regime,{name},{},{},{epochs}",
+            fmt_pct(acc),
+            fmt_ratio(comp)
+        );
     }
 
     // Expert granularity: whole layers vs split weight/act experts.

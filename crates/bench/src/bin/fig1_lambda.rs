@@ -79,7 +79,9 @@ fn main() {
     println!("# Fig. 1: accuracy and schedule cost vs average lambda (ResNet20 / SynthCIFAR, 10x target)");
     println!("# paper: best accuracy in the lambda ~0.6-0.7 vicinity");
     println!("# scale: {scale:?}");
-    println!("avg_lambda,schedule,final_top1,compression,baseline_top1,quant_steps,recovery_epochs");
+    println!(
+        "avg_lambda,schedule,final_top1,compression,baseline_top1,quant_steps,recovery_epochs"
+    );
 
     let seeds = 1; // single seed keeps the sweep CPU-friendly; bump for tighter error bars
     for avg in [0.0f32, 0.5, 0.65, 1.0] {

@@ -1,16 +1,41 @@
 //! **Fig. 2** — CCQ learning curve: valleys where competition quantizes a
 //! layer, peaks where collaboration recovers.
 //!
-//! Emits the per-epoch validation-accuracy trace as CSV. Paper claim
-//! reproduced: the curve is a sawtooth — every quantization step dents
-//! accuracy and the subsequent fine-tuning climbs back.
+//! Emits the per-epoch validation-accuracy trace as CSV, streamed out of
+//! the descent's event stream (a [`CsvSink`] plus a valley counter over
+//! [`DescentEvent::StepCompleted`]). Paper claim reproduced: the curve is
+//! a sawtooth — every quantization step dents accuracy and the subsequent
+//! fine-tuning climbs back.
 //!
 //! Usage: `cargo run --release -p ccq-bench --bin fig2_curve`
 
-use ccq::{CcqConfig, CcqRunner, RecoveryMode, TraceEvent};
+use ccq::{CcqConfig, CcqRunner, CsvSink, DescentEvent, EventSink, RecoveryMode};
 use ccq_bench::{build_workload, Scale};
 use ccq_models::ModelKind;
 use ccq_quant::{BitLadder, PolicyKind};
+
+/// The figure's consumer: the learning-curve CSV plus the sawtooth
+/// sanity counts, all folded from events as the run progresses.
+#[derive(Default)]
+struct CurveSink {
+    csv: CsvSink,
+    valleys: usize,
+    recovered: usize,
+}
+
+impl EventSink for CurveSink {
+    fn on_event(&mut self, ev: &DescentEvent) {
+        self.csv.on_event(ev);
+        if let DescentEvent::StepCompleted { record } = ev {
+            if record.accuracy_after_quant < record.accuracy_before {
+                self.valleys += 1;
+                if record.accuracy_after_recovery > record.accuracy_after_quant {
+                    self.recovered += 1;
+                }
+            }
+        }
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -29,29 +54,16 @@ fn main() {
         ..CcqConfig::default()
     };
     let mut runner = CcqRunner::new(cfg);
+    let mut curve = CurveSink::default();
     let rep = runner
-        .run(&mut net, &workload.train, &workload.val)
+        .run_with_sink(&mut net, &workload.train, &workload.val, &mut curve)
         .expect("ccq failed");
 
     println!("# Fig. 2: CCQ learning curve (valleys = quantization, peaks = recovery)");
     println!("# scale: {scale:?}; final: {rep}");
-    print!("{}", rep.trace_csv());
-
-    // Sanity summary on stderr: count valleys that recovered.
-    let mut valleys = 0;
-    let mut recovered = 0;
-    for s in &rep.steps {
-        if s.accuracy_after_quant < s.accuracy_before {
-            valleys += 1;
-            if s.accuracy_after_recovery > s.accuracy_after_quant {
-                recovered += 1;
-            }
-        }
-    }
-    let _ = rep
-        .trace
-        .iter()
-        .filter(|p| matches!(p.event, TraceEvent::Recovery))
-        .count();
-    eprintln!("# {valleys} accuracy valleys, {recovered} recovered by collaboration");
+    print!("{}", curve.csv.trace_csv());
+    eprintln!(
+        "# {} accuracy valleys, {} recovered by collaboration",
+        curve.valleys, curve.recovered
+    );
 }

@@ -3,11 +3,14 @@
 //!
 //! Drops a trained network to 2 bits one-shot, then fine-tunes twice from
 //! the same state: once at a constant rate, once with the hybrid schedule.
-//! Emits `(epoch, lr, val_acc)` for both arms. Paper claim reproduced: the
-//! bump perturbs the network off the plateau and accuracy resumes rising.
+//! Each fine-tuning arm reports its epochs as [`DescentEvent::RecoveryEpoch`]
+//! events into an [`EventSink`], and the figure's `(epoch, lr, val_acc)`
+//! series is folded out of that stream. Paper claim reproduced: the bump
+//! perturbs the network off the plateau and accuracy resumes rising.
 //!
 //! Usage: `cargo run --release -p ccq-bench --bin fig4_lr`
 
+use ccq::{DescentEvent, EventSink};
 use ccq_bench::{build_workload, fmt_pct, Scale};
 use ccq_models::ModelKind;
 use ccq_nn::schedule::HybridRestart;
@@ -16,6 +19,27 @@ use ccq_nn::{Network, Sgd};
 use ccq_quant::{BitWidth, PolicyKind};
 use ccq_tensor::rng;
 
+/// Collects one arm's `(epoch, lr, val_acc)` series from its
+/// [`DescentEvent::RecoveryEpoch`] stream.
+#[derive(Default)]
+struct SeriesSink {
+    rows: Vec<(usize, f32, f32)>,
+}
+
+impl EventSink for SeriesSink {
+    fn on_event(&mut self, ev: &DescentEvent) {
+        if let DescentEvent::RecoveryEpoch {
+            epoch,
+            val_accuracy,
+            lr,
+            ..
+        } = ev
+        {
+            self.rows.push((*epoch, *lr, *val_accuracy));
+        }
+    }
+}
+
 fn fine_tune(
     net: &mut Network,
     train: &[ccq_nn::train::Batch],
@@ -23,11 +47,11 @@ fn fine_tune(
     epochs: usize,
     hybrid: Option<&mut HybridRestart>,
     base_lr: f32,
-) -> Vec<(usize, f32, f32)> {
+    sink: &mut dyn EventSink,
+) {
     let mut opt = Sgd::new(base_lr).momentum(0.9).weight_decay(5e-4);
     let mut r = rng(99);
     let mut acc = evaluate(net, val).expect("eval").accuracy;
-    let mut series = Vec::new();
     let mut hybrid = hybrid;
     for e in 0..epochs {
         let lr = match &mut hybrid {
@@ -35,11 +59,16 @@ fn fine_tune(
             None => base_lr,
         };
         opt.set_lr(lr);
-        let _ = train_epoch(net, train, &mut opt, &mut r).expect("train");
+        let train_loss = train_epoch(net, train, &mut opt, &mut r).expect("train");
         acc = evaluate(net, val).expect("eval").accuracy;
-        series.push((e, lr, acc));
+        sink.on_event(&DescentEvent::RecoveryEpoch {
+            step: 0,
+            epoch: e,
+            train_loss,
+            val_accuracy: acc,
+            lr,
+        });
     }
-    series
 }
 
 fn main() {
@@ -61,7 +90,8 @@ fn main() {
     }
     let quant_specs: Vec<_> = (0..layers).map(|i| net.quant_spec(i)).collect();
 
-    let constant = fine_tune(&mut net, &train, &val, epochs, None, base_lr);
+    let mut constant = SeriesSink::default();
+    fine_tune(&mut net, &train, &val, epochs, None, base_lr, &mut constant);
 
     // Reset to the same post-drop starting point for the hybrid arm.
     net.restore(&snapshot).expect("restore");
@@ -72,7 +102,16 @@ fn main() {
         .bump_factor(2.0)
         .restart_period(4)
         .patience(2);
-    let hybrid_series = fine_tune(&mut net, &train, &val, epochs, Some(&mut hybrid), base_lr);
+    let mut hybrid_series = SeriesSink::default();
+    fine_tune(
+        &mut net,
+        &train,
+        &val,
+        epochs,
+        Some(&mut hybrid),
+        base_lr,
+        &mut hybrid_series,
+    );
 
     println!("# Fig. 4: hybrid LR schedule vs constant LR after a one-shot fp-3b-fp drop");
     println!(
@@ -81,15 +120,23 @@ fn main() {
     );
     println!("# scale: {scale:?}");
     println!("schedule,epoch,lr,val_top1");
-    for (e, lr, acc) in &constant {
+    for (e, lr, acc) in &constant.rows {
         println!("constant,{e},{lr:.5},{}", fmt_pct(*acc));
     }
-    for (e, lr, acc) in &hybrid_series {
+    for (e, lr, acc) in &hybrid_series.rows {
         println!("hybrid,{e},{lr:.5},{}", fmt_pct(*acc));
     }
-    let best_const = constant.iter().map(|s| s.2).fold(0.0f32, f32::max);
-    let best_hybrid = hybrid_series.iter().map(|s| s.2).fold(0.0f32, f32::max);
-    let bumps = hybrid_series.iter().filter(|s| s.1 > base_lr * 1.5).count();
+    let best_const = constant.rows.iter().map(|s| s.2).fold(0.0f32, f32::max);
+    let best_hybrid = hybrid_series
+        .rows
+        .iter()
+        .map(|s| s.2)
+        .fold(0.0f32, f32::max);
+    let bumps = hybrid_series
+        .rows
+        .iter()
+        .filter(|s| s.1 > base_lr * 1.5)
+        .count();
     eprintln!(
         "# best constant {} | best hybrid {} | {bumps} bumped epochs",
         fmt_pct(best_const),

@@ -10,7 +10,7 @@
 
 use ccq::baselines::{one_shot_quantize, OneShotConfig};
 use ccq::{CcqConfig, CcqRunner, LambdaSchedule, RecoveryMode};
-use ccq_bench::{build_workload, fmt_pct, Scale};
+use ccq_bench::{build_workload, fmt_pct, Scale, SummarySink};
 use ccq_models::ModelKind;
 use ccq_quant::{BitLadder, BitWidth, PolicyKind};
 
@@ -71,8 +71,14 @@ fn main() {
             ..CcqConfig::default()
         };
         let mut runner = CcqRunner::new(ccq_cfg);
-        let gradual = runner
-            .run(&mut gradual_net, &workload.train, &workload.val)
+        let mut gradual = SummarySink::new();
+        runner
+            .run_with_sink(
+                &mut gradual_net,
+                &workload.train,
+                &workload.val,
+                &mut gradual,
+            )
             .expect("ccq run failed");
 
         println!(

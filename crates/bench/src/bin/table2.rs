@@ -13,7 +13,7 @@
 
 use ccq::baselines::{hawq_assign, one_shot_quantize, HawqConfig, OneShotConfig};
 use ccq::{CcqConfig, CcqRunner, RecoveryMode};
-use ccq_bench::{build_workload, fmt_pct, fmt_ratio, Scale};
+use ccq_bench::{build_workload, fmt_pct, fmt_ratio, Scale, SummarySink};
 use ccq_models::ModelKind;
 use ccq_quant::{BitLadder, BitWidth, PolicyKind};
 
@@ -123,18 +123,19 @@ fn main() {
                 ..CcqConfig::default()
             };
             let mut runner = CcqRunner::new(cfg);
-            let rep = runner
-                .run(&mut net, &workload.train, &workload.val)
+            let mut summary = SummarySink::new();
+            runner
+                .run_with_sink(&mut net, &workload.train, &workload.val, &mut summary)
                 .expect("ccq failed");
             println!(
                 "{},PACT+CCQ,MP,{},{},{},{:.2}",
                 arch.label,
-                fmt_pct(rep.baseline_accuracy),
-                fmt_pct(rep.final_accuracy),
-                fmt_ratio(rep.final_compression),
-                100.0 * rep.degradation()
+                fmt_pct(summary.baseline_accuracy),
+                fmt_pct(summary.final_accuracy),
+                fmt_ratio(summary.final_compression),
+                100.0 * summary.degradation()
             );
-            eprintln!("# {} CCQ bit pattern: {}", arch.label, rep.bit_pattern());
+            eprintln!("# {} CCQ bit pattern: {}", arch.label, summary.bit_pattern);
         }
     }
 }

@@ -5,6 +5,7 @@
 //! construction they share: dataset building, baseline pre-training, and
 //! environment-variable scaling knobs.
 
+use ccq::{DescentEvent, EventSink};
 use ccq_data::{synth_cifar, Augment, ImageDataset, SynthCifarConfig};
 use ccq_models::{ModelConfig, ModelKind};
 use ccq_nn::train::{evaluate, train_epoch, Batch};
@@ -167,6 +168,64 @@ pub fn build_workload(
         val,
         net,
         baseline_accuracy,
+    }
+}
+
+/// The headline numbers of a CCQ run, folded out of its
+/// [`DescentEvent`] stream — how the table binaries read results without
+/// poking at report internals.
+///
+/// Attach to [`ccq::CcqRunner::run_with_sink`]; after the run, the
+/// baseline/final accuracies, compression, and bit pattern mirror the
+/// matching [`ccq::CcqReport`] fields exactly (both come from the same
+/// [`DescentEvent::Finished`] terminal event).
+#[derive(Debug, Clone, Default)]
+pub struct SummarySink {
+    /// Accuracy of the incoming full-precision network.
+    pub baseline_accuracy: f32,
+    /// Accuracy of the final mixed-precision network.
+    pub final_accuracy: f32,
+    /// Final weight-compression ratio vs fp32.
+    pub final_compression: f64,
+    /// Final per-layer bit pattern, e.g. `"6-4-3-…-2"`.
+    pub bit_pattern: String,
+    /// Quantization steps that completed healthily.
+    pub steps: usize,
+    /// Divergence-guard rollbacks observed along the way.
+    pub rollbacks: usize,
+}
+
+impl SummarySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accuracy degradation from baseline (positive = worse).
+    pub fn degradation(&self) -> f32 {
+        self.baseline_accuracy - self.final_accuracy
+    }
+}
+
+impl EventSink for SummarySink {
+    fn on_event(&mut self, ev: &DescentEvent) {
+        match ev {
+            DescentEvent::Baseline { accuracy, .. } => self.baseline_accuracy = *accuracy,
+            DescentEvent::StepCompleted { .. } => self.steps += 1,
+            DescentEvent::GuardRollback { .. } => self.rollbacks += 1,
+            DescentEvent::Finished {
+                baseline_accuracy,
+                final_accuracy,
+                final_compression,
+                bit_pattern,
+            } => {
+                self.baseline_accuracy = *baseline_accuracy;
+                self.final_accuracy = *final_accuracy;
+                self.final_compression = *final_compression;
+                self.bit_pattern = bit_pattern.clone();
+            }
+            _ => {}
+        }
     }
 }
 

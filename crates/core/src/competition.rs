@@ -8,6 +8,11 @@ use ccq_tensor::Rng64;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// A per-round competition observer: called as `(round, round_probes, π)`
+/// after each probe round's Hedge updates. See
+/// [`Competition::run_observed`].
+pub type ProbeObserver<'a> = dyn FnMut(usize, &[ProbeRecord], &[f32]) + 'a;
+
 /// One validation probe from the competition stage.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProbeRecord {
@@ -168,12 +173,30 @@ impl Competition {
         self.pi.clear();
     }
 
-    /// Overwrites the expert weights (run-state resume). The next
-    /// [`Competition::run`] keeps the vector only when its length matches
-    /// the slot count implied by the network and granularity; resume
-    /// validation checks that before calling this.
-    pub fn set_expert_weights(&mut self, pi: Vec<f32>) {
+    /// Overwrites the expert weights (run-state resume, guard rollback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcqError::InvalidConfig`] when `pi` does not have exactly
+    /// `expected_slots` entries or contains a non-finite weight — a bad π
+    /// would otherwise sit silently until the next [`Competition::run`]
+    /// reset it (length mismatch) or poisoned the Hedge updates
+    /// (NaN/∞ entries).
+    pub fn set_expert_weights(&mut self, pi: Vec<f32>, expected_slots: usize) -> Result<()> {
+        if pi.len() != expected_slots {
+            return Err(CcqError::InvalidConfig(format!(
+                "π has {} slots, this competition needs {expected_slots}",
+                pi.len()
+            )));
+        }
+        if let Some(i) = pi.iter().position(|w| !w.is_finite()) {
+            return Err(CcqError::InvalidConfig(format!(
+                "π slot {i} is non-finite ({})",
+                pi[i]
+            )));
+        }
         self.pi = pi;
+        Ok(())
     }
 
     /// The next rung below `cur`, honoring an optional per-layer floor
@@ -209,8 +232,7 @@ impl Competition {
             let target = targets.map(|t| t.get(m).copied().unwrap_or(ladder.floor()));
             match self.granularity {
                 ExpertGranularity::Layer => {
-                    if let Some((from, to)) = Self::next_rung(ladder, li.spec.weight_bits, target)
-                    {
+                    if let Some((from, to)) = Self::next_rung(ladder, li.spec.weight_bits, target) {
                         experts.push(Expert {
                             layer: m,
                             kind: ExpertKind::Layer,
@@ -222,8 +244,7 @@ impl Competition {
                     }
                 }
                 ExpertGranularity::WeightAct => {
-                    if let Some((from, to)) = Self::next_rung(ladder, li.spec.weight_bits, target)
-                    {
+                    if let Some((from, to)) = Self::next_rung(ladder, li.spec.weight_bits, target) {
                         experts.push(Expert {
                             layer: m,
                             kind: ExpertKind::Weights,
@@ -280,8 +301,15 @@ impl Competition {
 
     /// Probes every expert in order on one network, returning the losses
     /// in expert order.
-    fn probe_round_serial(net: &mut Network, experts: &[Expert], val: &[Batch]) -> Result<Vec<f32>> {
-        experts.iter().map(|e| Self::probe_one(net, e, val)).collect()
+    fn probe_round_serial(
+        net: &mut Network,
+        experts: &[Expert],
+        val: &[Batch],
+    ) -> Result<Vec<f32>> {
+        experts
+            .iter()
+            .map(|e| Self::probe_one(net, e, val))
+            .collect()
     }
 
     #[cfg(not(feature = "parallel"))]
@@ -369,6 +397,41 @@ impl Competition {
         rng: &mut Rng64,
         quarantined: &[usize],
     ) -> Result<Option<CompetitionOutcome>> {
+        self.run_observed(
+            net,
+            ladder,
+            targets,
+            lambda,
+            step,
+            val,
+            rng,
+            quarantined,
+            None,
+        )
+    }
+
+    /// [`Competition::run_excluding`] with a per-round observer: after
+    /// every probe round the callback receives `(round, round_probes, π)`
+    /// — the round's per-expert losses ξ and the Hedge weights right
+    /// after the round's multiplicative updates (before the final
+    /// rescaling). Observation never perturbs the trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Competition::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed(
+        &mut self,
+        net: &mut Network,
+        ladder: &BitLadder,
+        targets: Option<&[BitWidth]>,
+        lambda: &LambdaSchedule,
+        step: usize,
+        val: &[Batch],
+        rng: &mut Rng64,
+        quarantined: &[usize],
+        mut observer: Option<&mut ProbeObserver>,
+    ) -> Result<Option<CompetitionOutcome>> {
         if val.is_empty() {
             return Err(CcqError::EmptyValidationSet);
         }
@@ -407,6 +470,7 @@ impl Competition {
         let mut probes = Vec::with_capacity(rounds * probes_per_round);
         let mut skipped_probes = 0usize;
         for u in 0..rounds {
+            let round_start = probes.len();
             match self.regime {
                 ProbeRegime::FullInformation => {
                     // A round's probe losses are mutually independent (each
@@ -454,6 +518,9 @@ impl Competition {
                         val_loss: loss,
                     });
                 }
+            }
+            if let Some(obs) = observer.as_deref_mut() {
+                obs(u, &probes[round_start..], &self.pi);
             }
         }
         // Keep π well-scaled across many steps.
@@ -798,8 +865,7 @@ mod tests {
     fn weight_act_granularity_moves_operands_independently() {
         let (mut net, val) = setup();
         let ladder = BitLadder::new(&[8, 4]).unwrap();
-        let mut comp =
-            Competition::new(0.5, 1).granularity(ExpertGranularity::WeightAct);
+        let mut comp = Competition::new(0.5, 1).granularity(ExpertGranularity::WeightAct);
         let lambda = LambdaSchedule::constant(0.3);
         let mut r = rng(11);
         let layers = net.quant_layer_count();
@@ -807,8 +873,9 @@ mod tests {
         let mut steps = 0;
         let mut weight_steps = 0;
         let mut act_steps = 0;
-        while let Some(out) =
-            comp.run(&mut net, &ladder, None, &lambda, steps, &val, &mut r).unwrap()
+        while let Some(out) = comp
+            .run(&mut net, &ladder, None, &lambda, steps, &val, &mut r)
+            .unwrap()
         {
             match out.winner_kind {
                 ExpertKind::Weights => weight_steps += 1,
@@ -830,8 +897,7 @@ mod tests {
     fn weight_act_probes_touch_only_their_operand() {
         let (mut net, val) = setup();
         let before: Vec<_> = net.quant_layer_info().iter().map(|i| i.spec).collect();
-        let mut comp =
-            Competition::new(0.5, 1).granularity(ExpertGranularity::WeightAct);
+        let mut comp = Competition::new(0.5, 1).granularity(ExpertGranularity::WeightAct);
         let mut r = rng(12);
         let out = comp
             .run(

@@ -44,7 +44,9 @@
 
 pub mod baselines;
 mod competition;
+mod engine;
 mod error;
+pub mod event;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 mod guard;
@@ -55,9 +57,15 @@ mod run_state;
 mod runner;
 
 pub use competition::{
-    Competition, CompetitionOutcome, ExpertGranularity, ExpertKind, ProbeRecord, ProbeRegime,
+    Competition, CompetitionOutcome, ExpertGranularity, ExpertKind, ProbeObserver, ProbeRecord,
+    ProbeRegime,
 };
+pub use engine::{DescentEngine, Phase, StartPoint, StepOutcome};
 pub use error::CcqError;
+pub use event::{
+    CsvSink, DescentEvent, EventSink, JsonlSink, NullSink, StepRecord, TraceBuffer, TraceEvent,
+    TracePoint,
+};
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
 pub use guard::GuardPolicy;
@@ -65,7 +73,7 @@ pub use lambda::LambdaSchedule;
 pub use profiles::layer_profiles;
 pub use recovery::{Collaboration, EpochHook, RecoveryMode, RecoveryRecord};
 pub use run_state::RunState;
-pub use runner::{CcqConfig, CcqReport, CcqRunner, StepRecord, TraceEvent, TracePoint};
+pub use runner::{CcqConfig, CcqReport, CcqRunner};
 
 /// Crate-wide result alias. See [`CcqError`] for the error cases.
 pub type Result<T> = std::result::Result<T, CcqError>;

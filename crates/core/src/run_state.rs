@@ -13,7 +13,7 @@
 //! to the previous generation when the current file is torn or corrupt,
 //! so a crash mid-write never loses the run.
 
-use crate::runner::{StepRecord, TraceEvent, TracePoint};
+use crate::event::{StepRecord, TraceEvent, TracePoint};
 use crate::{CcqError, ExpertKind, Result};
 use ccq_nn::checkpoint::Checkpoint;
 use ccq_quant::BitWidth;
@@ -259,8 +259,7 @@ impl RunState {
             for _ in 0..numel {
                 data.push(r_f32(cur)?);
             }
-            velocities
-                .push(Tensor::from_vec(data, &dims).map_err(|e| malformed(&e.to_string()))?);
+            velocities.push(Tensor::from_vec(data, &dims).map_err(|e| malformed(&e.to_string()))?);
         }
         let ckpt_len = r_u32(cur)? as usize;
         if cur.len() < ckpt_len {

@@ -1,21 +1,20 @@
-//! The CCQ orchestration loop (paper Algorithm 1 plus Eq. 7).
+//! The CCQ front door: configuration, report, and the [`CcqRunner`]
+//! compatibility wrappers over the staged [`DescentEngine`].
 
+use crate::engine::{DescentEngine, StartPoint};
+use crate::event::{render_schedule_csv, render_trace_csv, EventSink, NullSink};
 #[cfg(feature = "fault-inject")]
-use crate::fault::{inject_nan, FaultPlan};
-use crate::guard::{capture_velocities, restore_velocities, StepSnapshot};
+use crate::fault::FaultPlan;
 use crate::run_state::RunState;
 use crate::{
-    layer_profiles, CcqError, Collaboration, Competition, ExpertGranularity, ExpertKind,
-    GuardPolicy, LambdaSchedule, ProbeRegime, RecoveryMode, RecoveryRecord, Result,
+    CcqError, Competition, ExpertGranularity, GuardPolicy, LambdaSchedule, ProbeRegime,
+    RecoveryMode, Result, StepRecord, TracePoint,
 };
 use ccq_data::{Augment, ImageDataset};
-use ccq_hw::model_size;
-use ccq_nn::checkpoint::Checkpoint;
-use ccq_nn::schedule::HybridRestart;
-use ccq_nn::train::{evaluate, Batch};
-use ccq_nn::{Network, Sgd};
+use ccq_nn::train::Batch;
+use ccq_nn::Network;
 use ccq_quant::{BitLadder, BitWidth};
-use ccq_tensor::{rng, rng_from_state, rng_state, Rng64};
+use ccq_tensor::Rng64;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -39,7 +38,7 @@ pub struct CcqConfig {
     /// literal sampled updates.
     pub probe_regime: ProbeRegime,
     /// Expert granularity: whole layers (the paper) or independent
-    /// weight/activation experts (the natural extension).
+    /// weight/act experts (the natural extension).
     pub granularity: ExpertGranularity,
     /// Memory-aggressiveness schedule λ (Eq. 7).
     pub lambda: LambdaSchedule,
@@ -62,6 +61,7 @@ pub struct CcqConfig {
     /// layer entirely.
     pub targets: Option<Vec<BitWidth>>,
     /// Minibatch size used when the runner builds batches from a dataset.
+    /// Must be at least 1 — see [`CcqConfig::validate`].
     pub batch_size: usize,
     /// Augmentation used when the runner builds training batches.
     pub augment: Augment,
@@ -77,6 +77,24 @@ pub struct CcqConfig {
     /// Additional attempts for a failed autosave write before the run
     /// surfaces [`CcqError::CheckpointIo`].
     pub autosave_retries: usize,
+}
+
+impl CcqConfig {
+    /// Checks the invariants a run relies on; every driver calls this
+    /// once before touching data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcqError::InvalidConfig`] when `batch_size` is zero
+    /// (previously clamped to 1 silently).
+    pub fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(CcqError::InvalidConfig(
+                "batch_size must be >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for CcqConfig {
@@ -105,66 +123,6 @@ impl Default for CcqConfig {
             autosave_retries: 3,
         }
     }
-}
-
-/// What happened at a point of the learning curve (Fig. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum TraceEvent {
-    /// Baseline evaluation of the incoming full-precision network.
-    Baseline,
-    /// The initial everything-to-`N(0)` quantization.
-    InitQuantize,
-    /// A competition winner was quantized (a valley).
-    QuantStep {
-        /// The quantized layer index.
-        layer: usize,
-        /// Its new precision.
-        to_bits: BitWidth,
-    },
-    /// One collaboration (fine-tuning) epoch (a climb back up).
-    Recovery,
-}
-
-/// One point of the CCQ learning curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct TracePoint {
-    /// Global fine-tuning epoch count when the point was taken.
-    pub epoch: usize,
-    /// Validation accuracy.
-    pub val_accuracy: f32,
-    /// Learning rate in effect.
-    pub lr: f32,
-    /// What produced the point.
-    pub event: TraceEvent,
-}
-
-/// Record of one quantization step (competition + collaboration).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct StepRecord {
-    /// Step index `t` (1-based; 0 is the ladder-top initialization).
-    pub step: usize,
-    /// Winning layer index.
-    pub layer: usize,
-    /// Which operand the step lowered.
-    pub kind: ExpertKind,
-    /// Winning layer label.
-    pub label: String,
-    /// Precision before.
-    pub from_bits: BitWidth,
-    /// Precision after.
-    pub to_bits: BitWidth,
-    /// Validation accuracy entering the step.
-    pub accuracy_before: f32,
-    /// Validation accuracy right after quantizing (the valley).
-    pub accuracy_after_quant: f32,
-    /// Validation accuracy after collaboration recovered it.
-    pub accuracy_after_recovery: f32,
-    /// Fine-tuning epochs the recovery used (`S_t`).
-    pub recovery_epochs: usize,
-    /// Weight-compression ratio after the step.
-    pub compression: f64,
-    /// λ in effect during the step.
-    pub lambda: f32,
 }
 
 /// The full outcome of a CCQ run.
@@ -202,51 +160,12 @@ impl CcqReport {
     /// The learning curve as CSV (`epoch,val_accuracy,lr,event`), one row
     /// per trace point — the Fig. 2 series.
     pub fn trace_csv(&self) -> String {
-        let mut out = String::from("epoch,val_accuracy,lr,event\n");
-        for p in &self.trace {
-            let event = match p.event {
-                TraceEvent::Baseline => "baseline".to_string(),
-                TraceEvent::InitQuantize => "init_quantize".to_string(),
-                TraceEvent::QuantStep { layer, to_bits } => {
-                    format!("quant_layer{layer}_to_{to_bits}")
-                }
-                TraceEvent::Recovery => "recovery".to_string(),
-            };
-            out.push_str(&format!(
-                "{},{:.4},{:.6},{}\n",
-                p.epoch, p.val_accuracy, p.lr, event
-            ));
-        }
-        out
+        render_trace_csv(&self.trace)
     }
 
     /// The schedule as CSV, one row per quantization step.
     pub fn schedule_csv(&self) -> String {
-        let mut out = String::from(
-            "step,layer,kind,label,from,to,acc_before,acc_valley,acc_recovered,epochs,compression,lambda\n",
-        );
-        for s in &self.steps {
-            let kind = match s.kind {
-                ExpertKind::Layer => "layer",
-                ExpertKind::Weights => "weights",
-                ExpertKind::Activations => "acts",
-            };
-            out.push_str(&format!(
-                "{},{},{kind},{},{},{},{:.4},{:.4},{:.4},{},{:.2},{:.3}\n",
-                s.step,
-                s.layer,
-                s.label,
-                s.from_bits,
-                s.to_bits,
-                s.accuracy_before,
-                s.accuracy_after_quant,
-                s.accuracy_after_recovery,
-                s.recovery_epochs,
-                s.compression,
-                s.lambda
-            ));
-        }
-        out
+        render_schedule_csv(&self.steps)
     }
 }
 
@@ -265,23 +184,12 @@ impl fmt::Display for CcqReport {
     }
 }
 
-/// The mutable state one descent carries between quantization steps —
-/// everything a [`RunState`] checkpoint captures and a rollback restores.
-struct DescentState {
-    r: Rng64,
-    opt: Sgd,
-    hybrid: HybridRestart,
-    collab: Collaboration,
-    trace: Vec<TracePoint>,
-    steps: Vec<StepRecord>,
-    epoch: usize,
-    baseline: f32,
-    last_acc: f32,
-    /// The next quantization step `t` to run (1-based).
-    next_step: usize,
-}
-
 /// Orchestrates the competition/collaboration loop over a network.
+///
+/// The four `run`/`resume` entry points are thin wrappers over one
+/// generic driver ([`CcqRunner::drive`]) parameterized by a
+/// [`StartPoint`]; attach an [`EventSink`] through the `*_with_sink`
+/// variants or single-step the machine via [`CcqRunner::engine`].
 #[derive(Debug)]
 pub struct CcqRunner {
     config: CcqConfig,
@@ -332,6 +240,57 @@ impl CcqRunner {
         self.fault.as_ref()
     }
 
+    /// Builds a [`DescentEngine`] borrowing this runner's configuration
+    /// and competition, for callers that want to single-step the phase
+    /// machine. [`CcqRunner::drive`] is the run-to-completion shortcut.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CcqError`] on empty validation data, an invalid
+    /// configuration, or (for [`StartPoint::FromRunState`]) a state that
+    /// does not match this configuration or network.
+    pub fn engine<'a>(
+        &'a mut self,
+        net: &'a mut Network,
+        train_provider: &'a mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
+        val: &'a [Batch],
+        sink: &'a mut dyn EventSink,
+        start: StartPoint,
+    ) -> Result<DescentEngine<'a>> {
+        let engine = DescentEngine::new(
+            &self.config,
+            &mut self.competition,
+            net,
+            train_provider,
+            val,
+            sink,
+            start,
+        )?;
+        #[cfg(feature = "fault-inject")]
+        let engine = engine.with_faults(self.fault.as_ref());
+        Ok(engine)
+    }
+
+    /// The generic driver every public entry point funnels into: builds
+    /// an engine at `start` and steps it to completion, streaming events
+    /// into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CcqRunner::engine`] plus anything a run can
+    /// surface ([`CcqError::Diverged`], [`CcqError::CheckpointIo`], …).
+    pub fn drive(
+        &mut self,
+        net: &mut Network,
+        train_provider: &mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
+        val: &[Batch],
+        start: StartPoint,
+        sink: &mut dyn EventSink,
+    ) -> Result<CcqReport> {
+        self.engine(net, train_provider, val, sink, start)?
+            .run_to_completion()
+    }
+
     /// Runs CCQ over image datasets: training batches are rebuilt with
     /// augmentation before every collaboration stage.
     ///
@@ -347,11 +306,27 @@ impl CcqRunner {
         train: &ImageDataset,
         val: &ImageDataset,
     ) -> Result<CcqReport> {
-        let val_batches = val.batches(self.config.batch_size.max(1));
-        let (batch_size, augment) = (self.config.batch_size.max(1), self.config.augment);
+        self.run_with_sink(net, train, val, &mut NullSink)
+    }
+
+    /// [`CcqRunner::run`] with an [`EventSink`] observing the descent.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CcqRunner::run`].
+    pub fn run_with_sink(
+        &mut self,
+        net: &mut Network,
+        train: &ImageDataset,
+        val: &ImageDataset,
+        sink: &mut dyn EventSink,
+    ) -> Result<CcqReport> {
+        self.config.validate()?;
+        let val_batches = val.batches(self.config.batch_size);
+        let (batch_size, augment) = (self.config.batch_size, self.config.augment);
         let mut provider =
             |r: &mut Rng64| -> Vec<Batch> { train.augmented_batches(batch_size, &augment, r) };
-        self.run_with_sources(net, &mut provider, &val_batches)
+        self.drive(net, &mut provider, &val_batches, StartPoint::Fresh, sink)
     }
 
     /// Runs CCQ with an explicit per-stage batch provider (generic data).
@@ -365,75 +340,7 @@ impl CcqRunner {
         train_provider: &mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
         val: &[Batch],
     ) -> Result<CcqReport> {
-        if val.is_empty() {
-            return Err(CcqError::EmptyValidationSet);
-        }
-        if let Some(t) = &self.config.targets {
-            let m = net.quant_layer_count();
-            if t.len() != m {
-                return Err(CcqError::InvalidConfig(format!(
-                    "{} targets for {m} quantizable layers",
-                    t.len()
-                )));
-            }
-        }
-        let r = rng(self.config.seed);
-        let opt = Sgd::new(self.config.lr)
-            .momentum(self.config.momentum)
-            .weight_decay(self.config.weight_decay);
-        let hybrid = HybridRestart::new(self.config.lr);
-        let collab = if self.config.use_hybrid_lr {
-            Collaboration::new(self.config.recovery)
-        } else {
-            Collaboration::new(self.config.recovery).with_constant_lr()
-        };
-
-        let mut trace = Vec::new();
-        let baseline = evaluate(net, val)?.accuracy;
-        trace.push(TracePoint {
-            epoch: 0,
-            val_accuracy: baseline,
-            lr: self.config.lr,
-            event: TraceEvent::Baseline,
-        });
-
-        // Step 0: everything to the top rung N(0) (Algorithm 1 line 3),
-        // except layers frozen at full precision by a target.
-        let top = self.config.ladder.top();
-        let infos = net.quant_layer_info();
-        for (m, info) in infos.iter().enumerate() {
-            let frozen = self
-                .config
-                .targets
-                .as_ref()
-                .map(|t| t[m].is_full_precision())
-                .unwrap_or(false);
-            if !frozen && info.spec.weight_bits > top {
-                net.set_quant_spec(m, info.spec.with_bits(top, top));
-            }
-        }
-        let after_init = evaluate(net, val)?.accuracy;
-        trace.push(TracePoint {
-            epoch: 0,
-            val_accuracy: after_init,
-            lr: self.config.lr,
-            event: TraceEvent::InitQuantize,
-        });
-        let mut st = DescentState {
-            r,
-            opt,
-            hybrid,
-            collab,
-            trace,
-            steps: Vec::new(),
-            epoch: 0,
-            baseline,
-            last_acc: after_init,
-            next_step: 1,
-        };
-        let rec = self.collaborate(net, train_provider, val, &mut st, 0)?;
-        st.last_acc = rec.final_accuracy;
-        self.descend(net, train_provider, val, st)
+        self.drive(net, train_provider, val, StartPoint::Fresh, &mut NullSink)
     }
 
     /// Resumes a run from a [`RunState`] autosaved by a previous
@@ -453,11 +360,39 @@ impl CcqRunner {
         train: &ImageDataset,
         val: &ImageDataset,
     ) -> Result<CcqReport> {
-        let val_batches = val.batches(self.config.batch_size.max(1));
-        let (batch_size, augment) = (self.config.batch_size.max(1), self.config.augment);
+        self.resume_with_sink(path, net, train, val, &mut NullSink)
+    }
+
+    /// [`CcqRunner::resume`] with an [`EventSink`] observing the
+    /// continuation (the sink sees only events from the resume point on).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CcqRunner::resume`].
+    pub fn resume_with_sink(
+        &mut self,
+        path: &Path,
+        net: &mut Network,
+        train: &ImageDataset,
+        val: &ImageDataset,
+        sink: &mut dyn EventSink,
+    ) -> Result<CcqReport> {
+        self.config.validate()?;
+        let val_batches = val.batches(self.config.batch_size);
+        let (batch_size, augment) = (self.config.batch_size, self.config.augment);
         let mut provider =
             |r: &mut Rng64| -> Vec<Batch> { train.augmented_batches(batch_size, &augment, r) };
-        self.resume_with_sources(path, net, &mut provider, &val_batches)
+        if val_batches.is_empty() {
+            return Err(CcqError::EmptyValidationSet);
+        }
+        let state = RunState::load_with_fallback(path)?;
+        self.drive(
+            net,
+            &mut provider,
+            &val_batches,
+            StartPoint::FromRunState(Box::new(state)),
+            sink,
+        )
     }
 
     /// [`CcqRunner::resume`] with an explicit per-stage batch provider.
@@ -476,565 +411,12 @@ impl CcqRunner {
             return Err(CcqError::EmptyValidationSet);
         }
         let state = RunState::load_with_fallback(path)?;
-        self.validate_resume(&state, net)?;
-        state.ckpt.apply(net).map_err(|e| {
-            CcqError::ResumeMismatch(format!("checkpoint does not fit this network: {e}"))
-        })?;
-        restore_velocities(net, &state.velocities);
-        self.competition.set_expert_weights(state.pi.clone());
-        let mut hybrid = HybridRestart::new(state.base_lr);
-        hybrid.set_plateau_state(state.plateau);
-        let mut opt = Sgd::new(self.config.lr)
-            .momentum(self.config.momentum)
-            .weight_decay(self.config.weight_decay);
-        opt.set_lr(state.lr);
-        let collab = if self.config.use_hybrid_lr {
-            Collaboration::new(self.config.recovery)
-        } else {
-            Collaboration::new(self.config.recovery).with_constant_lr()
-        };
-        let st = DescentState {
-            r: rng_from_state(state.rng),
-            opt,
-            hybrid,
-            collab,
-            trace: state.trace,
-            steps: state.steps,
-            epoch: state.epoch,
-            baseline: state.baseline_accuracy,
-            last_acc: state.last_accuracy,
-            next_step: state.next_step,
-        };
-        self.descend(net, train_provider, val, st)
-    }
-
-    /// Rejects a [`RunState`] whose configuration fingerprint or network
-    /// structure does not match this runner.
-    fn validate_resume(&self, state: &RunState, net: &mut Network) -> Result<()> {
-        let mismatch = |msg: String| Err(CcqError::ResumeMismatch(msg));
-        if state.seed != self.config.seed {
-            return mismatch(format!(
-                "saved seed {} != configured {}",
-                state.seed, self.config.seed
-            ));
-        }
-        if state.gamma.to_bits() != self.config.gamma.to_bits() {
-            return mismatch(format!(
-                "saved γ {} != configured {}",
-                state.gamma, self.config.gamma
-            ));
-        }
-        let ladder: Vec<u32> = self.config.ladder.rungs().iter().map(|b| b.bits()).collect();
-        if state.ladder != ladder {
-            return mismatch(format!(
-                "saved ladder {:?} != configured {ladder:?}",
-                state.ladder
-            ));
-        }
-        if state.granularity_code != granularity_code(self.config.granularity) {
-            return mismatch("saved expert granularity differs".into());
-        }
-        if state.regime_code != regime_code(self.config.probe_regime) {
-            return mismatch("saved probe regime differs".into());
-        }
-        let targets = self
-            .config
-            .targets
-            .as_ref()
-            .map(|t| t.iter().map(|b| b.bits()).collect::<Vec<u32>>());
-        if state.targets != targets {
-            return mismatch("saved per-layer targets differ".into());
-        }
-        let mut shapes: Vec<Vec<usize>> = Vec::new();
-        net.visit_params(&mut |p| shapes.push(p.velocity.shape().to_vec()));
-        if shapes.len() != state.velocities.len() {
-            return mismatch(format!(
-                "saved run has {} momentum buffers, network has {}",
-                state.velocities.len(),
-                shapes.len()
-            ));
-        }
-        for (i, (s, v)) in shapes.iter().zip(&state.velocities).enumerate() {
-            if s != v.shape() {
-                return mismatch(format!("momentum buffer {i} shape differs"));
-            }
-        }
-        let m = net.quant_layer_count();
-        let slots = match self.config.granularity {
-            ExpertGranularity::Layer => m,
-            ExpertGranularity::WeightAct => 2 * m,
-        };
-        if state.pi.len() != slots {
-            return mismatch(format!(
-                "saved π has {} slots, this run needs {slots}",
-                state.pi.len()
-            ));
-        }
-        Ok(())
-    }
-
-    /// Walks quantization steps from `st.next_step` until the ladder is
-    /// exhausted, a compression target is hit, or the step cap is
-    /// reached. Each step is guarded per [`CcqConfig::guard`] and the run
-    /// state is autosaved at every step boundary.
-    fn descend(
-        &mut self,
-        net: &mut Network,
-        train_provider: &mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
-        val: &[Batch],
-        mut st: DescentState,
-    ) -> Result<CcqReport> {
-        let probe_val = if self.config.probe_val_batches == 0 {
-            val
-        } else {
-            &val[..self.config.probe_val_batches.min(val.len())]
-        };
-        self.autosave(net, &st)?;
-        'steps: for t in st.next_step..=self.config.max_steps {
-            let lambda_now = self.config.lambda.value(t - 1);
-            let mut attempt = 0usize;
-            let mut quarantined: Vec<usize> = Vec::new();
-            let (outcome, rec, valley) = loop {
-                let snap = if self.config.guard.is_off() {
-                    None
-                } else {
-                    Some(StepSnapshot::capture(
-                        net,
-                        self.competition.expert_weights(),
-                        &st.r,
-                        &st.opt,
-                        &st.hybrid,
-                        st.epoch,
-                        st.trace.len(),
-                    ))
-                };
-                let outcome = self.competition.run_excluding(
-                    net,
-                    &self.config.ladder,
-                    self.config.targets.as_deref(),
-                    &self.config.lambda,
-                    t - 1,
-                    probe_val,
-                    &mut st.r,
-                    &quarantined,
-                )?;
-                let Some(outcome) = outcome else {
-                    if quarantined.is_empty() {
-                        break 'steps; // every expert is asleep: fully quantized
-                    }
-                    // Only quarantined experts remain: nothing left to draw.
-                    return Err(CcqError::Diverged {
-                        step: t,
-                        retries: attempt,
-                    });
-                };
-                let valley = evaluate(net, val)?.accuracy;
-                st.trace.push(TracePoint {
-                    epoch: st.epoch,
-                    val_accuracy: valley,
-                    lr: st.opt.lr(),
-                    event: TraceEvent::QuantStep {
-                        layer: outcome.winner,
-                        to_bits: outcome.to_bits,
-                    },
-                });
-                let rec = self.collaborate(net, train_provider, val, &mut st, t)?;
-                let healthy = self.config.guard.is_off()
-                    || (!rec.diverged && rec.final_accuracy.is_finite() && net.all_finite());
-                if healthy {
-                    break (outcome, rec, valley);
-                }
-                // Divergence: roll everything back to the pre-step
-                // snapshot and apply the guard policy.
-                let snap = snap.as_ref().expect("guard on implies a snapshot");
-                self.restore_snapshot(snap, net, &mut st)?;
-                attempt += 1;
-                if attempt > self.config.guard.max_retries() {
-                    return Err(CcqError::Diverged {
-                        step: t,
-                        retries: attempt - 1,
-                    });
-                }
-                match self.config.guard {
-                    GuardPolicy::RollbackRetry { lr_factor, .. } => {
-                        st.hybrid.scale_base_lr(lr_factor);
-                        st.opt.set_lr(st.hybrid.base_lr());
-                    }
-                    GuardPolicy::Quarantine { .. } => quarantined.push(outcome.winner_slot),
-                    GuardPolicy::Off => unreachable!("Off never reaches the rollback path"),
-                }
-            };
-            let compression = model_size(&layer_profiles(net)).compression;
-            st.steps.push(StepRecord {
-                step: t,
-                layer: outcome.winner,
-                kind: outcome.winner_kind,
-                label: outcome.winner_label,
-                from_bits: outcome.from_bits,
-                to_bits: outcome.to_bits,
-                accuracy_before: st.last_acc,
-                accuracy_after_quant: valley,
-                accuracy_after_recovery: rec.final_accuracy,
-                recovery_epochs: rec.epochs,
-                compression,
-                lambda: lambda_now,
-            });
-            st.last_acc = rec.final_accuracy;
-            st.next_step = t + 1;
-            self.autosave(net, &st)?;
-            if let Some(target) = self.config.target_compression {
-                if compression >= target {
-                    break;
-                }
-            }
-        }
-
-        let final_accuracy = evaluate(net, val)?.accuracy;
-        let final_compression = model_size(&layer_profiles(net)).compression;
-        let bit_assignment = net
-            .quant_layer_info()
-            .into_iter()
-            .map(|i| (i.label, i.spec.weight_bits, i.spec.act_bits))
-            .collect();
-        Ok(CcqReport {
-            baseline_accuracy: st.baseline,
-            final_accuracy,
-            final_compression,
-            steps: st.steps,
-            trace: st.trace,
-            bit_assignment,
-        })
-    }
-
-    /// Restores a pre-step snapshot after a divergent attempt: network
-    /// and momentum, Hedge weights, RNG stream, LR schedule, and the
-    /// learning-curve cursor.
-    fn restore_snapshot(
-        &mut self,
-        snap: &StepSnapshot,
-        net: &mut Network,
-        st: &mut DescentState,
-    ) -> Result<()> {
-        snap.restore_network(net)?;
-        self.competition.set_expert_weights(snap.pi.clone());
-        st.r = rng_from_state(snap.rng);
-        let mut hybrid = HybridRestart::new(snap.base_lr);
-        hybrid.set_plateau_state(snap.plateau);
-        st.hybrid = hybrid;
-        st.opt.set_lr(snap.lr);
-        st.epoch = snap.epoch;
-        st.trace.truncate(snap.trace_len);
-        Ok(())
-    }
-
-    /// One collaboration stage; appends recovery epochs to the trace and
-    /// returns the full [`RecoveryRecord`]. `step` identifies the
-    /// quantization step for fault-injection coordinates (0 = the initial
-    /// post-ladder-top stage).
-    fn collaborate(
-        &self,
-        net: &mut Network,
-        train_provider: &mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
-        val: &[Batch],
-        st: &mut DescentState,
-        step: usize,
-    ) -> Result<RecoveryRecord> {
-        let train = train_provider(&mut st.r);
-        #[cfg(not(feature = "fault-inject"))]
-        let _ = step;
-        #[cfg(feature = "fault-inject")]
-        let rec = if let Some(plan) = self.fault.as_ref() {
-            let mut hook = |e: usize, n: &mut Network| {
-                if plan.take_nan_grad(step, e) {
-                    inject_nan(n);
-                }
-            };
-            st.collab.recover_with_hook(
-                net,
-                &train,
-                val,
-                st.baseline,
-                &mut st.opt,
-                &mut st.hybrid,
-                &mut st.r,
-                Some(&mut hook),
-            )?
-        } else {
-            st.collab.recover(
-                net,
-                &train,
-                val,
-                st.baseline,
-                &mut st.opt,
-                &mut st.hybrid,
-                &mut st.r,
-            )?
-        };
-        #[cfg(not(feature = "fault-inject"))]
-        let rec = st.collab.recover(
+        self.drive(
             net,
-            &train,
+            train_provider,
             val,
-            st.baseline,
-            &mut st.opt,
-            &mut st.hybrid,
-            &mut st.r,
-        )?;
-        for e in &rec.trace {
-            st.epoch += 1;
-            st.trace.push(TracePoint {
-                epoch: st.epoch,
-                val_accuracy: e.val_accuracy,
-                lr: e.lr,
-                event: TraceEvent::Recovery,
-            });
-        }
-        Ok(rec)
-    }
-
-    /// Atomically writes the current run state to the configured autosave
-    /// path, retrying failed writes up to [`CcqConfig::autosave_retries`]
-    /// times. A no-op when autosave is off.
-    fn autosave(&self, net: &mut Network, st: &DescentState) -> Result<()> {
-        let Some(path) = self.config.autosave.clone() else {
-            return Ok(());
-        };
-        let state = self.capture_run_state(net, st);
-        let mut attempts = 0usize;
-        loop {
-            #[cfg(feature = "fault-inject")]
-            let injected = self.fault.as_ref().is_some_and(|p| p.take_write_failure());
-            #[cfg(not(feature = "fault-inject"))]
-            let injected = false;
-            let result = if injected {
-                Err(CcqError::CheckpointIo(format!(
-                    "injected write failure for {}",
-                    path.display()
-                )))
-            } else {
-                state.write_atomic(&path)
-            };
-            match result {
-                Ok(()) => return Ok(()),
-                Err(_) if attempts < self.config.autosave_retries => attempts += 1,
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    /// Packages the current descent state as a [`RunState`].
-    fn capture_run_state(&self, net: &mut Network, st: &DescentState) -> RunState {
-        RunState {
-            seed: self.config.seed,
-            gamma: self.config.gamma,
-            ladder: self.config.ladder.rungs().iter().map(|b| b.bits()).collect(),
-            granularity_code: granularity_code(self.config.granularity),
-            regime_code: regime_code(self.config.probe_regime),
-            targets: self
-                .config
-                .targets
-                .as_ref()
-                .map(|t| t.iter().map(|b| b.bits()).collect()),
-            next_step: st.next_step,
-            epoch: st.epoch,
-            baseline_accuracy: st.baseline,
-            last_accuracy: st.last_acc,
-            lr: st.opt.lr(),
-            base_lr: st.hybrid.base_lr(),
-            rng: rng_state(&st.r),
-            plateau: st.hybrid.plateau_state(),
-            pi: self.competition.expert_weights().to_vec(),
-            velocities: capture_velocities(net),
-            ckpt: Checkpoint::capture(net),
-            trace: st.trace.clone(),
-            steps: st.steps.clone(),
-        }
-    }
-}
-
-fn granularity_code(g: ExpertGranularity) -> u8 {
-    match g {
-        ExpertGranularity::Layer => 0,
-        ExpertGranularity::WeightAct => 1,
-    }
-}
-
-fn regime_code(r: ProbeRegime) -> u8 {
-    match r {
-        ProbeRegime::FullInformation => 0,
-        ProbeRegime::Sampled => 1,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ccq_data::{gaussian_blobs, BlobsConfig};
-    use ccq_models::mlp;
-    use ccq_quant::PolicyKind;
-
-    fn trained_mlp_and_data() -> (Network, Vec<Batch>, Vec<Batch>) {
-        let ds = gaussian_blobs(&BlobsConfig {
-            classes: 4,
-            dim: 8,
-            samples_per_class: 64,
-            std: 0.35,
-            seed: 11,
-        });
-        let (train, val) = ds.split_at(192);
-        let (train_b, val_b) = (train.batches(16), val.batches(32));
-        let mut net = mlp(&[8, 16, 16, 4], PolicyKind::Pact, 5);
-        // Pre-train the fp32 baseline.
-        let mut opt = Sgd::new(0.05).momentum(0.9);
-        let mut r = rng(2);
-        for _ in 0..15 {
-            let _ = ccq_nn::train::train_epoch(&mut net, &train_b, &mut opt, &mut r).unwrap();
-        }
-        (net, train_b, val_b)
-    }
-
-    fn fast_config() -> CcqConfig {
-        CcqConfig {
-            ladder: BitLadder::new(&[8, 4]).unwrap(),
-            probe_rounds: 3,
-            recovery: RecoveryMode::Manual { epochs: 2 },
-            lr: 0.02,
-            max_steps: 20,
-            lambda: LambdaSchedule::constant(0.3),
-            ..Default::default()
-        }
-    }
-
-    #[test]
-    fn full_run_quantizes_every_layer_to_the_floor() {
-        let (mut net, train, val) = trained_mlp_and_data();
-        let mut runner = CcqRunner::new(fast_config());
-        let mut provider = move |_: &mut Rng64| train.clone();
-        let report = runner
-            .run_with_sources(&mut net, &mut provider, &val)
-            .unwrap();
-        // Initialization already puts every layer at 8b; one descent to 4b
-        // remains per layer.
-        assert_eq!(report.steps.len(), 3);
-        for (_, w, a) in &report.bit_assignment {
-            assert_eq!(*w, BitWidth::of(4));
-            assert_eq!(*a, BitWidth::of(4));
-        }
-        assert!(report.final_compression > 7.9, "4-bit weights ≈ 8x");
-        assert!(report.baseline_accuracy > 0.8, "baseline should be trained");
-    }
-
-    #[test]
-    fn trace_has_valleys_and_recoveries() {
-        let (mut net, train, val) = trained_mlp_and_data();
-        let mut runner = CcqRunner::new(fast_config());
-        let mut provider = move |_: &mut Rng64| train.clone();
-        let report = runner
-            .run_with_sources(&mut net, &mut provider, &val)
-            .unwrap();
-        let quant_points = report
-            .trace
-            .iter()
-            .filter(|p| matches!(p.event, TraceEvent::QuantStep { .. }))
-            .count();
-        let recovery_points = report
-            .trace
-            .iter()
-            .filter(|p| matches!(p.event, TraceEvent::Recovery))
-            .count();
-        assert_eq!(quant_points, report.steps.len());
-        assert!(recovery_points >= report.steps.len(), "each step recovers");
-        assert!(matches!(report.trace[0].event, TraceEvent::Baseline));
-        assert!(matches!(report.trace[1].event, TraceEvent::InitQuantize));
-        // CSV emitters produce one line per point plus header.
-        assert_eq!(report.trace_csv().lines().count(), report.trace.len() + 1);
-        assert_eq!(
-            report.schedule_csv().lines().count(),
-            report.steps.len() + 1
-        );
-    }
-
-    #[test]
-    fn compression_target_stops_early() {
-        let (mut net, train, val) = trained_mlp_and_data();
-        let mut cfg = fast_config();
-        cfg.target_compression = Some(4.5);
-        let mut runner = CcqRunner::new(cfg);
-        let mut provider = move |_: &mut Rng64| train.clone();
-        let report = runner
-            .run_with_sources(&mut net, &mut provider, &val)
-            .unwrap();
-        assert!(report.final_compression >= 4.5);
-        assert!(
-            report.steps.len() < 6,
-            "should stop before full quantization"
-        );
-    }
-
-    #[test]
-    fn target_mode_reaches_exact_pattern() {
-        let (mut net, train, val) = trained_mlp_and_data();
-        let mut cfg = fast_config();
-        cfg.ladder = BitLadder::new(&[8, 4, 3]).unwrap();
-        cfg.targets = Some(vec![BitWidth::FP32, BitWidth::of(3), BitWidth::FP32]);
-        let mut runner = CcqRunner::new(cfg);
-        let mut provider = move |_: &mut Rng64| train.clone();
-        let report = runner
-            .run_with_sources(&mut net, &mut provider, &val)
-            .unwrap();
-        assert_eq!(report.bit_assignment[0].1, BitWidth::FP32);
-        assert_eq!(report.bit_assignment[1].1, BitWidth::of(3));
-        assert_eq!(report.bit_assignment[2].1, BitWidth::FP32);
-        assert_eq!(report.bit_pattern(), "fp-3b-fp");
-    }
-
-    #[test]
-    fn rejects_mismatched_targets() {
-        let (mut net, train, val) = trained_mlp_and_data();
-        let mut cfg = fast_config();
-        cfg.targets = Some(vec![BitWidth::FP32]);
-        let mut runner = CcqRunner::new(cfg);
-        let mut provider = move |_: &mut Rng64| train.clone();
-        assert!(matches!(
-            runner.run_with_sources(&mut net, &mut provider, &val),
-            Err(CcqError::InvalidConfig(_))
-        ));
-    }
-
-    #[test]
-    fn quantized_accuracy_stays_near_baseline() {
-        // The paper's headline: gradual quantization + recovery keeps
-        // accuracy close to baseline. On an easy task we demand ≤ 10 pts.
-        let (mut net, train, val) = trained_mlp_and_data();
-        let mut cfg = fast_config();
-        cfg.recovery = RecoveryMode::Adaptive {
-            tolerance: 0.01,
-            max_epochs: 8,
-        };
-        let mut runner = CcqRunner::new(cfg);
-        let mut provider = move |_: &mut Rng64| train.clone();
-        let report = runner
-            .run_with_sources(&mut net, &mut provider, &val)
-            .unwrap();
-        assert!(
-            report.degradation() < 0.10,
-            "degradation {:.3} too large (baseline {:.3} final {:.3})",
-            report.degradation(),
-            report.baseline_accuracy,
-            report.final_accuracy
-        );
-    }
-
-    #[test]
-    fn report_display_is_informative() {
-        let (mut net, train, val) = trained_mlp_and_data();
-        let mut runner = CcqRunner::new(fast_config());
-        let mut provider = move |_: &mut Rng64| train.clone();
-        let report = runner
-            .run_with_sources(&mut net, &mut provider, &val)
-            .unwrap();
-        let s = report.to_string();
-        assert!(s.contains("compression"));
-        assert!(s.contains("bit pattern"));
+            StartPoint::FromRunState(Box::new(state)),
+            &mut NullSink,
+        )
     }
 }

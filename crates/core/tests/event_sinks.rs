@@ -1,0 +1,330 @@
+//! Sink coverage: [`CsvSink`] must emit bytes identical to the legacy
+//! `CcqReport::trace_csv`/`schedule_csv`, the event stream must fold back
+//! into the report's vectors exactly, [`JsonlSink`] lines must round-trip
+//! through a JSON parser, and the single-stepped [`ccq::DescentEngine`]
+//! must walk the documented phase sequence.
+
+use ccq::event::event_json;
+use ccq::{
+    CcqConfig, CcqReport, CcqRunner, CsvSink, DescentEvent, EventSink, JsonlSink, LambdaSchedule,
+    Phase, RecoveryMode, StartPoint, StepOutcome, TraceBuffer,
+};
+use ccq_data::{gaussian_blobs, BlobsConfig};
+use ccq_models::mlp;
+use ccq_nn::train::Batch;
+use ccq_nn::{Network, Sgd};
+use ccq_quant::{BitLadder, PolicyKind};
+use ccq_tensor::{rng, Rng64};
+use std::collections::BTreeMap;
+
+fn setup() -> (Network, Vec<Batch>, Vec<Batch>) {
+    let ds = gaussian_blobs(&BlobsConfig {
+        classes: 4,
+        dim: 8,
+        samples_per_class: 64,
+        std: 0.35,
+        seed: 11,
+    });
+    let (train, val) = ds.split_at(192);
+    let (train_b, val_b) = (train.batches(16), val.batches(32));
+    let mut net = mlp(&[8, 16, 16, 4], PolicyKind::Pact, 5);
+    let mut opt = Sgd::new(0.05).momentum(0.9);
+    let mut r = rng(2);
+    for _ in 0..15 {
+        let _ = ccq_nn::train::train_epoch(&mut net, &train_b, &mut opt, &mut r).unwrap();
+    }
+    (net, train_b, val_b)
+}
+
+fn fast_config() -> CcqConfig {
+    CcqConfig {
+        ladder: BitLadder::new(&[8, 4]).unwrap(),
+        probe_rounds: 3,
+        recovery: RecoveryMode::Manual { epochs: 2 },
+        lr: 0.02,
+        max_steps: 20,
+        lambda: LambdaSchedule::constant(0.3),
+        ..Default::default()
+    }
+}
+
+/// A sink fanning one stream out to several observers.
+struct Tee<'a>(Vec<&'a mut dyn EventSink>);
+
+impl EventSink for Tee<'_> {
+    fn on_event(&mut self, ev: &DescentEvent) {
+        for sink in &mut self.0 {
+            sink.on_event(ev);
+        }
+    }
+}
+
+fn run_with_all_sinks() -> (CcqReport, TraceBuffer, CsvSink, String) {
+    let (mut net, train, val) = setup();
+    let mut runner = CcqRunner::new(fast_config());
+    let mut provider = move |_: &mut Rng64| train.clone();
+    let mut buf = TraceBuffer::new();
+    let mut csv = CsvSink::new();
+    let mut jsonl = JsonlSink::new(Vec::new());
+    let report = {
+        let mut tee = Tee(vec![&mut buf, &mut csv, &mut jsonl]);
+        runner
+            .drive(&mut net, &mut provider, &val, StartPoint::Fresh, &mut tee)
+            .unwrap()
+    };
+    assert!(jsonl.io_error().is_none());
+    let lines = String::from_utf8(jsonl.into_inner()).unwrap();
+    (report, buf, csv, lines)
+}
+
+#[test]
+fn csv_sink_is_byte_identical_to_the_legacy_report_emitters() {
+    let (report, buf, csv, _) = run_with_all_sinks();
+    assert_eq!(csv.trace_csv(), report.trace_csv());
+    assert_eq!(csv.schedule_csv(), report.schedule_csv());
+    // And the raw buffer reproduces the report's vectors bit-for-bit.
+    assert_eq!(buf.trace(), &report.trace[..]);
+    assert_eq!(buf.steps(), &report.steps[..]);
+}
+
+#[test]
+fn jsonl_stream_round_trips_and_matches_the_report() {
+    let (report, _, _, lines) = run_with_all_sinks();
+    let events: Vec<Json> = lines
+        .lines()
+        .map(|l| {
+            let (v, rest) = Json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line: {e}\n{l}"));
+            assert!(rest.trim().is_empty(), "trailing garbage after object");
+            v
+        })
+        .collect();
+    assert!(!events.is_empty());
+
+    let kind = |v: &Json| v.get("event").unwrap().as_str().unwrap().to_string();
+    assert_eq!(kind(&events[0]), "baseline");
+    assert_eq!(kind(&events[1]), "init_quantize");
+    assert_eq!(kind(events.last().unwrap()), "finished");
+
+    // Per-step events mirror the report's schedule exactly.
+    let steps: Vec<&Json> = events.iter().filter(|e| kind(e) == "step").collect();
+    assert_eq!(steps.len(), report.steps.len());
+    for (ev, rec) in steps.iter().zip(&report.steps) {
+        assert_eq!(ev.get("step").unwrap().as_f64().unwrap(), rec.step as f64);
+        assert_eq!(ev.get("layer").unwrap().as_f64().unwrap(), rec.layer as f64);
+        assert_eq!(
+            ev.get("accuracy_after_recovery").unwrap().as_f64().unwrap() as f32,
+            rec.accuracy_after_recovery,
+            "floats survive the round trip exactly"
+        );
+        assert_eq!(
+            ev.get("label").unwrap().as_str().unwrap(),
+            rec.label.as_str()
+        );
+    }
+
+    // Probe rounds carry per-expert losses ξ and π of matching arity.
+    let probe = events.iter().find(|e| kind(e) == "probe_round").unwrap();
+    let probes = probe.get("probes").unwrap().as_array().unwrap();
+    let pi = probe.get("pi").unwrap().as_array().unwrap();
+    assert!(!probes.is_empty());
+    assert!(pi.len() >= probes.len(), "π covers every probed slot");
+
+    let fin = events.last().unwrap();
+    assert_eq!(
+        fin.get("final_compression").unwrap().as_f64().unwrap(),
+        report.final_compression
+    );
+    assert_eq!(
+        fin.get("bit_pattern").unwrap().as_str().unwrap(),
+        report.bit_pattern()
+    );
+}
+
+#[test]
+fn non_finite_floats_serialize_as_null() {
+    let ev = DescentEvent::Baseline {
+        accuracy: f32::INFINITY,
+        lr: 0.02,
+    };
+    let (v, _) = Json::parse(&event_json(&ev)).unwrap();
+    assert!(matches!(v.get("accuracy"), Some(Json::Null)));
+}
+
+#[test]
+fn stepped_engine_walks_the_documented_phase_sequence() {
+    let (mut net, train, val) = setup();
+    let mut runner = CcqRunner::new(fast_config());
+    let mut provider = move |_: &mut Rng64| train.clone();
+    let mut sink = ccq::NullSink;
+    let mut engine = runner
+        .engine(&mut net, &mut provider, &val, &mut sink, StartPoint::Fresh)
+        .unwrap();
+    assert_eq!(engine.phase(), Phase::InitQuantize);
+    let mut phases = Vec::new();
+    while let StepOutcome::Advanced { ran, next } = engine.step().unwrap() {
+        phases.push(ran);
+        assert_eq!(engine.phase(), next);
+    }
+    assert_eq!(phases[0], Phase::InitQuantize);
+    assert_eq!(phases[1], Phase::Checkpoint);
+    // Every full quantization step is Compete → Quantize → Recover →
+    // Checkpoint; the run ends on a Compete (all asleep) or Checkpoint.
+    for w in phases[1..].chunks(4) {
+        if w.len() == 4 {
+            assert_eq!(w[1], Phase::Compete);
+            assert_eq!(w[2], Phase::Quantize);
+            assert_eq!(w[3], Phase::Recover);
+        }
+    }
+    assert_eq!(engine.phase(), Phase::Done);
+    let report = engine.into_report().unwrap();
+    assert_eq!(report.steps.len(), 3);
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON parser, enough to round-trip JsonlSink output.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn parse(s: &str) -> Result<(Json, &str), String> {
+        let s = s.trim_start();
+        let mut chars = s.chars();
+        match chars.next().ok_or("unexpected end of input")? {
+            'n' => s
+                .strip_prefix("null")
+                .map(|r| (Json::Null, r))
+                .ok_or_else(|| "bad literal".into()),
+            't' => s
+                .strip_prefix("true")
+                .map(|r| (Json::Bool(true), r))
+                .ok_or_else(|| "bad literal".into()),
+            'f' => s
+                .strip_prefix("false")
+                .map(|r| (Json::Bool(false), r))
+                .ok_or_else(|| "bad literal".into()),
+            '"' => Self::parse_string(&s[1..]).map(|(v, r)| (Json::Str(v), r)),
+            '[' => {
+                let mut rest = s[1..].trim_start();
+                let mut items = Vec::new();
+                if let Some(r) = rest.strip_prefix(']') {
+                    return Ok((Json::Array(items), r));
+                }
+                loop {
+                    let (v, r) = Self::parse(rest)?;
+                    items.push(v);
+                    rest = r.trim_start();
+                    if let Some(r) = rest.strip_prefix(',') {
+                        rest = r.trim_start();
+                    } else if let Some(r) = rest.strip_prefix(']') {
+                        return Ok((Json::Array(items), r));
+                    } else {
+                        return Err(format!("expected , or ] at {rest:.10}"));
+                    }
+                }
+            }
+            '{' => {
+                let mut rest = s[1..].trim_start();
+                let mut map = BTreeMap::new();
+                if let Some(r) = rest.strip_prefix('}') {
+                    return Ok((Json::Object(map), r));
+                }
+                loop {
+                    let r = rest
+                        .strip_prefix('"')
+                        .ok_or_else(|| format!("expected key at {rest:.10}"))?;
+                    let (key, r) = Self::parse_string(r)?;
+                    let r = r
+                        .trim_start()
+                        .strip_prefix(':')
+                        .ok_or_else(|| "expected :".to_string())?;
+                    let (v, r) = Self::parse(r)?;
+                    map.insert(key, v);
+                    rest = r.trim_start();
+                    if let Some(r) = rest.strip_prefix(',') {
+                        rest = r.trim_start();
+                    } else if let Some(r) = rest.strip_prefix('}') {
+                        return Ok((Json::Object(map), r));
+                    } else {
+                        return Err(format!("expected , or }} at {rest:.10}"));
+                    }
+                }
+            }
+            c if c == '-' || c.is_ascii_digit() => {
+                let end = s
+                    .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                    .unwrap_or(s.len());
+                let num: f64 = s[..end].parse().map_err(|e| format!("bad number: {e}"))?;
+                Ok((Json::Num(num), &s[end..]))
+            }
+            c => Err(format!("unexpected character {c:?}")),
+        }
+    }
+
+    /// Parses a string body (the opening quote already consumed).
+    fn parse_string(s: &str) -> Result<(String, &str), String> {
+        let mut out = String::new();
+        let mut chars = s.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((out, &s[i + 1..])),
+                '\\' => match chars.next().ok_or("truncated escape")?.1 {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + h.to_digit(16).ok_or("bad hex digit")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad code point")?);
+                    }
+                    e => return Err(format!("unknown escape \\{e}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+}

@@ -125,7 +125,13 @@ fn exhausted_retries_surface_a_diverged_error() {
     let err = runner
         .run_with_sources(&mut net, &mut provider, &val)
         .unwrap_err();
-    assert_eq!(err, CcqError::Diverged { step: 1, retries: 1 });
+    assert_eq!(
+        err,
+        CcqError::Diverged {
+            step: 1,
+            retries: 1
+        }
+    );
 }
 
 #[test]

@@ -30,11 +30,7 @@ fn setup() -> (Network, Vec<Batch>) {
 /// Runs `steps` competition steps on a fresh clone of the setup under a
 /// fixed thread count and returns everything observable: probe records,
 /// winners, final probabilities, and π.
-fn run_competition(
-    threads: usize,
-    comp: Competition,
-    steps: usize,
-) -> (Vec<String>, Vec<f32>) {
+fn run_competition(threads: usize, comp: Competition, steps: usize) -> (Vec<String>, Vec<f32>) {
     with_threads(threads, || {
         let (mut net, val) = setup();
         let mut comp = comp;
@@ -63,7 +59,10 @@ fn run_competition(
                         o.winner_kind,
                         o.from_bits,
                         o.to_bits,
-                        o.probabilities.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                        o.probabilities
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>()
                     ));
                 }
                 None => trace.push("done".into()),

@@ -9,7 +9,12 @@ use ccq_tensor::{rng, Rng64};
 use proptest::prelude::*;
 
 fn val_batches(seed: u64) -> Vec<Batch> {
-    gaussian_blobs(&BlobsConfig { samples_per_class: 16, seed, ..Default::default() }).batches(32)
+    gaussian_blobs(&BlobsConfig {
+        samples_per_class: 16,
+        seed,
+        ..Default::default()
+    })
+    .batches(32)
 }
 
 proptest! {

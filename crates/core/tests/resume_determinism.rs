@@ -73,7 +73,10 @@ fn interrupted_plus_resumed_equals_uninterrupted_bit_for_bit() {
     let full = full_runner
         .run_with_sources(&mut full_net, &mut provider, &val)
         .unwrap();
-    assert!(full.steps.len() >= 2, "need at least two steps to interrupt");
+    assert!(
+        full.steps.len() >= 2,
+        "need at least two steps to interrupt"
+    );
 
     // Interrupted: same run, forced to stop after step 1 ("the crash").
     let path = tmp_path("interrupted.ccqruns");
@@ -144,7 +147,9 @@ fn resume_rejects_a_mismatched_config() {
     let mut runner = CcqRunner::new(cfg);
     let t = train.clone();
     let mut provider = move |_: &mut Rng64| t.clone();
-    let _ = runner.run_with_sources(&mut net, &mut provider, &val).unwrap();
+    let _ = runner
+        .run_with_sources(&mut net, &mut provider, &val)
+        .unwrap();
 
     // Different seed.
     let mut other = config(None);

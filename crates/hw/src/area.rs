@@ -84,8 +84,16 @@ mod tests {
             label: "l".into(),
             weight_count: 10,
             macs,
-            weight_bits: if bits == 32 { BitWidth::FP32 } else { BitWidth::of(bits) },
-            act_bits: if bits == 32 { BitWidth::FP32 } else { BitWidth::of(bits) },
+            weight_bits: if bits == 32 {
+                BitWidth::FP32
+            } else {
+                BitWidth::of(bits)
+            },
+            act_bits: if bits == 32 {
+                BitWidth::FP32
+            } else {
+                BitWidth::of(bits)
+            },
         }
     }
 
@@ -103,15 +111,27 @@ mod tests {
 
     #[test]
     fn area_scales_quadratically_with_node() {
-        let a45 = mac_area_um2(&MacEnergyModel::at_node(45.0), BitWidth::of(8), BitWidth::of(8));
-        let a16 = mac_area_um2(&MacEnergyModel::at_node(16.0), BitWidth::of(8), BitWidth::of(8));
+        let a45 = mac_area_um2(
+            &MacEnergyModel::at_node(45.0),
+            BitWidth::of(8),
+            BitWidth::of(8),
+        );
+        let a16 = mac_area_um2(
+            &MacEnergyModel::at_node(16.0),
+            BitWidth::of(8),
+            BitWidth::of(8),
+        );
         let expected = (16.0f64 / 45.0).powi(2);
         assert!((a16 / a45 - expected).abs() < 1e-9);
     }
 
     #[test]
     fn eight_bit_mac_matches_calibration_point() {
-        let a = mac_area_um2(&MacEnergyModel::at_node(45.0), BitWidth::of(8), BitWidth::of(8));
+        let a = mac_area_um2(
+            &MacEnergyModel::at_node(45.0),
+            BitWidth::of(8),
+            BitWidth::of(8),
+        );
         assert!((a - MAC8_UM2_45NM).abs() < 1e-9);
     }
 

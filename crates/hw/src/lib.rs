@@ -36,6 +36,6 @@ mod memory;
 mod size;
 
 pub use area::{inference_report, mac_area_um2, InferenceReport};
-pub use memory::{weight_fetch_energy, FetchReport, MemoryKind};
 pub use energy::{network_power, LayerPower, LayerProfile, MacEnergyModel, PowerReport};
+pub use memory::{weight_fetch_energy, FetchReport, MemoryKind};
 pub use size::{model_size, SizeReport};

@@ -74,7 +74,10 @@ pub fn weight_fetch_energy(
         bits += p.weight_count as u64 * u64::from(p.weight_bits.bits());
     }
     let energy_pj = bits as f64 * memory.pj_per_bit_45nm() * node_factor;
-    FetchReport { bits, energy_nj: energy_pj * 1e-3 }
+    FetchReport {
+        bits,
+        energy_nj: energy_pj * 1e-3,
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +90,11 @@ mod tests {
             label: "l".into(),
             weight_count: count,
             macs: 0,
-            weight_bits: if bits == 32 { BitWidth::FP32 } else { BitWidth::of(bits) },
+            weight_bits: if bits == 32 {
+                BitWidth::FP32
+            } else {
+                BitWidth::of(bits)
+            },
             act_bits: BitWidth::of(8),
         }
     }
@@ -119,17 +126,16 @@ mod tests {
         let fetch_per_weight =
             weight_fetch_energy(&m, &[profile(1, 32)], MemoryKind::Dram).energy_nj * 1e3;
         let mac = m.energy_pj(BitWidth::FP32, BitWidth::FP32);
-        assert!(fetch_per_weight / mac > 100.0, "{fetch_per_weight} vs {mac}");
+        assert!(
+            fetch_per_weight / mac > 100.0,
+            "{fetch_per_weight} vs {mac}"
+        );
     }
 
     #[test]
     fn mixed_precision_sums_per_layer() {
         let m = MacEnergyModel::node_32nm();
-        let r = weight_fetch_energy(
-            &m,
-            &[profile(100, 8), profile(100, 2)],
-            MemoryKind::Sram,
-        );
+        let r = weight_fetch_energy(&m, &[profile(100, 8), profile(100, 2)], MemoryKind::Sram);
         assert_eq!(r.bits, 1000);
     }
 

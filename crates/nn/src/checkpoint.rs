@@ -60,7 +60,13 @@ impl Checkpoint {
             act_steps.push(h.quant.act_step());
             specs.push(h.quant.spec());
         });
-        Checkpoint { tensors, alphas, weight_steps, act_steps, specs }
+        Checkpoint {
+            tensors,
+            alphas,
+            weight_steps,
+            act_steps,
+            specs,
+        }
     }
 
     /// Applies the checkpoint to a structurally identical network: state
@@ -74,7 +80,10 @@ impl Checkpoint {
         let mut count = 0;
         net.visit_state_tensors(&mut |_| count += 1);
         if count != self.tensors.len() {
-            return Err(NnError::StateMismatch { expected: count, actual: self.tensors.len() });
+            return Err(NnError::StateMismatch {
+                expected: count,
+                actual: self.tensors.len(),
+            });
         }
         if net.quant_layer_count() != self.specs.len() {
             return Err(NnError::StateMismatch {
@@ -93,7 +102,9 @@ impl Checkpoint {
             i += 1;
         });
         if !shape_ok {
-            return Err(NnError::InvalidConfig("checkpoint tensor shapes do not match".into()));
+            return Err(NnError::InvalidConfig(
+                "checkpoint tensor shapes do not match".into(),
+            ));
         }
         let mut j = 0;
         net.visit_quant(&mut |h| {
@@ -200,7 +211,13 @@ impl Checkpoint {
             weight_steps.push(read_f32(&mut cur)?);
             act_steps.push(read_f32(&mut cur)?);
         }
-        Ok(Checkpoint { tensors, alphas, weight_steps, act_steps, specs })
+        Ok(Checkpoint {
+            tensors,
+            alphas,
+            weight_steps,
+            act_steps,
+            specs,
+        })
     }
 
     /// Writes the checkpoint to a writer (e.g. a file). A `&mut` reference
@@ -428,7 +445,10 @@ mod tests {
             QuantSpec::full_precision(PolicyKind::Pact),
             &mut r,
         ))]));
-        assert!(matches!(ckpt.apply(&mut other), Err(NnError::StateMismatch { .. })));
+        assert!(matches!(
+            ckpt.apply(&mut other),
+            Err(NnError::StateMismatch { .. })
+        ));
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl QuantizedTensor {
     /// Panics when `bits` is outside `2..=31` (a sign bit plus at least one
     /// magnitude bit, and headroom inside `i32`).
     pub fn from_tensor(t: &Tensor, bits: u32) -> Self {
-        assert!((2..=31).contains(&bits), "integer execution needs 2..=31 bits");
+        assert!(
+            (2..=31).contains(&bits),
+            "integer execution needs 2..=31 bits"
+        );
         let qmax = ((1i64 << (bits - 1)) - 1) as f32;
         let max_abs = t.max_abs();
         let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
@@ -48,7 +51,12 @@ impl QuantizedTensor {
             .iter()
             .map(|&v| (v / scale).round().clamp(-qmax, qmax) as i32)
             .collect();
-        QuantizedTensor { values, scale, shape: t.shape().to_vec(), bits }
+        QuantizedTensor {
+            values,
+            scale,
+            shape: t.shape().to_vec(),
+            bits,
+        }
     }
 
     /// Dequantizes back to `f32` — by construction this equals the fake-
@@ -131,7 +139,12 @@ pub fn int_conv2d(
         )));
     }
     let [n, c, h, w] = [x.shape[0], x.shape[1], x.shape[2], x.shape[3]];
-    let [o, _, kh, kw] = [weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]];
+    let [o, _, kh, kw] = [
+        weight.shape[0],
+        weight.shape[1],
+        weight.shape[2],
+        weight.shape[3],
+    ];
     let oh = conv_output_size(h, kh, geom.stride, geom.padding)?;
     let ow = conv_output_size(w, kw, geom.stride, geom.padding)?;
     let scale = x.scale * weight.scale;
@@ -179,7 +192,11 @@ mod tests {
 
     #[test]
     fn dequantize_matches_fake_quant() {
-        let t = Init::Normal { mean: 0.0, std: 1.0 }.sample(&[256], &mut rng(0));
+        let t = Init::Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample(&[256], &mut rng(0));
         for bits in [2u32, 4, 8] {
             let q = QuantizedTensor::from_tensor(&t, bits);
             let fake = quantize_maxabs(&t, bits);
@@ -200,15 +217,18 @@ mod tests {
     fn int_linear_matches_fake_quant_matmul() {
         let mut r = rng(2);
         let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[3, 8], &mut r);
-        let w = Init::Normal { mean: 0.0, std: 0.5 }.sample(&[5, 8], &mut r);
+        let w = Init::Normal {
+            mean: 0.0,
+            std: 0.5,
+        }
+        .sample(&[5, 8], &mut r);
         let bias = Init::Uniform { lo: -0.1, hi: 0.1 }.sample(&[5], &mut r);
         for bits in [3u32, 4, 8] {
             let qx = QuantizedTensor::from_tensor(&x, bits);
             let qw = QuantizedTensor::from_tensor(&w, bits);
             let y_int = int_linear(&qx, &qw, Some(&bias)).unwrap();
             // Reference: fake-quant f32 path.
-            let y_fake =
-                ccq_tensor::ops::matmul_a_bt(&qx.dequantize(), &qw.dequantize()).unwrap();
+            let y_fake = ccq_tensor::ops::matmul_a_bt(&qx.dequantize(), &qw.dequantize()).unwrap();
             for i in 0..3 {
                 for o in 0..5 {
                     let vi = y_int.at(&[i, o]);
@@ -226,8 +246,17 @@ mod tests {
     fn int_conv_matches_fake_quant_conv() {
         let mut r = rng(3);
         let x = Init::Uniform { lo: -1.0, hi: 1.0 }.sample(&[2, 3, 6, 6], &mut r);
-        let w = Init::Normal { mean: 0.0, std: 0.4 }.sample(&[4, 3, 3, 3], &mut r);
-        let geom = Conv2dGeometry { kernel_h: 3, kernel_w: 3, stride: 2, padding: 1 };
+        let w = Init::Normal {
+            mean: 0.0,
+            std: 0.4,
+        }
+        .sample(&[4, 3, 3, 3], &mut r);
+        let geom = Conv2dGeometry {
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 2,
+            padding: 1,
+        };
         let qx = QuantizedTensor::from_tensor(&x, 4);
         let qw = QuantizedTensor::from_tensor(&w, 4);
         let y_int = int_conv2d(&qx, &qw, None, geom).unwrap();

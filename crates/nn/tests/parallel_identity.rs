@@ -18,7 +18,13 @@ fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
         .install(f)
 }
 
-fn batches(n_batches: usize, batch_len: usize, features: usize, classes: usize, seed: u64) -> Vec<Batch> {
+fn batches(
+    n_batches: usize,
+    batch_len: usize,
+    features: usize,
+    classes: usize,
+    seed: u64,
+) -> Vec<Batch> {
     let mut r = rng(seed);
     (0..n_batches)
         .map(|_| {

@@ -35,7 +35,9 @@ fn directional_check(layer: &mut dyn Layer, x: &Tensor, seed: u64, tol: f32) -> 
     let fd = (obj(layer, &xp) - obj(layer, &xm)) / (2.0 * eps);
     let an = dx.dot(&dir).map_err(|e| e.to_string())?;
     if (fd - an).abs() > tol * (1.0 + fd.abs()) {
-        return Err(format!("directional derivative mismatch: fd={fd} analytic={an}"));
+        return Err(format!(
+            "directional derivative mismatch: fd={fd} analytic={an}"
+        ));
     }
     Ok(())
 }

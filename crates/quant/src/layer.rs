@@ -181,8 +181,7 @@ impl LayerQuant {
     pub fn step_alpha(&mut self, lr: f32, weight_decay: f32) {
         if self.spec.policy.has_learnable_steps() {
             if self.weight_step > 0.0 {
-                self.weight_step =
-                    (self.weight_step - lr * self.weight_step_grad).max(1e-8);
+                self.weight_step = (self.weight_step - lr * self.weight_step_grad).max(1e-8);
             }
             if self.act_step > 0.0 {
                 self.act_step = (self.act_step - lr * self.act_step_grad).max(1e-8);
@@ -245,9 +244,7 @@ impl LayerQuant {
             PolicyKind::Dorefa | PolicyKind::Pact => None,
             PolicyKind::Wrpn => Some(wrpn::weight_grad_mask(w)),
             PolicyKind::Sawb => Some(sawb::weight_grad_mask(w, self.spec.weight_bits.bits())),
-            PolicyKind::Aciq => {
-                Some(aciq::weight_grad_mask(w, self.spec.weight_bits.bits()))
-            }
+            PolicyKind::Aciq => Some(aciq::weight_grad_mask(w, self.spec.weight_bits.bits())),
             PolicyKind::Lsq => {
                 let (qn, qp) = lsq::signed_range(self.spec.weight_bits.bits().min(31));
                 let s = if self.weight_step > 0.0 {
@@ -255,7 +252,13 @@ impl LayerQuant {
                 } else {
                     lsq::init_step(w, qp)
                 };
-                Some(w.map(|v| if (-qn * s..=qp * s).contains(&v) { 1.0 } else { 0.0 }))
+                Some(w.map(|v| {
+                    if (-qn * s..=qp * s).contains(&v) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }))
             }
             PolicyKind::UniformAffine | PolicyKind::MaxAbs => None,
         }
@@ -308,7 +311,11 @@ impl LayerQuant {
             PolicyKind::Aciq => aciq::quantize_acts(x, bits),
             PolicyKind::Lsq => {
                 let (qn, qp) = lsq::unsigned_range(bits.min(31));
-                let s = if self.act_step > 0.0 { self.act_step } else { lsq::init_step(x, qp) };
+                let s = if self.act_step > 0.0 {
+                    self.act_step
+                } else {
+                    lsq::init_step(x, qp)
+                };
                 lsq::quantize(x, s, qn, qp)
             }
         }
@@ -353,7 +360,10 @@ impl LayerQuant {
             }
             _ if self.spec.act_bits.is_full_precision() => grad_out.clone(),
             PolicyKind::Aciq => grad_out
-                .zip_map(&aciq::act_grad_mask(x, self.spec.act_bits.bits()), |g, m| g * m)
+                .zip_map(
+                    &aciq::act_grad_mask(x, self.spec.act_bits.bits()),
+                    |g, m| g * m,
+                )
                 .expect("shapes checked above"),
             // Static policies (and LSQ at full precision): pass-through.
             PolicyKind::UniformAffine | PolicyKind::MaxAbs | PolicyKind::Lsq => grad_out.clone(),

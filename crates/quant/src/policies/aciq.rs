@@ -35,11 +35,21 @@ pub fn classify(t: &Tensor) -> SourceDistribution {
     }
     let mean = t.mean();
     let n = t.len() as f32;
-    let m2 = t.as_slice().iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / n;
+    let m2 = t
+        .as_slice()
+        .iter()
+        .map(|&v| (v - mean).powi(2))
+        .sum::<f32>()
+        / n;
     if m2 <= 0.0 {
         return SourceDistribution::Gaussian;
     }
-    let m4 = t.as_slice().iter().map(|&v| (v - mean).powi(4)).sum::<f32>() / n;
+    let m4 = t
+        .as_slice()
+        .iter()
+        .map(|&v| (v - mean).powi(4))
+        .sum::<f32>()
+        / n;
     let kurtosis = m4 / (m2 * m2);
     if (kurtosis - 3.0).abs() <= (kurtosis - 6.0).abs() {
         SourceDistribution::Gaussian
@@ -112,14 +122,24 @@ mod tests {
 
     /// A Laplace sample via inverse-CDF of uniforms.
     fn laplace(n: usize, scale: f32, seed: u64) -> Tensor {
-        let u = Init::Uniform { lo: -0.4999, hi: 0.4999 }.sample(&[n], &mut rng(seed));
+        let u = Init::Uniform {
+            lo: -0.4999,
+            hi: 0.4999,
+        }
+        .sample(&[n], &mut rng(seed));
         u.map(|v| -scale * v.signum() * (1.0 - 2.0 * v.abs()).ln())
     }
 
     #[test]
     fn classifies_gaussian_and_laplace() {
-        assert_eq!(classify(&gaussian(8192, 1.0, 0)), SourceDistribution::Gaussian);
-        assert_eq!(classify(&laplace(8192, 1.0, 1)), SourceDistribution::Laplace);
+        assert_eq!(
+            classify(&gaussian(8192, 1.0, 0)),
+            SourceDistribution::Gaussian
+        );
+        assert_eq!(
+            classify(&laplace(8192, 1.0, 1)),
+            SourceDistribution::Laplace
+        );
     }
 
     #[test]
@@ -145,8 +165,7 @@ mod tests {
     fn aciq_beats_maxabs_at_low_bits_for_gaussian() {
         let w = gaussian(8192, 1.0, 4);
         let e_aciq = crate::quantization_mse(&w, &quantize_weights(&w, 3));
-        let e_max =
-            crate::quantization_mse(&w, &crate::policies::uniform::quantize_maxabs(&w, 3));
+        let e_max = crate::quantization_mse(&w, &crate::policies::uniform::quantize_maxabs(&w, 3));
         assert!(e_aciq < e_max, "aciq {e_aciq} vs maxabs {e_max}");
     }
 

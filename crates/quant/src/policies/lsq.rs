@@ -79,7 +79,10 @@ pub fn backward(grad_out: &Tensor, v: &Tensor, s: f32, q_n: f32, q_p: f32) -> Ls
             // STE: gradient passes through to the value.
         }
     }
-    LsqBackward { grad_values, grad_step: grad_step * grad_scale }
+    LsqBackward {
+        grad_values,
+        grad_step: grad_step * grad_scale,
+    }
 }
 
 #[cfg(test)]
@@ -109,8 +112,16 @@ mod tests {
 
     #[test]
     fn step_init_is_positive_and_scales_with_magnitude() {
-        let small = Init::Normal { mean: 0.0, std: 0.1 }.sample(&[512], &mut rng(0));
-        let large = Init::Normal { mean: 0.0, std: 1.0 }.sample(&[512], &mut rng(0));
+        let small = Init::Normal {
+            mean: 0.0,
+            std: 0.1,
+        }
+        .sample(&[512], &mut rng(0));
+        let large = Init::Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample(&[512], &mut rng(0));
         let (_, qp) = signed_range(4);
         let s_small = init_step(&small, qp);
         let s_large = init_step(&large, qp);
@@ -162,7 +173,11 @@ mod tests {
 
     #[test]
     fn more_bits_less_error() {
-        let v = Init::Normal { mean: 0.0, std: 1.0 }.sample(&[2048], &mut rng(3));
+        let v = Init::Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample(&[2048], &mut rng(3));
         let mut last = f32::INFINITY;
         for bits in [2u32, 4, 8] {
             let (qn, qp) = signed_range(bits);

@@ -60,7 +60,12 @@ fn matmul_rows(av: &[f32], bv: &[f32], ov_rows: &mut [f32], row0: usize, k: usiz
             let (o1, rest) = rest.split_at_mut(n);
             let (o2, o3) = rest.split_at_mut(n);
             for p in 0..k {
-                let (a0, a1, a2, a3) = (a_block[p], a_block[k + p], a_block[2 * k + p], a_block[3 * k + p]);
+                let (a0, a1, a2, a3) = (
+                    a_block[p],
+                    a_block[k + p],
+                    a_block[2 * k + p],
+                    a_block[3 * k + p],
+                );
                 let brow = &bv[p * n..(p + 1) * n];
                 for j in 0..n {
                     let b = brow[j];
@@ -131,7 +136,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Computes output rows `[row0, row0 + rows)` of `C = Aᵀ·B` into
 /// `ov_rows`. `A: [k, m]`, `B: [k, n]`; row `i` of `C` reads column
 /// `row0 + i` of `A`.
-fn matmul_at_b_rows(av: &[f32], bv: &[f32], ov_rows: &mut [f32], row0: usize, k: usize, m: usize, n: usize) {
+fn matmul_at_b_rows(
+    av: &[f32],
+    bv: &[f32],
+    ov_rows: &mut [f32],
+    row0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
     if n == 0 {
         return;
     }

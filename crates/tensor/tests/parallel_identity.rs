@@ -7,7 +7,9 @@
 //! Under `--no-default-features` these tests still run and pass trivially
 //! (every path is the serial one), keeping the suite uniform.
 
-use ccq_tensor::ops::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, transpose2d, Conv2dGeometry};
+use ccq_tensor::ops::{
+    col2im, im2col, matmul, matmul_a_bt, matmul_at_b, transpose2d, Conv2dGeometry,
+};
 use ccq_tensor::{rng, Init, Tensor};
 use proptest::prelude::*;
 

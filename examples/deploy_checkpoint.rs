@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut runner = CcqRunner::new(CcqConfig {
         ladder: BitLadder::new(&[8, 6, 4, 3])?,
         target_compression: Some(7.0),
-        recovery: RecoveryMode::Adaptive { tolerance: 0.01, max_epochs: 5 },
+        recovery: RecoveryMode::Adaptive {
+            tolerance: 0.01,
+            max_epochs: 5,
+        },
         seed: 23,
         ..CcqConfig::default()
     });
@@ -74,8 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let y_int = int_linear(&qx, &qw, None).expect("int path");
             let wq = h.quant.quantize_weights(&h.weight.value);
             // Compare against the fake-quant product at the same widths.
-            let y_fake = ccq_repro::tensor::ops::matmul_a_bt(&qx.dequantize(), &wq)
-                .expect("fake path");
+            let y_fake =
+                ccq_repro::tensor::ops::matmul_a_bt(&qx.dequantize(), &wq).expect("fake path");
             for (a, b) in y_int.as_slice().iter().zip(y_fake.as_slice()) {
                 max_err = max_err.max((a - b).abs());
             }

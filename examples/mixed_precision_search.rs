@@ -17,8 +17,12 @@
 //! cargo run --release --example mixed_precision_search -- \
 //!     --resume mixed_precision_search.ccqruns
 //! ```
+//!
+//! Either way the search streams its event log — baseline, per-round
+//! probe losses, quantize decisions, recovery epochs — as JSON lines to
+//! `mixed_precision_search.events.jsonl` through a [`JsonlSink`].
 
-use ccq_repro::ccq::{layer_profiles, CcqConfig, CcqRunner, RecoveryMode};
+use ccq_repro::ccq::{layer_profiles, CcqConfig, CcqRunner, JsonlSink, RecoveryMode};
 use ccq_repro::data::{synth_cifar, Augment, SynthCifarConfig};
 use ccq_repro::hw::{model_size, network_power, MacEnergyModel};
 use ccq_repro::models::{resnet20, ModelConfig};
@@ -87,14 +91,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..CcqConfig::default()
     };
     let mut runner = CcqRunner::new(cfg);
+
+    // Stream the descent's event log as JSON lines; each line is one
+    // structured event (probe round, quantize decision, recovery epoch…).
+    let events_path = "mixed_precision_search.events.jsonl";
+    let mut events = JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(events_path)?));
     let report = match &resume {
         Some(path) => {
             println!("resuming from {}", path.display());
-            runner.resume(path, &mut net, &train, &val)?
+            runner.resume_with_sink(path, &mut net, &train, &val, &mut events)?
         }
-        None => runner.run(&mut net, &train, &val)?,
+        None => runner.run_with_sink(&mut net, &train, &val, &mut events)?,
     };
+    if let Some(err) = events.io_error() {
+        eprintln!("warning: event log truncated: {err}");
+    }
+    use std::io::Write as _;
+    events.into_inner().flush()?;
     println!("{report}");
+    println!("event log: {events_path}");
 
     // Hardware analysis of the learned assignment.
     let profiles = layer_profiles(&mut net);

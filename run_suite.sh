@@ -5,10 +5,13 @@ set -x
 cd /root/repo
 mkdir -p results
 
-# --- gates: both feature configurations must pass, lints are errors ---
+# --- gates: both feature configurations must pass, lints are errors,
+# formatting is canonical, rustdoc builds warning-free ---
 cargo test --workspace -q 2> results/test.log || exit 1
 cargo test --workspace -q --no-default-features 2> results/test_serial.log || exit 1
 cargo clippy --workspace --all-targets -- -D warnings 2> results/clippy.log || exit 1
+cargo fmt --all --check > results/fmt.log 2>&1 || exit 1
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps 2> results/doc.log || exit 1
 
 # --- fault gates: the injection harness must pass on the serial build
 # too, and interrupted+resumed must equal uninterrupted bit-for-bit ---

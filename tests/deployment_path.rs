@@ -12,7 +12,11 @@ use ccq_repro::nn::{Mode, Network, Sgd};
 use ccq_repro::quant::{BitLadder, BitWidth, PolicyKind, QuantSpec};
 use ccq_repro::tensor::{rng, Init, Rng64, Tensor};
 
-fn trained_mlp() -> (Network, Vec<ccq_repro::nn::train::Batch>, Vec<ccq_repro::nn::train::Batch>) {
+fn trained_mlp() -> (
+    Network,
+    Vec<ccq_repro::nn::train::Batch>,
+    Vec<ccq_repro::nn::train::Batch>,
+) {
     let ds = gaussian_blobs(&BlobsConfig {
         classes: 3,
         dim: 6,
@@ -42,8 +46,9 @@ fn ccq_result_survives_checkpoint_round_trip() {
         ..CcqConfig::default()
     };
     let mut provider = |_: &mut Rng64| train_b.clone();
-    let report =
-        CcqRunner::new(cfg).run_with_sources(&mut net, &mut provider, &val_b).unwrap();
+    let report = CcqRunner::new(cfg)
+        .run_with_sources(&mut net, &mut provider, &val_b)
+        .unwrap();
 
     let x = Tensor::ones(&[2, 6]);
     let y_before = net.forward(&x, Mode::Eval).unwrap();
@@ -51,13 +56,17 @@ fn ccq_result_survives_checkpoint_round_trip() {
 
     // A fresh network of the same architecture, different weights.
     let mut fresh = mlp(&[6, 12, 3], PolicyKind::MaxAbs, 999);
-    Checkpoint::from_bytes(&bytes).unwrap().apply(&mut fresh).unwrap();
+    Checkpoint::from_bytes(&bytes)
+        .unwrap()
+        .apply(&mut fresh)
+        .unwrap();
     let y_after = fresh.forward(&x, Mode::Eval).unwrap();
     assert_eq!(y_before.as_slice(), y_after.as_slice());
 
     // The mixed-precision assignment came along.
-    let restored: Vec<BitWidth> =
-        (0..fresh.quant_layer_count()).map(|i| fresh.quant_spec(i).weight_bits).collect();
+    let restored: Vec<BitWidth> = (0..fresh.quant_layer_count())
+        .map(|i| fresh.quant_spec(i).weight_bits)
+        .collect();
     let from_report: Vec<BitWidth> = report.bit_assignment.iter().map(|(_, w, _)| *w).collect();
     assert_eq!(restored, from_report);
 }
@@ -67,7 +76,11 @@ fn fake_quant_linear_matches_integer_execution() {
     // A single max-abs quantized linear layer must compute the same result
     // through the fake-quant f32 path and the integer path.
     let mut r = rng(18);
-    let w = Init::Normal { mean: 0.0, std: 0.5 }.sample(&[4, 6], &mut r);
+    let w = Init::Normal {
+        mean: 0.0,
+        std: 0.5,
+    }
+    .sample(&[4, 6], &mut r);
     let x = Init::Uniform { lo: 0.0, hi: 1.0 }.sample(&[3, 6], &mut r);
     for bits in [3u32, 4, 8] {
         // Integer path.
@@ -81,7 +94,10 @@ fn fake_quant_linear_matches_integer_execution() {
         let xq = lq.quantize_acts(&x);
         let y_fake = ccq_repro::tensor::ops::matmul_a_bt(&xq, &wq).unwrap();
         for (a, b) in y_int.as_slice().iter().zip(y_fake.as_slice()) {
-            assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "bits={bits}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                "bits={bits}: {a} vs {b}"
+            );
         }
     }
 }

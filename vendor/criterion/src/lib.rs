@@ -157,11 +157,7 @@ impl Criterion {
     }
 
     /// Registers and immediately runs one benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Display,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
         let id = id.to_string();
         self.run_one(&id, f);
         self
@@ -189,11 +185,7 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Registers and runs one member benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Display,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
         self.criterion.run_one(&full, f);
         self

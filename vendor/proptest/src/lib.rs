@@ -1,7 +1,8 @@
 //! Offline stand-in for the subset of `proptest` this workspace uses.
 //!
 //! Provides the [`proptest!`] macro, range/tuple/vec/bool strategies
-//! with [`Strategy::prop_map`], and the `prop_assert*`/[`prop_assume!`]
+//! with [`strategy::Strategy::prop_map`], and the
+//! `prop_assert*`/[`prop_assume!`]
 //! macros. Compared to the registry crate the runner here is much
 //! simpler: cases are generated from a deterministic per-test RNG
 //! (seeded from the test's module path and name), there is **no input
@@ -127,7 +128,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Inclusive length bounds for [`vec`]; built from a `usize`
+    /// Inclusive length bounds for [`vec()`]; built from a `usize`
     /// (exact length) or a `Range<usize>` (half-open, as in proptest).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

@@ -268,10 +268,7 @@ where
                 base: l,
                 f: self.f.clone(),
             },
-            Map {
-                base: r,
-                f: self.f,
-            },
+            Map { base: r, f: self.f },
         )
     }
 
@@ -596,7 +593,8 @@ mod tests {
     fn collect_preserves_order_at_every_thread_count() {
         let expect: Vec<usize> = (0..1000).map(|i| i * 3).collect();
         for t in [1, 2, 4, 8, 16] {
-            let got: Vec<usize> = with_threads(t, || (0..1000).into_par_iter().map(|i| i * 3).collect());
+            let got: Vec<usize> =
+                with_threads(t, || (0..1000).into_par_iter().map(|i| i * 3).collect());
             assert_eq!(got, expect, "threads={t}");
         }
     }
@@ -620,7 +618,13 @@ mod tests {
         let r: Result<Vec<usize>, String> = with_threads(4, || {
             (0..100)
                 .into_par_iter()
-                .map(|i| if i == 57 { Err(format!("bad {i}")) } else { Ok(i) })
+                .map(|i| {
+                    if i == 57 {
+                        Err(format!("bad {i}"))
+                    } else {
+                        Ok(i)
+                    }
+                })
                 .collect()
         });
         assert_eq!(r.unwrap_err(), "bad 57");
@@ -632,7 +636,10 @@ mod tests {
     #[test]
     fn nested_parallelism_is_sequential_in_workers() {
         let counts: Vec<usize> = with_threads(4, || {
-            (0..8).into_par_iter().map(|_| current_num_threads()).collect()
+            (0..8)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
         });
         // Inside workers nested calls must see exactly one thread. With a
         // single available piece the driver may run inline (not a worker),
@@ -672,7 +679,9 @@ mod tests {
         });
         assert_eq!(
             chunk_sums,
-            v.chunks(10).map(|c| c.iter().sum::<i64>()).collect::<Vec<_>>()
+            v.chunks(10)
+                .map(|c| c.iter().sum::<i64>())
+                .collect::<Vec<_>>()
         );
     }
 }
