@@ -4,6 +4,9 @@
 //! Usage: `cargo run --release -p ccq-bench --bin ablations [-- --only sec1,sec2]`
 //! where sections are `gamma`, `rounds`, `regime`, `granularity`, `ladder`.
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq::{CcqConfig, CcqRunner, ExpertGranularity, LambdaSchedule, ProbeRegime, RecoveryMode};
 use ccq_bench::{build_workload, fmt_pct, fmt_ratio, Scale};
 use ccq_models::ModelKind;

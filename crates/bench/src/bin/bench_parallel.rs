@@ -9,6 +9,9 @@
 //! Usage: `cargo run --release -p ccq-bench --bin bench_parallel [out.json]`
 //! (set `CCQ_BENCH_REPS` to change the per-variant repetition count).
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq::{Competition, LambdaSchedule};
 use ccq_data::{synth_cifar, SynthCifarConfig};
 use ccq_models::plain_cnn;

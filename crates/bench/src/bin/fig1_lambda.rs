@@ -11,6 +11,9 @@
 //!
 //! Usage: `cargo run --release -p ccq-bench --bin fig1_lambda [-- --decay]`
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq::{CcqConfig, CcqRunner, LambdaSchedule, RecoveryMode};
 use ccq_bench::{build_workload, fmt_pct, fmt_ratio, Scale};
 use ccq_models::ModelKind;

@@ -9,6 +9,9 @@
 //!
 //! Usage: `cargo run --release -p ccq-bench --bin fig2_curve`
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq::{CcqConfig, CcqRunner, CsvSink, DescentEvent, EventSink, RecoveryMode};
 use ccq_bench::{build_workload, Scale};
 use ccq_models::ModelKind;

@@ -8,6 +8,9 @@
 //!
 //! Usage: `cargo run --release -p ccq-bench --bin fig3_recovery`
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq::{CcqConfig, CcqReport, CcqRunner, RecoveryMode};
 use ccq_bench::{build_workload, fmt_pct, Scale};
 use ccq_models::ModelKind;

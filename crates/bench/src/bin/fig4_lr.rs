@@ -10,6 +10,9 @@
 //!
 //! Usage: `cargo run --release -p ccq-bench --bin fig4_lr`
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq::{DescentEvent, EventSink};
 use ccq_bench::{build_workload, fmt_pct, Scale};
 use ccq_models::ModelKind;

@@ -10,6 +10,9 @@
 //!
 //! Usage: `cargo run --release -p ccq-bench --bin fig5_power`
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq::layer_profiles;
 use ccq_bench::Scale;
 use ccq_hw::{network_power, LayerProfile, MacEnergyModel};

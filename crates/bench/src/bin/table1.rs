@@ -8,6 +8,9 @@
 //! Usage: `cargo run --release -p ccq-bench --bin table1`
 //! (set `CCQ_SCALE=smoke|small|full` to scale the workload).
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq::baselines::{one_shot_quantize, OneShotConfig};
 use ccq::{CcqConfig, CcqRunner, LambdaSchedule, RecoveryMode};
 use ccq_bench::{build_workload, fmt_pct, Scale, SummarySink};

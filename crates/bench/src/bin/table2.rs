@@ -11,6 +11,9 @@
 //!
 //! Usage: `cargo run --release -p ccq-bench --bin table2`
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq::baselines::{hawq_assign, one_shot_quantize, HawqConfig, OneShotConfig};
 use ccq::{CcqConfig, CcqRunner, RecoveryMode};
 use ccq_bench::{build_workload, fmt_pct, fmt_ratio, Scale, SummarySink};

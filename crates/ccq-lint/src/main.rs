@@ -1,0 +1,32 @@
+//! The `ccq-lint` CLI: lints the workspace and exits non-zero on any
+//! finding. Diagnostics go to stderr in `file:line:col: rule: message`
+//! form so `results/lint.log` captures them verbatim.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => ccq_lint::find_workspace_root(
+            &std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
+        ),
+    };
+    let findings = match ccq_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ccq-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("ccq-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ccq-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

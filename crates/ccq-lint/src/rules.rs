@@ -1,0 +1,472 @@
+//! The rule engine: scopes, patterns, waivers, and diagnostics.
+//!
+//! Every rule works on the token stream produced by [`crate::lexer`], so
+//! nothing fires inside comments or string/char literals. Findings are
+//! reported as `file:line:col: rule-name: message` and any finding makes
+//! the lint exit non-zero.
+//!
+//! # Waivers
+//!
+//! A violation that is *intentional* carries an inline waiver:
+//!
+//! ```text
+//! // ccq-lint: allow(rule-name) — reason
+//! ```
+//!
+//! The reason is mandatory. A trailing waiver covers its own line; a
+//! standalone waiver comment covers the next line of code.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Every rule the engine knows, in reporting order.
+pub const RULE_NAMES: [&str; 5] = [
+    "determinism",
+    "panic-surface",
+    "no-unsafe",
+    "float-eq",
+    "feature-hygiene",
+];
+
+/// Crates whose library code must stay deterministic and panic-free:
+/// these sit under the descent loop, the autosave path, or the golden
+/// digests, where a stray `unwrap()` or `HashMap` breaks the
+/// reproducibility guarantees of PRs 1–3.
+pub const PROTECTED_CRATES: [&str; 4] = ["ccq", "ccq-tensor", "ccq-nn", "ccq-quant"];
+
+/// How a file participates in its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` excluding `src/bin` — the library proper.
+    LibrarySrc,
+    /// `src/bin/**` — binary entry points.
+    BinSrc,
+    /// `tests/**` — integration tests.
+    TestSrc,
+    /// `examples/**`.
+    ExampleSrc,
+    /// `benches/**`.
+    BenchSrc,
+}
+
+/// Everything the rules need to know about the file being checked.
+#[derive(Debug, Clone)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path used in diagnostics.
+    pub path: String,
+    /// The owning crate's `package.name`.
+    pub crate_name: &'a str,
+    /// Where the file lives in the crate.
+    pub kind: FileKind,
+    /// Features the owning crate declares (see [`crate::manifest`]).
+    pub features: &'a BTreeSet<String>,
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The rule that fired (one of [`RULE_NAMES`], or `waiver` for a
+    /// malformed waiver — which is itself never waivable).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `// ccq-lint: allow(...)` directive.
+struct Waiver {
+    rules: Vec<String>,
+    /// The line of code this waiver covers.
+    covers: u32,
+}
+
+/// Checks one source file against every rule in scope for it.
+pub fn check_file(ctx: &FileCtx<'_>, src: &str) -> Vec<Finding> {
+    let toks = lex(src);
+    let in_test = test_mask(&toks);
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let (waivers, mut findings) = collect_waivers(ctx, &toks);
+
+    let mut raw = Vec::new();
+    for (p, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        let next = code.get(p + 1).map(|&j| &toks[j]);
+        let next2 = code.get(p + 2).map(|&j| &toks[j]);
+        let prev = p.checked_sub(1).map(|q| &toks[code[q]]);
+        scan_token(ctx, t, prev, next, next2, in_test[i], &mut raw);
+    }
+    // Keep only findings no waiver covers.
+    for f in raw {
+        let waived = waivers
+            .iter()
+            .any(|w| w.covers == f.line && w.rules.iter().any(|r| r == f.rule));
+        if !waived {
+            findings.push(f);
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+/// Whether `rule` is in force at this point of this file.
+fn rule_applies(rule: &str, ctx: &FileCtx<'_>, in_test: bool) -> bool {
+    match rule {
+        // `unsafe` and phantom features are banned even in tests.
+        "no-unsafe" | "feature-hygiene" => true,
+        // Test code may unwrap, probe wall clocks, and hash freely.
+        "determinism" | "panic-surface" => {
+            ctx.kind == FileKind::LibrarySrc
+                && PROTECTED_CRATES.contains(&ctx.crate_name)
+                && !in_test
+        }
+        "float-eq" => ctx.kind == FileKind::LibrarySrc && !in_test,
+        _ => false,
+    }
+}
+
+/// Runs every pattern against one token (with a two-token lookahead and
+/// one-token lookbehind).
+fn scan_token(
+    ctx: &FileCtx<'_>,
+    t: &Tok,
+    prev: Option<&Tok>,
+    next: Option<&Tok>,
+    next2: Option<&Tok>,
+    in_test: bool,
+    out: &mut Vec<Finding>,
+) {
+    let mut emit = |rule: &'static str, message: String| {
+        if rule_applies(rule, ctx, in_test) {
+            out.push(Finding {
+                path: ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                rule,
+                message,
+            });
+        }
+    };
+
+    match t.kind {
+        TokKind::Ident => match t.text.as_str() {
+            "unsafe" => emit(
+                "no-unsafe",
+                "`unsafe` is forbidden workspace-wide; the whole stack is safe Rust".into(),
+            ),
+            "HashMap" | "HashSet" => emit(
+                "determinism",
+                format!(
+                    "`{}` iteration order varies run-to-run; use BTreeMap/BTreeSet or a Vec",
+                    t.text
+                ),
+            ),
+            "SystemTime" => emit(
+                "determinism",
+                "wall-clock reads in library code break bit-reproducible descents".into(),
+            ),
+            "Instant" if next.is_some_and(|n| n.is_punct("::")) && next2.is_some_and(|n| n.is_ident("now")) => {
+                emit(
+                    "determinism",
+                    "`Instant::now()` in library code breaks bit-reproducible descents".into(),
+                )
+            }
+            "unwrap" | "expect"
+                if prev.is_some_and(|p| p.is_punct(".")) && next.is_some_and(|n| n.is_punct("(")) =>
+            {
+                emit(
+                    "panic-surface",
+                    format!(
+                        "`.{}()` in library code; return a typed error (CcqError/NnError/...) or waive with the invariant",
+                        t.text
+                    ),
+                )
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if next.is_some_and(|n| n.is_punct("!")) =>
+            {
+                emit(
+                    "panic-surface",
+                    format!("`{}!` in library code; return a typed error instead", t.text),
+                )
+            }
+            "feature"
+                if next.is_some_and(|n| n.is_punct("="))
+                    && next2.is_some_and(|n| n.kind == TokKind::Str) =>
+            {
+                let name = &next2.map(|n| n.text.clone()).unwrap_or_default();
+                if !ctx.features.contains(name) {
+                    emit(
+                        "feature-hygiene",
+                        format!(
+                            "feature \"{name}\" is not declared in {}'s Cargo.toml [features]",
+                            ctx.crate_name
+                        ),
+                    )
+                }
+            }
+            _ => {}
+        },
+        TokKind::Punct if t.text == "==" || t.text == "!=" => {
+            let lit_next = next.is_some_and(Tok::is_float)
+                || (next.is_some_and(|n| n.is_punct("-")) && next2.is_some_and(Tok::is_float));
+            if prev.is_some_and(Tok::is_float) || lit_next {
+                emit(
+                    "float-eq",
+                    format!(
+                        "float-literal comparison with `{}`; use a tolerance, or waive if the value is an exact sentinel",
+                        t.text
+                    ),
+                )
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Extracts waiver directives from comment tokens. Returns the parsed
+/// waivers plus diagnostics for malformed ones (missing reason, unknown
+/// rule); those diagnostics are not themselves waivable.
+fn collect_waivers(ctx: &FileCtx<'_>, toks: &[Tok]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let text = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = text.strip_prefix("ccq-lint:") else {
+            continue;
+        };
+        let mut bad = |message: String| {
+            findings.push(Finding {
+                path: ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                rule: "waiver",
+                message,
+            });
+        };
+        let rest = rest.trim_start();
+        let Some((inside, reason)) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')'))
+        else {
+            bad("malformed waiver; expected `ccq-lint: allow(rule-name) — reason`".into());
+            continue;
+        };
+        let rules: Vec<String> = inside
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut ok = !rules.is_empty();
+        for r in &rules {
+            if !RULE_NAMES.contains(&r.as_str()) {
+                bad(format!("waiver names unknown rule `{r}`"));
+                ok = false;
+            }
+        }
+        let reason = reason.trim_matches([' ', '\t', '-', '—', '–', ':']);
+        if reason.is_empty() {
+            bad("waiver requires a non-empty reason after the rule list".into());
+            ok = false;
+        }
+        if !ok {
+            continue;
+        }
+        // A standalone comment covers the next code line; a trailing
+        // comment covers its own line.
+        let standalone = !toks[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| p.kind != TokKind::Comment);
+        let covers = if standalone {
+            match toks[i + 1..].iter().find(|n| n.kind != TokKind::Comment) {
+                Some(n) => n.line,
+                None => continue,
+            }
+        } else {
+            t.line
+        };
+        waivers.push(Waiver { rules, covers });
+    }
+    (waivers, findings)
+}
+
+/// Marks every token that belongs to test-only code: the bodies of
+/// `#[cfg(test)]` items and `#[test]` functions (an inner
+/// `#![cfg(test)]` marks the whole file).
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let mut p = 0usize;
+    while p < code.len() {
+        if !toks[code[p]].is_punct("#") {
+            p += 1;
+            continue;
+        }
+        let mut q = p + 1;
+        let inner = code.get(q).is_some_and(|&i| toks[i].is_punct("!"));
+        if inner {
+            q += 1;
+        }
+        if !code.get(q).is_some_and(|&i| toks[i].is_punct("[")) {
+            p += 1;
+            continue;
+        }
+        let (attr, after) = attr_tokens(toks, &code, q);
+        if attr != ["cfg", "(", "test", ")"] && attr != ["test"] {
+            p = after;
+            continue;
+        }
+        if inner {
+            mask.iter_mut().for_each(|m| *m = true);
+            return mask;
+        }
+        // Skip any further attributes on the same item.
+        let mut m = after;
+        while code.get(m).is_some_and(|&i| toks[i].is_punct("#"))
+            && code.get(m + 1).is_some_and(|&i| toks[i].is_punct("["))
+        {
+            m = attr_tokens(toks, &code, m + 1).1;
+        }
+        // The item extends to its closing brace, or to `;` for
+        // brace-less items (`#[cfg(test)] use …;`).
+        let end = item_end(toks, &code, m);
+        for &i in &code[p..end.min(code.len())] {
+            mask[i] = true;
+        }
+        p = end;
+    }
+    mask
+}
+
+/// With `code[open]` on a `[`, returns the attribute's identifier/punct
+/// text (exclusive of the outer brackets) and the code index just past
+/// the matching `]`.
+fn attr_tokens<'t>(toks: &'t [Tok], code: &[usize], open: usize) -> (Vec<&'t str>, usize) {
+    let mut depth = 0usize;
+    let mut out = Vec::new();
+    let mut q = open;
+    while q < code.len() {
+        let t = &toks[code[q]];
+        if t.is_punct("[") {
+            depth += 1;
+            if depth > 1 {
+                out.push("[");
+            }
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (out, q + 1);
+            }
+            out.push("]");
+        } else {
+            out.push(t.text.as_str());
+        }
+        q += 1;
+    }
+    (out, q)
+}
+
+/// Finds the code index one past the end of the item starting at
+/// `code[start]`: past the matching `}` of its first brace, or past a
+/// top-level `;`, whichever comes first.
+fn item_end(toks: &[Tok], code: &[usize], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut q = start;
+    while q < code.len() {
+        let t = &toks[code[q]];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return q + 1;
+            }
+        } else if t.is_punct(";") && depth == 0 {
+            return q + 1;
+        }
+        q += 1;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(features: &BTreeSet<String>) -> FileCtx<'_> {
+        FileCtx {
+            path: "crates/core/src/x.rs".into(),
+            crate_name: "ccq",
+            kind: FileKind::LibrarySrc,
+            features,
+        }
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let feats = BTreeSet::new();
+        let ctx = lib_ctx(&feats);
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\n";
+        assert!(check_file(&ctx, src).is_empty());
+        let src = "fn a() { x.unwrap(); }";
+        assert_eq!(check_file(&ctx, src).len(), 1);
+    }
+
+    #[test]
+    fn unprotected_crate_may_unwrap_but_not_unsafe() {
+        let feats = BTreeSet::new();
+        let mut ctx = lib_ctx(&feats);
+        ctx.crate_name = "ccq-data";
+        assert!(check_file(&ctx, "fn a() { x.unwrap(); }").is_empty());
+        let f = check_file(&ctx, "unsafe fn a() {}");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-unsafe");
+    }
+
+    #[test]
+    fn waiver_scope_is_one_line() {
+        let feats = BTreeSet::new();
+        let ctx = lib_ctx(&feats);
+        let src = "\
+// ccq-lint: allow(panic-surface) — invariant holds by construction
+fn a() { x.unwrap(); }
+fn b() { y.unwrap(); }
+";
+        let f = check_file(&ctx, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn display_format_is_grep_friendly() {
+        let feats = BTreeSet::new();
+        let ctx = lib_ctx(&feats);
+        let f = &check_file(&ctx, "fn a() { panic!(\"x\") }")[0];
+        assert_eq!(
+            f.to_string(),
+            "crates/core/src/x.rs:1:10: panic-surface: `panic!` in library code; return a typed error instead"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: every determinism pattern fires in protected library code.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+fn pi_by_layer() -> HashMap<usize, f32> {
+    HashMap::new()
+}
+
+fn stamp() -> u64 {
+    let _t = Instant::now();
+    let _w = SystemTime::UNIX_EPOCH;
+    0
+}

@@ -1,0 +1,11 @@
+//! Fixture: the same determinism violations, each carrying a reasoned
+//! waiver.
+
+// ccq-lint: allow(determinism) — keys are drained through a sorted Vec before any iteration
+use std::collections::HashMap;
+
+fn count() -> usize {
+    // ccq-lint: allow(determinism) — construction only; iteration happens on the sorted view
+    let m: HashMap<usize, f32> = HashMap::new();
+    m.len()
+}

@@ -1,0 +1,12 @@
+//! Fixture: cfg strings naming undeclared features fire everywhere,
+//! including inside test modules and `cfg!` macros.
+
+#[cfg(feature = "phantom")]
+fn gated() {}
+
+#[cfg(all(test, feature = "also-phantom"))]
+mod tests {
+    fn probe() -> bool {
+        cfg!(feature = "third-phantom")
+    }
+}

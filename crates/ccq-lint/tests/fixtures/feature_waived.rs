@@ -1,0 +1,8 @@
+//! Fixture: declared features pass; an undeclared one carries a waiver.
+
+#[cfg(feature = "parallel")]
+fn declared() {}
+
+// ccq-lint: allow(feature-hygiene) — feature lands in the next PR; gate merged first
+#[cfg(feature = "speculative")]
+fn speculative() {}

@@ -1,0 +1,8 @@
+//! Fixture: float-literal comparisons fire in library code.
+
+fn checks(x: f32) -> bool {
+    let a = x == 0.0;
+    let b = 1.5 != x;
+    let c = x == -2.5e3;
+    a || b || c
+}

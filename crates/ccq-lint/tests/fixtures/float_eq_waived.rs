@@ -1,0 +1,6 @@
+//! Fixture: a waived float-literal comparison (exact sentinel).
+
+fn is_unset(x: f32) -> bool {
+    // ccq-lint: allow(float-eq) — exact-zero sentinel written by the initializer, never computed
+    x == 0.0
+}

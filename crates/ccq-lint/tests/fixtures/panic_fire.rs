@@ -1,0 +1,15 @@
+//! Fixture: every panic-surface pattern fires in protected library code.
+
+fn hot_path(x: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("always ok");
+    if a + b > 100 {
+        panic!("overflow");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => a + b,
+    }
+}

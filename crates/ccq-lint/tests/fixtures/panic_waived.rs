@@ -1,0 +1,12 @@
+//! Fixture: panic-surface violations carrying reasoned waivers, both
+//! standalone (covers the next line) and trailing (covers its own line).
+
+fn hot_path(x: Option<u32>) -> u32 {
+    // ccq-lint: allow(panic-surface) — x is Some by construction two lines up
+    let a = x.unwrap();
+    a + 1 // and a trailing form below
+}
+
+fn trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // ccq-lint: allow(panic-surface) — caller validated x
+}

@@ -1,0 +1,23 @@
+//! Fixture: pattern text inside comments, strings, raw strings, byte
+//! strings, and char literals must never fire. This file is clean.
+
+// A comment mentioning unwrap() and panic! and unsafe and HashMap.
+/* Block comment: x.unwrap(); Instant::now(); feature = "phantom" */
+
+fn literals() -> (String, String, &'static [u8], char) {
+    let plain = "call .unwrap() then panic!(\"boom\") unsafe { HashMap }".to_string();
+    let raw = r#"feature = "phantom" and SystemTime and 1.0 == 2.0"#.to_string();
+    let bytes: &'static [u8] = b"unsafe unwrap() Instant::now()";
+    let ch = '"';
+    let _lifetime_not_char: &'static str = "see above";
+    (plain, raw, bytes, ch)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_and_compare() {
+        let x: Option<f32> = Some(0.0);
+        assert!(x.unwrap() == 0.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: `unsafe` fires everywhere, even inside test modules.
+
+fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn still_fires_in_tests() {
+        let v = [1u8];
+        let _ = unsafe { *v.as_ptr() };
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: a waived `unsafe` (hypothetical FFI shim).
+
+// ccq-lint: allow(no-unsafe) — vetted FFI call into the vendored BLAS shim
+unsafe fn ffi_gemm() {}

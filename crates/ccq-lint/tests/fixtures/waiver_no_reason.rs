@@ -1,0 +1,12 @@
+//! Fixture: waivers must carry a reason; these are all rejected (and the
+//! violations they fail to cover still fire).
+
+// ccq-lint: allow(panic-surface)
+fn bare(x: Option<u32>) -> u32 {
+    x.unwrap() // ccq-lint: allow(panic-surface) —
+}
+
+// ccq-lint: allow(made-up-rule) — reason present but the rule is unknown
+fn unknown(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

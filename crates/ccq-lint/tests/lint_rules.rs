@@ -1,0 +1,137 @@
+//! Fixture-driven tests: each rule family fires, each rule family is
+//! waivable, reason-less waivers are rejected, and the lexer never
+//! matches inside strings or comments.
+
+use ccq_lint::{check_file, FileCtx, FileKind, Finding};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+/// Lints a fixture as if it were library code of the protected `ccq`
+/// crate with the real core feature set.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path).unwrap();
+    let features: BTreeSet<String> = ["default", "parallel", "fault-inject"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let ctx = FileCtx {
+        path: format!("crates/core/src/{name}"),
+        crate_name: "ccq",
+        kind: FileKind::LibrarySrc,
+        features: &features,
+    };
+    check_file(&ctx, &src)
+}
+
+fn rules(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn determinism_fires() {
+    let f = lint_fixture("determinism_fire.rs");
+    // `HashMap` three times (use, return type, constructor),
+    // `Instant::now`, and `SystemTime` twice (use + associated const).
+    assert_eq!(rules(&f), ["determinism"; 6], "{f:#?}");
+    assert!(f.iter().any(|x| x.message.contains("Instant::now")));
+    assert!(f.iter().any(|x| x.message.contains("wall-clock")));
+}
+
+#[test]
+fn determinism_waived() {
+    let f = lint_fixture("determinism_waived.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn panic_surface_fires() {
+    let f = lint_fixture("panic_fire.rs");
+    // unwrap, expect, panic!, unreachable!, todo!, unimplemented!.
+    assert_eq!(rules(&f), ["panic-surface"; 6], "{f:#?}");
+}
+
+#[test]
+fn panic_surface_waived_standalone_and_trailing() {
+    let f = lint_fixture("panic_waived.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn no_unsafe_fires_even_in_tests() {
+    let f = lint_fixture("unsafe_fire.rs");
+    assert_eq!(rules(&f), ["no-unsafe"; 2], "{f:#?}");
+}
+
+#[test]
+fn no_unsafe_waived() {
+    let f = lint_fixture("unsafe_waived.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn float_eq_fires() {
+    let f = lint_fixture("float_eq_fire.rs");
+    // `x == 0.0`, `1.5 != x`, `x == -2.5e3`.
+    assert_eq!(rules(&f), ["float-eq"; 3], "{f:#?}");
+}
+
+#[test]
+fn float_eq_waived() {
+    let f = lint_fixture("float_eq_waived.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn feature_hygiene_fires_for_undeclared_features() {
+    let f = lint_fixture("feature_fire.rs");
+    assert_eq!(rules(&f), ["feature-hygiene"; 3], "{f:#?}");
+    for phantom in ["phantom", "also-phantom", "third-phantom"] {
+        assert!(
+            f.iter()
+                .any(|x| x.message.contains(&format!("\"{phantom}\""))),
+            "missing {phantom}: {f:#?}"
+        );
+    }
+}
+
+#[test]
+fn feature_hygiene_accepts_declared_and_waived() {
+    let f = lint_fixture("feature_waived.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn waiver_without_reason_is_rejected_and_covers_nothing() {
+    let f = lint_fixture("waiver_no_reason.rs");
+    let waiver_diags: Vec<_> = f.iter().filter(|x| x.rule == "waiver").collect();
+    let panics: Vec<_> = f.iter().filter(|x| x.rule == "panic-surface").collect();
+    // Two reason-less waivers + one unknown-rule waiver…
+    assert_eq!(waiver_diags.len(), 3, "{f:#?}");
+    assert!(waiver_diags
+        .iter()
+        .any(|x| x.message.contains("unknown rule")));
+    // …and the unwraps they failed to cover still fire.
+    assert_eq!(panics.len(), 2, "{f:#?}");
+}
+
+#[test]
+fn nothing_fires_inside_strings_or_comments() {
+    let f = lint_fixture("strings_comments.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn diagnostics_carry_file_line_col() {
+    let f = lint_fixture("panic_fire.rs");
+    let first = f.first().unwrap().to_string();
+    // `file:line:col: rule: message`, greppable and editor-clickable.
+    assert!(
+        first.starts_with("crates/core/src/panic_fire.rs:4:"),
+        "{first}"
+    );
+    assert!(first.contains(": panic-surface: "), "{first}");
+}

@@ -1,0 +1,45 @@
+//! The self-test the suite gate relies on: the real workspace must lint
+//! clean. If this fails, either fix the violation or waive it with a
+//! reasoned `// ccq-lint: allow(rule) — reason` (see DESIGN.md §10).
+
+use std::path::Path;
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = ccq_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    assert!(
+        root.join("crates").is_dir(),
+        "workspace root not found from {}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let findings = ccq_lint::lint_workspace(&root).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn protected_crates_exist() {
+    // The determinism/panic-surface scope list must track real crates;
+    // a rename would silently unprotect one.
+    let root = ccq_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    for name in ccq_lint::rules::PROTECTED_CRATES {
+        let dir = match name {
+            "ccq" => "core".to_string(),
+            other => other.trim_start_matches("ccq-").to_string(),
+        };
+        let manifest = root.join("crates").join(&dir).join("Cargo.toml");
+        let toml = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|_| panic!("missing {}", manifest.display()));
+        assert!(
+            toml.contains(&format!("name = \"{name}\"")),
+            "crates/{dir} is not package {name}"
+        );
+    }
+}

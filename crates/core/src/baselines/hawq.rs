@@ -128,6 +128,7 @@ pub fn estimate_hessian_traces(
                         -1.0
                     }
                 });
+                // ccq-lint: allow(panic-surface) — v is built from this weight's shape two lines up
                 h.weight.value.add_scaled(&v, epsilon).expect("same shape");
                 vs.push(v);
                 i += 1;
@@ -142,6 +143,7 @@ pub fn estimate_hessian_traces(
                 h.weight
                     .value
                     .add_scaled(&vs[i], -epsilon)
+                    // ccq-lint: allow(panic-surface) — vs[i] was built from this weight's shape
                     .expect("same shape");
                 i += 1;
             });
@@ -149,7 +151,9 @@ pub fn estimate_hessian_traces(
         for i in 0..m {
             let hv = g1[i]
                 .zip_map(&g0[i], |a, b| (a - b) / epsilon)
+                // ccq-lint: allow(panic-surface) — g0 and g1 come from the same layer walk
                 .expect("same shape");
+            // ccq-lint: allow(panic-surface) — hv inherits the gradient shape vs[i] was built from
             traces[i] += hv.dot(&vs[i]).expect("same shape") / probes.max(1) as f32;
         }
     }

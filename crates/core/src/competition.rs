@@ -336,6 +336,7 @@ impl Competition {
         let single = rayon::ThreadPoolBuilder::new()
             .num_threads(1)
             .build()
+            // ccq-lint: allow(panic-surface) — pool build fails only on thread-spawn exhaustion; no recovery path mid-probe
             .expect("single-thread pool");
         rayon::scope(|s| {
             for ((chunk_experts, clone), slot) in chunks[1..]
@@ -504,6 +505,7 @@ impl Competition {
                     let p = lambda.blend(step, &self.pi, &sizes, &active);
                     let slot = sample_categorical(&p, rng)
                         .ok_or_else(|| CcqError::InvalidConfig("degenerate distribution".into()))?;
+                    // ccq-lint: allow(panic-surface) — the blend assigns zero mass to inactive slots, so a draw is always active
                     let e = experts[by_slot[slot].expect("sampled slot is active")];
                     let loss = Self::probe_one(net, &e, val)?;
                     if loss.is_finite() {
@@ -535,6 +537,7 @@ impl Competition {
         let p = lambda.blend(step, &self.pi, &sizes, &active);
         let slot = sample_categorical(&p, rng)
             .ok_or_else(|| CcqError::InvalidConfig("degenerate distribution".into()))?;
+        // ccq-lint: allow(panic-surface) — the blend assigns zero mass to inactive slots, so a draw is always active
         let winner = experts[by_slot[slot].expect("winning slot is active")];
         let _ = Self::apply(net, &winner);
         Ok(Some(CompetitionOutcome {

@@ -308,7 +308,9 @@ impl<'a> DescentEngine<'a> {
         while self.phase != Phase::Done {
             self.step()?;
         }
-        Ok(self.report.take().expect("Done implies a finished report"))
+        self.report
+            .take()
+            .ok_or(CcqError::EngineInvariant("Done implies a finished report"))
     }
 
     /// The final report, once the engine reached [`Phase::Done`].
@@ -426,7 +428,9 @@ impl<'a> DescentEngine<'a> {
     fn phase_quantize(&mut self) -> Result<()> {
         let valley = evaluate(self.net, self.val)?.accuracy;
         let ev = {
-            let pending = self.pending.as_mut().expect("Quantize follows Compete");
+            let pending = self.pending.as_mut().ok_or(CcqError::EngineInvariant(
+                "Quantize requires the outcome staged by Compete",
+            ))?;
             pending.valley = valley;
             let o = &pending.outcome;
             DescentEvent::QuantizeDecision {
@@ -454,8 +458,9 @@ impl<'a> DescentEngine<'a> {
         let rec = self.collaborate(t)?;
         let healthy = self.config.guard.is_off()
             || (!rec.diverged && rec.final_accuracy.is_finite() && self.net.all_finite());
-        let PendingStep { outcome, valley } =
-            self.pending.take().expect("Recover follows Quantize");
+        let PendingStep { outcome, valley } = self.pending.take().ok_or(
+            CcqError::EngineInvariant("Recover requires the outcome staged by Quantize"),
+        )?;
         if healthy {
             self.snap = None;
             let compression = model_size(&layer_profiles(self.net)).compression;
@@ -482,7 +487,9 @@ impl<'a> DescentEngine<'a> {
         }
         // Divergence: roll everything back to the pre-step snapshot and
         // apply the guard policy.
-        let snap = self.snap.take().expect("guard on implies a snapshot");
+        let snap = self.snap.take().ok_or(CcqError::EngineInvariant(
+            "an armed guard implies a pre-step snapshot",
+        ))?;
         let discarded = self.st.buf.trace().len() - snap.trace_len;
         self.restore_snapshot(&snap)?;
         self.attempt += 1;
@@ -502,7 +509,11 @@ impl<'a> DescentEngine<'a> {
                 self.quarantined.push(outcome.winner_slot);
                 quarantined_slot = Some(outcome.winner_slot);
             }
-            GuardPolicy::Off => unreachable!("Off never reaches the rollback path"),
+            GuardPolicy::Off => {
+                return Err(CcqError::EngineInvariant(
+                    "GuardPolicy::Off cannot reach the rollback path",
+                ))
+            }
         }
         self.emit(DescentEvent::GuardRollback {
             step: t,

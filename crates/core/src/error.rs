@@ -30,6 +30,11 @@ pub enum CcqError {
     /// A saved run state cannot resume under the current configuration or
     /// network (architecture, ladder, seed, or granularity differ).
     ResumeMismatch(String),
+    /// The descent engine's phase machine reached a state its invariants
+    /// forbid — a bug in the driving code, never a configuration problem.
+    /// Returned instead of panicking so embedding applications can fail
+    /// the run and keep their last good autosave.
+    EngineInvariant(&'static str),
 }
 
 impl fmt::Display for CcqError {
@@ -49,6 +54,7 @@ impl fmt::Display for CcqError {
             }
             CcqError::CheckpointIo(msg) => write!(f, "checkpoint I/O error: {msg}"),
             CcqError::ResumeMismatch(msg) => write!(f, "cannot resume run state: {msg}"),
+            CcqError::EngineInvariant(msg) => write!(f, "engine invariant violated: {msg}"),
         }
     }
 }

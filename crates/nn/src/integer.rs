@@ -63,6 +63,7 @@ impl QuantizedTensor {
     /// quantized tensor the training stack computes.
     pub fn dequantize(&self) -> Tensor {
         let data = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        // ccq-lint: allow(panic-surface) — element count is preserved, so the saved shape always fits
         Tensor::from_vec(data, &self.shape).expect("shape preserved")
     }
 

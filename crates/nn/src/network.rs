@@ -134,6 +134,7 @@ impl Network {
             }
             i += 1;
         });
+        // ccq-lint: allow(panic-surface) — documented panicking accessor; `# Panics` covers the index
         spec.unwrap_or_else(|| panic!("quant layer index {index} out of range ({i} layers)"))
     }
 

@@ -105,6 +105,7 @@ fn eval_batches(net: &mut Network, batches: &[Batch]) -> Result<Vec<(f32, f32)>>
     let single = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
         .build()
+        // ccq-lint: allow(panic-surface) — pool build fails only on thread-spawn exhaustion; no recovery path mid-eval
         .expect("single-thread pool");
     rayon::scope(|s| {
         for ((chunk_batches, clone), slot) in chunks[1..]

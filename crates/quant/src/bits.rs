@@ -52,6 +52,7 @@ impl BitWidth {
     ///
     /// Panics outside `1..=32`. Prefer [`BitWidth::new`] in user-facing code.
     pub fn of(bits: u32) -> Self {
+        // ccq-lint: allow(panic-surface) — documented panicking constructor; BitWidth::new is the fallible twin
         BitWidth::new(bits).expect("bit width in 1..=32")
     }
 
@@ -131,6 +132,7 @@ impl BitLadder {
 
     /// The paper's default ladder: 8 → 6 → 4 → 3 → 2.
     pub fn paper_default() -> Self {
+        // ccq-lint: allow(panic-surface) — static strictly-descending literal always satisfies BitLadder::new
         BitLadder::new(&[8, 6, 4, 3, 2]).expect("static ladder is valid")
     }
 
@@ -156,6 +158,7 @@ impl BitLadder {
 
     /// The bottom (lowest-precision) rung, `N(K-1)`.
     pub fn floor(&self) -> BitWidth {
+        // ccq-lint: allow(panic-surface) — BitLadder::new rejects empty rung lists
         *self.rungs.last().expect("ladder non-empty")
     }
 

@@ -284,6 +284,7 @@ impl LayerQuant {
             return b.grad_values;
         }
         match self.weight_grad_mask(w) {
+            // ccq-lint: allow(panic-surface) — weight_grad_mask maps w elementwise, so shapes agree
             Some(mask) => grad_wq.zip_map(&mask, |g, m| g * m).expect("same shape"),
             None => grad_wq,
         }
@@ -344,9 +345,11 @@ impl LayerQuant {
             // the mask applies at every bit width.
             PolicyKind::Dorefa => grad_out
                 .zip_map(&dorefa::act_grad_mask(x), |g, m| g * m)
+                // ccq-lint: allow(panic-surface) — the mask maps x elementwise; assert_eq above pins grad_out to x
                 .expect("shapes checked above"),
             PolicyKind::Wrpn => grad_out
                 .zip_map(&wrpn::act_grad_mask(x), |g, m| g * m)
+                // ccq-lint: allow(panic-surface) — the mask maps x elementwise; assert_eq above pins grad_out to x
                 .expect("shapes checked above"),
             PolicyKind::Lsq if !self.spec.act_bits.is_full_precision() => {
                 let bits = self.spec.act_bits.bits().min(31);
@@ -364,6 +367,7 @@ impl LayerQuant {
                     &aciq::act_grad_mask(x, self.spec.act_bits.bits()),
                     |g, m| g * m,
                 )
+                // ccq-lint: allow(panic-surface) — the mask maps x elementwise; assert_eq above pins grad_out to x
                 .expect("shapes checked above"),
             // Static policies (and LSQ at full precision): pass-through.
             PolicyKind::UniformAffine | PolicyKind::MaxAbs | PolicyKind::Lsq => grad_out.clone(),

@@ -21,6 +21,7 @@ pub fn quantize_weights(w: &Tensor, bits: u32) -> Tensor {
     }
     let t = w.map(f32::tanh);
     let m = t.max_abs();
+    // ccq-lint: allow(float-eq) — exact-zero sentinel: max|tanh(w)| is 0 only for an all-zero tensor
     if m == 0.0 {
         return Tensor::zeros(w.shape());
     }

@@ -45,6 +45,7 @@ pub fn closed_form_alpha(w: &Tensor, bits: u32) -> f32 {
 /// found by golden-section search over `α ∈ (0, max|w|]`.
 pub fn optimal_alpha(w: &Tensor, bits: u32) -> f32 {
     let hi = w.max_abs();
+    // ccq-lint: allow(float-eq) — exact-zero sentinel: an all-zero tensor has no clipping range
     if hi == 0.0 {
         return 0.0;
     }

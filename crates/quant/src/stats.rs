@@ -43,6 +43,7 @@ pub fn quantization_mse(w: &Tensor, q: &Tensor) -> f32 {
 pub fn quantization_sqnr_db(w: &Tensor, q: &Tensor) -> f32 {
     assert_eq!(w.shape(), q.shape(), "quantization_sqnr_db shape mismatch");
     let noise = quantization_mse(w, q);
+    // ccq-lint: allow(float-eq) — exact-zero noise means lossless quantization; SQNR is +∞
     if noise == 0.0 {
         return f32::INFINITY;
     }

@@ -154,6 +154,7 @@ fn matmul_at_b_rows(
         let brow = &bv[p * n..(p + 1) * n];
         for i in 0..rows {
             let api = arow[row0 + i];
+            // ccq-lint: allow(float-eq) — exact zero skips an axpy that cannot change the output
             if api == 0.0 {
                 continue; // axpy of zero; skip the memory traffic
             }

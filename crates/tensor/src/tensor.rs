@@ -399,6 +399,7 @@ macro_rules! impl_binop {
             type Output = Tensor;
             fn $method(self, rhs: &Tensor) -> Tensor {
                 self.zip_map(rhs, |a, b| a $op b)
+                    // ccq-lint: allow(panic-surface) — documented panicking operator; zip_map is the checked twin
                     .unwrap_or_else(|e| panic!("tensor {}: {e}", stringify!($method)))
             }
         }

@@ -6,6 +6,9 @@
 //! cargo run --release --example deploy_checkpoint
 //! ```
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq_repro::ccq::{layer_profiles, CcqConfig, CcqRunner, RecoveryMode};
 use ccq_repro::data::{gaussian_blobs, BlobsConfig};
 use ccq_repro::hw::{inference_report, model_size, MacEnergyModel};

@@ -22,6 +22,9 @@
 //! probe losses, quantize decisions, recovery epochs — as JSON lines to
 //! `mixed_precision_search.events.jsonl` through a [`JsonlSink`].
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq_repro::ccq::{layer_profiles, CcqConfig, CcqRunner, JsonlSink, RecoveryMode};
 use ccq_repro::data::{synth_cifar, Augment, SynthCifarConfig};
 use ccq_repro::hw::{model_size, network_power, MacEnergyModel};

@@ -10,6 +10,9 @@
 //! cargo run --release --example policy_comparison
 //! ```
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq_repro::data::{gaussian_blobs, BlobsConfig};
 use ccq_repro::models::mlp;
 use ccq_repro::nn::train::{evaluate, train_epoch};

@@ -9,6 +9,9 @@
 //! cargo run --release --example power_analysis
 //! ```
 
+// Tables and CSVs go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use ccq_repro::ccq::layer_profiles;
 use ccq_repro::hw::{model_size, network_power, LayerProfile, MacEnergyModel};
 use ccq_repro::models::{resnet18, ModelConfig};

@@ -5,8 +5,14 @@ set -x
 cd /root/repo
 mkdir -p results
 
+# --- lint gate first (cheapest): ccq-lint enforces the determinism /
+# panic-surface / no-unsafe / float-eq / feature-hygiene invariants at
+# the source level; any finding fails the suite (see DESIGN.md §10) ---
+cargo run -q -p ccq-lint 2> results/lint.log || exit 1
+
 # --- gates: both feature configurations must pass, lints are errors,
-# formatting is canonical, rustdoc builds warning-free ---
+# formatting is canonical, rustdoc builds warning-free (the workspace
+# test run includes ccq-lint's own fixture + self-clean tests) ---
 cargo test --workspace -q 2> results/test.log || exit 1
 cargo test --workspace -q --no-default-features 2> results/test_serial.log || exit 1
 cargo clippy --workspace --all-targets -- -D warnings 2> results/clippy.log || exit 1
