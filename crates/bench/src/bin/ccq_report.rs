@@ -1,0 +1,64 @@
+//! **ccq-report** — replay a recorded descent trace into a summary.
+//!
+//! Reads the JSONL event log a [`ccq::JsonlSink`] wrote (e.g. the
+//! `trace.jsonl` produced by `examples/mixed_precision_search.rs`),
+//! reconstructs the event stream, and prints the run summary table.
+//! With `--metrics` it additionally feeds the replayed stream through a
+//! [`ccq::MetricsSink`] on a deterministic manual clock and prints the
+//! Prometheus-style text exposition — byte-identical to what a live run
+//! with the same clock would have exported.
+//!
+//! Usage: `cargo run -p ccq-bench --bin ccq-report -- trace.jsonl [--metrics]`
+
+// Reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
+use ccq::{parse_events, render_run_summary, EventSink, MetricsSink};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut trace: Option<String> = None;
+    let mut metrics = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--metrics" => metrics = true,
+            "--help" | "-h" => {
+                println!("usage: ccq-report <trace.jsonl> [--metrics]");
+                return ExitCode::SUCCESS;
+            }
+            other if trace.is_none() => trace = Some(other.to_string()),
+            other => {
+                eprintln!("ccq-report: unexpected argument \"{other}\"");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = trace else {
+        eprintln!("usage: ccq-report <trace.jsonl> [--metrics]");
+        return ExitCode::FAILURE;
+    };
+    let jsonl = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ccq-report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match parse_events(&jsonl) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("ccq-report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", render_run_summary(&events));
+    if metrics {
+        let mut sink = MetricsSink::manual(1_000);
+        for ev in &events {
+            sink.on_event(ev);
+        }
+        println!();
+        print!("{}", sink.render_text());
+    }
+    ExitCode::SUCCESS
+}

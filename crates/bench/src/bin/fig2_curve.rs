@@ -12,7 +12,9 @@
 // Tables and CSVs go to stdout by design.
 #![allow(clippy::print_stdout)]
 
-use ccq::{CcqConfig, CcqRunner, CsvSink, DescentEvent, EventSink, RecoveryMode};
+use ccq::{
+    CcqConfig, CcqRunner, CsvSink, DescentEvent, EventSink, FanoutSink, MetricsSink, RecoveryMode,
+};
 use ccq_bench::{build_workload, Scale};
 use ccq_models::ModelKind;
 use ccq_quant::{BitLadder, PolicyKind};
@@ -58,9 +60,16 @@ fn main() {
     };
     let mut runner = CcqRunner::new(cfg);
     let mut curve = CurveSink::default();
-    let rep = runner
-        .run_with_sink(&mut net, &workload.train, &workload.val, &mut curve)
-        .expect("ccq failed");
+    // Fan the stream into a wall-clock metrics sink too: the run's
+    // exposition (phase timings, ξ distributions, decision counters)
+    // goes to stderr alongside the sawtooth counts.
+    let mut metrics = MetricsSink::wall();
+    let rep = {
+        let mut fan = FanoutSink::new().with(&mut curve).with(&mut metrics);
+        runner
+            .run_with_sink(&mut net, &workload.train, &workload.val, &mut fan)
+            .expect("ccq failed")
+    };
 
     println!("# Fig. 2: CCQ learning curve (valleys = quantization, peaks = recovery)");
     println!("# scale: {scale:?}; final: {rep}");
@@ -69,4 +78,5 @@ fn main() {
         "# {} accuracy valleys, {} recovered by collaboration",
         curve.valleys, curve.recovered
     );
+    eprint!("{}", metrics.render_text());
 }

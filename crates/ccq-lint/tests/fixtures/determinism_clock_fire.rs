@@ -1,0 +1,20 @@
+//! Fixture: a wall-clock read smuggled into ordinary library code —
+//! i.e. *outside* the one waived site in `clock.rs` — must still fire.
+
+use std::time::Instant;
+
+struct SneakyClock {
+    origin: Instant,
+}
+
+impl SneakyClock {
+    fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+
+    fn micros(&self) -> u128 {
+        self.origin.elapsed().as_micros()
+    }
+}

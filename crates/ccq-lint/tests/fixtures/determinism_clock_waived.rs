@@ -1,0 +1,21 @@
+//! Fixture: the sanctioned wall-clock pattern — the same read carrying
+//! the reasoned waiver `clock.rs` uses — lints clean.
+
+use std::time::Instant;
+
+struct SanctionedClock {
+    origin: Instant,
+}
+
+impl SanctionedClock {
+    fn new() -> Self {
+        Self {
+            // ccq-lint: allow(determinism) — the sanctioned wall-clock read; ManualClock is injected wherever reproducibility matters
+            origin: Instant::now(),
+        }
+    }
+
+    fn micros(&self) -> u128 {
+        self.origin.elapsed().as_micros()
+    }
+}

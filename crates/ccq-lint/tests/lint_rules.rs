@@ -48,6 +48,21 @@ fn determinism_waived() {
 }
 
 #[test]
+fn wall_clock_outside_the_waived_clock_module_fires() {
+    // A `WallClock` clone in ordinary library code does not inherit the
+    // waiver `clock.rs` carries: the raw `Instant::now` still fires.
+    let f = lint_fixture("determinism_clock_fire.rs");
+    assert_eq!(rules(&f), ["determinism"], "{f:#?}");
+    assert!(f[0].message.contains("Instant::now"), "{f:#?}");
+}
+
+#[test]
+fn wall_clock_with_the_clock_module_waiver_is_clean() {
+    let f = lint_fixture("determinism_clock_waived.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
 fn panic_surface_fires() {
     let f = lint_fixture("panic_fire.rs");
     // unwrap, expect, panic!, unreachable!, todo!, unimplemented!.

@@ -285,6 +285,14 @@ impl<'a> DescentEngine<'a> {
     /// [`CcqError::CheckpointIo`] from a failed autosave.
     pub fn step(&mut self) -> Result<StepOutcome> {
         let ran = self.phase;
+        if ran != Phase::Done {
+            // Narrate the phase boundary first: sinks that time phases
+            // (MetricsSink) close the previous span exactly here.
+            self.emit(DescentEvent::PhaseStarted {
+                phase: ran,
+                step: self.t,
+            });
+        }
         match self.phase {
             Phase::InitQuantize => self.phase_init()?,
             Phase::Compete => self.phase_compete()?,

@@ -25,7 +25,7 @@
 //!   trace points they contributed. Append-only sinks like [`JsonlSink`]
 //!   keep the retracted events and record the rollback marker instead.
 
-use crate::{ExpertKind, ProbeRecord};
+use crate::{ExpertKind, Phase, ProbeRecord};
 use ccq_quant::BitWidth;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -97,6 +97,17 @@ pub struct StepRecord {
 /// state, so sinks may retain them.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DescentEvent {
+    /// The engine is about to execute a phase. Emitted before every
+    /// [`crate::DescentEngine::step`] body, so observers (notably
+    /// [`crate::MetricsSink`]) can attribute wall/virtual time to exact
+    /// phase spans without guessing from payload events.
+    PhaseStarted {
+        /// The phase about to run.
+        phase: Phase,
+        /// The quantization step `t` in flight (0 before the first
+        /// competition).
+        step: usize,
+    },
     /// The incoming full-precision network was measured.
     Baseline {
         /// Validation accuracy of the fp32 network.
@@ -316,7 +327,8 @@ impl EventSink for TraceBuffer {
                 self.trace.truncate(keep);
             }
             DescentEvent::StepCompleted { record } => self.steps.push(record.clone()),
-            DescentEvent::ProbeRound { .. }
+            DescentEvent::PhaseStarted { .. }
+            | DescentEvent::ProbeRound { .. }
             | DescentEvent::Autosave { .. }
             | DescentEvent::Finished { .. } => {}
         }
@@ -351,6 +363,66 @@ impl CsvSink {
 impl EventSink for CsvSink {
     fn on_event(&mut self, ev: &DescentEvent) {
         self.buf.on_event(ev);
+    }
+}
+
+/// Fans one event stream out to several sinks, in push order.
+///
+/// This is how orthogonal observers compose: a [`CsvSink`] for the
+/// figure, a [`JsonlSink`] for the raw log, and a
+/// [`crate::MetricsSink`] for counters and timings can all watch the
+/// same run.
+///
+/// # Example
+///
+/// ```
+/// use ccq::{CsvSink, FanoutSink, MetricsSink};
+///
+/// let mut csv = CsvSink::new();
+/// let mut metrics = MetricsSink::manual(1_000);
+/// let mut sink = FanoutSink::new().with(&mut csv).with(&mut metrics);
+/// // runner.run_with_sink(&mut net, &train, &val, &mut sink)?;
+/// # let _ = &mut sink;
+/// ```
+#[derive(Default)]
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn EventSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// An empty fanout (events are discarded until a sink is added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink (builder style).
+    #[must_use]
+    pub fn with(mut self, sink: &'a mut dyn EventSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a sink.
+    pub fn push(&mut self, sink: &'a mut dyn EventSink) {
+        self.sinks.push(sink);
+    }
+
+    /// How many sinks are attached.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sink is attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl EventSink for FanoutSink<'_> {
+    fn on_event(&mut self, ev: &DescentEvent) {
+        for sink in &mut self.sinks {
+            sink.on_event(ev);
+        }
     }
 }
 
@@ -431,7 +503,7 @@ pub fn render_schedule_csv(steps: &[StepRecord]) -> String {
             "{},{},{kind},{},{},{},{:.4},{:.4},{:.4},{},{:.2},{:.3}",
             s.step,
             s.layer,
-            s.label,
+            csv_field(&s.label),
             s.from_bits,
             s.to_bits,
             s.accuracy_before,
@@ -453,12 +525,52 @@ fn kind_str(kind: ExpertKind) -> &'static str {
     }
 }
 
+/// The JSONL spelling of a phase (see [`crate::replay`] for the inverse).
+pub(crate) fn phase_str(phase: Phase) -> &'static str {
+    match phase {
+        Phase::InitQuantize => "init_quantize",
+        Phase::Compete => "compete",
+        Phase::Quantize => "quantize",
+        Phase::Recover => "recover",
+        Phase::Checkpoint => "checkpoint",
+        Phase::Done => "done",
+    }
+}
+
+/// RFC-4180 escaping for one CSV field: fields containing a comma,
+/// double quote, or line break are quoted, with embedded quotes doubled.
+/// Everything else passes through unchanged, keeping the historical
+/// bytes for ordinary labels.
+fn csv_field(raw: &str) -> String {
+    if raw.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(raw.len() + 2);
+        out.push('"');
+        for c in raw.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        raw.to_string()
+    }
+}
+
 /// Serializes one event as a single-line JSON object (no trailing
 /// newline) — the [`JsonlSink`] row format.
 pub fn event_json(ev: &DescentEvent) -> String {
     let mut s = String::with_capacity(128);
     s.push('{');
     match ev {
+        DescentEvent::PhaseStarted { phase, step } => {
+            let _ = write!(
+                s,
+                "\"event\":\"phase_started\",\"phase\":\"{}\",\"step\":{step}",
+                phase_str(*phase)
+            );
+        }
         DescentEvent::Baseline { accuracy, lr } => {
             s.push_str("\"event\":\"baseline\",\"accuracy\":");
             jf32(*accuracy, &mut s);

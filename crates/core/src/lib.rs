@@ -43,6 +43,7 @@
 //! ```
 
 pub mod baselines;
+mod clock;
 mod competition;
 mod engine;
 mod error;
@@ -51,11 +52,14 @@ pub mod event;
 pub mod fault;
 mod guard;
 mod lambda;
+mod metrics;
 mod profiles;
 mod recovery;
+mod replay;
 mod run_state;
 mod runner;
 
+pub use clock::{Clock, ManualClock, WallClock};
 pub use competition::{
     Competition, CompetitionOutcome, ExpertGranularity, ExpertKind, ProbeObserver, ProbeRecord,
     ProbeRegime,
@@ -63,15 +67,19 @@ pub use competition::{
 pub use engine::{DescentEngine, Phase, StartPoint, StepOutcome};
 pub use error::CcqError;
 pub use event::{
-    CsvSink, DescentEvent, EventSink, JsonlSink, NullSink, StepRecord, TraceBuffer, TraceEvent,
-    TracePoint,
+    CsvSink, DescentEvent, EventSink, FanoutSink, JsonlSink, NullSink, StepRecord, TraceBuffer,
+    TraceEvent, TracePoint,
 };
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
 pub use guard::GuardPolicy;
 pub use lambda::LambdaSchedule;
+pub use metrics::{
+    Histogram, MetricsRegistry, MetricsSink, DROP_BUCKETS, EPOCH_BUCKETS, LOSS_BUCKETS, XI_BUCKETS,
+};
 pub use profiles::layer_profiles;
 pub use recovery::{Collaboration, EpochHook, RecoveryMode, RecoveryRecord};
+pub use replay::{parse_events, render_run_summary, ReplayError};
 pub use run_state::RunState;
 pub use runner::{CcqConfig, CcqReport, CcqRunner};
 

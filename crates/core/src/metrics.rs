@@ -1,0 +1,643 @@
+//! Dependency-free metrics: counters, gauges, fixed-bucket histograms,
+//! and the [`MetricsSink`] that derives them from a descent's event
+//! stream.
+//!
+//! The registry is deliberately small and deterministic:
+//!
+//! - Series are keyed by `(name, sorted labels)` in `BTreeMap`s, so the
+//!   [`MetricsRegistry::render_text`] exposition has **stable byte-level
+//!   ordering** — identical op sequences render identically, which the
+//!   golden-trace suite and the metrics property tests rely on.
+//! - Counters are monotonic `u64`s (the API only exposes increments).
+//! - Histograms carry fixed, caller-supplied upper bounds plus an
+//!   implicit `+Inf` bucket, Prometheus-style (`le` buckets are
+//!   cumulative in the exposition).
+//! - Nothing here reads the wall clock; timing comes from an injected
+//!   [`Clock`] (see [`crate::clock`]).
+//!
+//! [`MetricsSink`] is an [`EventSink`]: attach it (alone or inside a
+//! [`crate::FanoutSink`]) and every probe round, quantize decision,
+//! recovery epoch, rollback, and autosave folds into the registry as it
+//! happens. With a [`ManualClock`] the resulting exposition is
+//! byte-identical across runs and thread counts.
+
+use crate::clock::{Clock, ManualClock, WallClock};
+use crate::event::{DescentEvent, EventSink};
+use crate::Phase;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A `(name, labels)` series key with a total order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Series {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Series {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Series {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A fixed-bucket histogram: cumulative-on-render counts per upper
+/// bound, plus an implicit `+Inf` bucket, a sum, and a total count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Finite upper bounds, strictly ascending.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; the last slot is `+Inf`.
+    counts: Vec<u64>,
+    /// Sum of all *finite* observations.
+    sum: f64,
+    /// Total observations, including non-finite ones.
+    total: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation. Non-finite values land in the `+Inf`
+    /// bucket and count toward the total but are excluded from the sum
+    /// (keeping the exposition finite and replay-stable).
+    fn observe(&mut self, v: f64) {
+        let idx = if v.is_finite() {
+            self.bounds.partition_point(|&b| b < v)
+        } else {
+            self.bounds.len()
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        if v.is_finite() {
+            self.sum += v;
+        }
+    }
+
+    /// The finite upper bounds this histogram was registered with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the final entry is the
+    /// `+Inf` bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// A deterministic, dependency-free metrics registry.
+///
+/// # Example
+///
+/// ```
+/// use ccq::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.inc("ccq_probe_rounds_total", &[], 1);
+/// m.set_gauge("ccq_val_accuracy", &[], 0.93);
+/// m.observe("ccq_probe_xi", &[("layer", "0")], &[0.5, 1.0], 0.7);
+/// let text = m.render_text();
+/// assert!(text.contains("ccq_probe_rounds_total 1"));
+/// assert!(text.contains("ccq_probe_xi_bucket{layer=\"0\",le=\"1\"} 1"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<Series, u64>,
+    gauges: BTreeMap<Series, f64>,
+    histograms: BTreeMap<Series, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a monotonic counter, creating it at zero first.
+    /// Counters can only ever increase.
+    pub fn inc(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let c = self.counters.entry(Series::new(name, labels)).or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    /// The current value of a counter (0 if it was never incremented).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&Series::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets a gauge to an arbitrary value.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(Series::new(name, labels), value);
+    }
+
+    /// The current value of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&Series::new(name, labels)).copied()
+    }
+
+    /// Records one observation into a fixed-bucket histogram, creating
+    /// the series with `bounds` on first use (later calls reuse the
+    /// original bounds; non-ascending bounds are sorted and deduplicated
+    /// at creation).
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
+        let h = self
+            .histograms
+            .entry(Series::new(name, labels))
+            .or_insert_with(|| {
+                let mut b: Vec<f64> = bounds.iter().copied().filter(|v| v.is_finite()).collect();
+                b.sort_by(f64::total_cmp);
+                b.dedup_by(|a, b| a.total_cmp(b).is_eq());
+                Histogram::new(&b)
+            });
+        h.observe(value);
+    }
+
+    /// The histogram behind a series, if any observation created it.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&Series::new(name, labels))
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format, with fully stable ordering: counter families first, then
+    /// gauges, then histograms; families alphabetical; series sorted by
+    /// their label sets. Two registries that received the same updates
+    /// render byte-identically.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        render_family(&self.counters, "counter", &mut out, |s, series, out| {
+            let _ = writeln!(out, "{series} {s}");
+        });
+        render_family(&self.gauges, "gauge", &mut out, |g, series, out| {
+            out.push_str(&series);
+            out.push(' ');
+            push_f64(*g, out);
+            out.push('\n');
+        });
+        render_family(&self.histograms, "histogram", &mut out, |h, series, out| {
+            // `series` arrives without the `le` label; splice it in.
+            let (name, label_body) = split_series(&series);
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                let mut le = String::new();
+                match h.bounds.get(i) {
+                    Some(b) => push_f64(*b, &mut le),
+                    None => le.push_str("+Inf"),
+                }
+                let sep = if label_body.is_empty() { "" } else { "," };
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{{label_body}{sep}le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = write!(out, "{name}_sum");
+            if !label_body.is_empty() {
+                let _ = write!(out, "{{{label_body}}}");
+            }
+            out.push(' ');
+            push_f64(h.sum, out);
+            out.push('\n');
+            let _ = write!(out, "{name}_count");
+            if !label_body.is_empty() {
+                let _ = write!(out, "{{{label_body}}}");
+            }
+            let _ = writeln!(out, " {}", h.total);
+        });
+        out
+    }
+}
+
+/// Renders one metric family map: a `# TYPE` line per distinct name,
+/// then each series through `emit`.
+fn render_family<V>(
+    map: &BTreeMap<Series, V>,
+    kind: &str,
+    out: &mut String,
+    emit: impl Fn(&V, String, &mut String),
+) {
+    let mut last_name: Option<&str> = None;
+    for (series, v) in map {
+        if last_name != Some(series.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {} {kind}", series.name);
+            last_name = Some(series.name.as_str());
+        }
+        emit(v, render_series(series), out);
+    }
+}
+
+/// `name{k="v",…}` with label values escaped.
+fn render_series(series: &Series) -> String {
+    if series.labels.is_empty() {
+        return series.name.clone();
+    }
+    let mut s = series.name.clone();
+    s.push('{');
+    for (i, (k, v)) in series.labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => s.push_str("\\\\"),
+                '"' => s.push_str("\\\""),
+                '\n' => s.push_str("\\n"),
+                c => s.push(c),
+            }
+        }
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+/// Splits a rendered series into `(name, label body)` — the body is the
+/// text between the braces, empty when there are no labels.
+fn split_series(rendered: &str) -> (&str, &str) {
+    match rendered.split_once('{') {
+        Some((name, rest)) => (name, rest.trim_end_matches('}')),
+        None => (rendered, ""),
+    }
+}
+
+/// Shortest round-trip rendering; non-finite values print as
+/// `NaN`/`+Inf`/`-Inf` (the Prometheus text-format spellings).
+fn push_f64(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Bucket bounds for validation-loss (ξ) histograms.
+pub const XI_BUCKETS: [f64; 8] = [0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0];
+/// Bucket bounds for training-loss histograms.
+pub const LOSS_BUCKETS: [f64; 7] = [0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0];
+/// Bucket bounds for per-step recovery-epoch histograms.
+pub const EPOCH_BUCKETS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+/// Bucket bounds for accuracy-drop (valley depth) histograms.
+pub const DROP_BUCKETS: [f64; 7] = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0];
+
+/// An [`EventSink`] that folds the descent's event stream into a
+/// [`MetricsRegistry`], with per-phase timing from an injected
+/// [`Clock`].
+///
+/// Derived metrics (all prefixed `ccq_`):
+///
+/// | metric | kind | source |
+/// |---|---|---|
+/// | `ccq_events_total{event}` | counter | every event |
+/// | `ccq_phase_entries_total{phase}` / `ccq_phase_micros_total{phase}` | counter | [`DescentEvent::PhaseStarted`] + clock |
+/// | `ccq_probe_rounds_total` / `ccq_probes_total` | counter | [`DescentEvent::ProbeRound`] |
+/// | `ccq_probe_xi` / `ccq_layer_probe_xi{layer}` | histogram | probe losses ξ |
+/// | `ccq_expert_weight{slot}` | gauge | π after each round |
+/// | `ccq_quantize_decisions_total{to}` | counter | [`DescentEvent::QuantizeDecision`] |
+/// | `ccq_recovery_epochs_total` / `ccq_train_loss` | counter / histogram | [`DescentEvent::RecoveryEpoch`] |
+/// | `ccq_steps_completed_total` / `ccq_recovery_epochs` / `ccq_valley_depth` | counter / histograms | [`DescentEvent::StepCompleted`] |
+/// | `ccq_guard_rollbacks_total` / `ccq_discarded_trace_points_total` | counter | [`DescentEvent::GuardRollback`] |
+/// | `ccq_autosaves_total` | counter | [`DescentEvent::Autosave`] |
+/// | `ccq_baseline_accuracy`, `ccq_val_accuracy`, `ccq_epoch`, `ccq_step`, `ccq_compression`, `ccq_final_accuracy` | gauge | trajectory state |
+///
+/// With a [`ManualClock`] the exposition is a pure function of the
+/// event stream: byte-identical across runs and thread counts.
+#[derive(Debug)]
+pub struct MetricsSink {
+    registry: MetricsRegistry,
+    clock: Box<dyn Clock>,
+    /// The open phase span: `(phase, entered_at_micros)`.
+    open: Option<(Phase, u64)>,
+}
+
+impl MetricsSink {
+    /// A sink reading time from `clock`.
+    pub fn new(clock: Box<dyn Clock>) -> Self {
+        MetricsSink {
+            registry: MetricsRegistry::new(),
+            clock,
+            open: None,
+        }
+    }
+
+    /// A deterministic sink: [`ManualClock`] advancing `tick_micros`
+    /// per event, so timings are a pure function of the event stream.
+    pub fn manual(tick_micros: u64) -> Self {
+        Self::new(Box::new(ManualClock::with_tick(tick_micros)))
+    }
+
+    /// A sink timing phases against the real wall clock.
+    pub fn wall() -> Self {
+        Self::new(Box::new(WallClock::new()))
+    }
+
+    /// The registry accumulated so far.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Consumes the sink, returning the registry.
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+
+    /// Renders the accumulated registry — see
+    /// [`MetricsRegistry::render_text`].
+    pub fn render_text(&self) -> String {
+        self.registry.render_text()
+    }
+
+    /// Closes the open phase span at `now`, attributing its elapsed
+    /// time.
+    fn close_span(&mut self, now: u64) {
+        if let Some((phase, entered)) = self.open.take() {
+            self.registry.inc(
+                "ccq_phase_micros_total",
+                &[("phase", phase_label(phase))],
+                now.saturating_sub(entered),
+            );
+        }
+    }
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        Self::manual(0)
+    }
+}
+
+/// The exposition label for a phase.
+fn phase_label(phase: Phase) -> &'static str {
+    match phase {
+        Phase::InitQuantize => "init_quantize",
+        Phase::Compete => "compete",
+        Phase::Quantize => "quantize",
+        Phase::Recover => "recover",
+        Phase::Checkpoint => "checkpoint",
+        Phase::Done => "done",
+    }
+}
+
+/// The `ccq_events_total` label for an event.
+fn event_label(ev: &DescentEvent) -> &'static str {
+    match ev {
+        DescentEvent::PhaseStarted { .. } => "phase_started",
+        DescentEvent::Baseline { .. } => "baseline",
+        DescentEvent::InitQuantize { .. } => "init_quantize",
+        DescentEvent::ProbeRound { .. } => "probe_round",
+        DescentEvent::QuantizeDecision { .. } => "quantize",
+        DescentEvent::RecoveryEpoch { .. } => "recovery_epoch",
+        DescentEvent::GuardRollback { .. } => "guard_rollback",
+        DescentEvent::StepCompleted { .. } => "step",
+        DescentEvent::Autosave { .. } => "autosave",
+        DescentEvent::Finished { .. } => "finished",
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn on_event(&mut self, ev: &DescentEvent) {
+        let now = self.clock.now_micros();
+        self.registry
+            .inc("ccq_events_total", &[("event", event_label(ev))], 1);
+        match ev {
+            DescentEvent::PhaseStarted { phase, step } => {
+                self.close_span(now);
+                self.registry.inc(
+                    "ccq_phase_entries_total",
+                    &[("phase", phase_label(*phase))],
+                    1,
+                );
+                self.registry.set_gauge("ccq_step", &[], *step as f64);
+                self.open = Some((*phase, now));
+            }
+            DescentEvent::Baseline { accuracy, .. } => {
+                self.registry
+                    .set_gauge("ccq_baseline_accuracy", &[], f64::from(*accuracy));
+                self.registry
+                    .set_gauge("ccq_val_accuracy", &[], f64::from(*accuracy));
+            }
+            DescentEvent::InitQuantize { accuracy, .. } => {
+                self.registry
+                    .set_gauge("ccq_val_accuracy", &[], f64::from(*accuracy));
+            }
+            DescentEvent::ProbeRound { probes, pi, .. } => {
+                self.registry.inc("ccq_probe_rounds_total", &[], 1);
+                self.registry
+                    .inc("ccq_probes_total", &[], probes.len() as u64);
+                for p in probes {
+                    let xi = f64::from(p.val_loss);
+                    self.registry.observe("ccq_probe_xi", &[], &XI_BUCKETS, xi);
+                    let layer = p.layer.to_string();
+                    self.registry.observe(
+                        "ccq_layer_probe_xi",
+                        &[("layer", &layer)],
+                        &XI_BUCKETS,
+                        xi,
+                    );
+                }
+                for (slot, w) in pi.iter().enumerate() {
+                    let slot = slot.to_string();
+                    self.registry
+                        .set_gauge("ccq_expert_weight", &[("slot", &slot)], f64::from(*w));
+                }
+            }
+            DescentEvent::QuantizeDecision {
+                to_bits,
+                valley_accuracy,
+                epoch,
+                ..
+            } => {
+                let to = to_bits.to_string();
+                self.registry
+                    .inc("ccq_quantize_decisions_total", &[("to", &to)], 1);
+                self.registry
+                    .set_gauge("ccq_val_accuracy", &[], f64::from(*valley_accuracy));
+                self.registry.set_gauge("ccq_epoch", &[], *epoch as f64);
+            }
+            DescentEvent::RecoveryEpoch {
+                train_loss,
+                val_accuracy,
+                epoch,
+                ..
+            } => {
+                self.registry.inc("ccq_recovery_epochs_total", &[], 1);
+                self.registry
+                    .observe("ccq_train_loss", &[], &LOSS_BUCKETS, f64::from(*train_loss));
+                self.registry
+                    .set_gauge("ccq_val_accuracy", &[], f64::from(*val_accuracy));
+                self.registry.set_gauge("ccq_epoch", &[], *epoch as f64);
+            }
+            DescentEvent::GuardRollback {
+                discarded_trace_points,
+                ..
+            } => {
+                self.registry.inc("ccq_guard_rollbacks_total", &[], 1);
+                self.registry.inc(
+                    "ccq_discarded_trace_points_total",
+                    &[],
+                    *discarded_trace_points as u64,
+                );
+            }
+            DescentEvent::StepCompleted { record } => {
+                self.registry.inc("ccq_steps_completed_total", &[], 1);
+                self.registry.observe(
+                    "ccq_recovery_epochs",
+                    &[],
+                    &EPOCH_BUCKETS,
+                    record.recovery_epochs as f64,
+                );
+                self.registry.observe(
+                    "ccq_valley_depth",
+                    &[],
+                    &DROP_BUCKETS,
+                    f64::from(record.accuracy_before - record.accuracy_after_quant),
+                );
+                self.registry
+                    .set_gauge("ccq_compression", &[], record.compression);
+            }
+            DescentEvent::Autosave { .. } => {
+                self.registry.inc("ccq_autosaves_total", &[], 1);
+            }
+            DescentEvent::Finished {
+                final_accuracy,
+                final_compression,
+                ..
+            } => {
+                self.close_span(now);
+                self.registry
+                    .set_gauge("ccq_final_accuracy", &[], f64::from(*final_accuracy));
+                self.registry
+                    .set_gauge("ccq_val_accuracy", &[], f64::from(*final_accuracy));
+                self.registry
+                    .set_gauge("ccq_compression", &[], *final_compression);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_never_decrease() {
+        let mut m = MetricsRegistry::new();
+        m.inc("x_total", &[], 3);
+        m.inc("x_total", &[], 0);
+        m.inc("x_total", &[], 2);
+        assert_eq!(m.counter("x_total", &[]), 5);
+        assert_eq!(m.counter("unseen_total", &[]), 0);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_total() {
+        let mut m = MetricsRegistry::new();
+        for v in [0.01, 0.3, 0.7, 5.0, f64::NAN, f64::INFINITY] {
+            m.observe("h", &[], &[0.1, 1.0], v);
+        }
+        let h = m.histogram("h", &[]).expect("created");
+        assert_eq!(h.bucket_counts(), &[1, 2, 3]);
+        assert_eq!(h.total(), 6);
+        let bucket_total: u64 = h.bucket_counts().iter().sum();
+        assert_eq!(bucket_total, h.total());
+        // Non-finite observations are excluded from the sum.
+        assert!((h.sum() - (0.01 + 0.3 + 0.7 + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_orders_families_and_series_stably() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        // Same updates, different insertion order.
+        a.inc("z_total", &[("k", "1")], 1);
+        a.inc("a_total", &[], 2);
+        a.set_gauge("g", &[], 0.5);
+        b.set_gauge("g", &[], 0.5);
+        b.inc("a_total", &[], 2);
+        b.inc("z_total", &[("k", "1")], 1);
+        assert_eq!(a.render_text(), b.render_text());
+        let text = a.render_text();
+        let a_pos = text.find("a_total").expect("a_total present");
+        let z_pos = text.find("z_total").expect("z_total present");
+        assert!(a_pos < z_pos, "families are alphabetical:\n{text}");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_with_inf() {
+        let mut m = MetricsRegistry::new();
+        for v in [0.05, 0.5, 2.0] {
+            m.observe("lat", &[("phase", "compete")], &[0.1, 1.0], v);
+        }
+        let text = m.render_text();
+        assert!(text.contains("lat_bucket{phase=\"compete\",le=\"0.1\"} 1"));
+        assert!(text.contains("lat_bucket{phase=\"compete\",le=\"1\"} 2"));
+        assert!(text.contains("lat_bucket{phase=\"compete\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_count{phase=\"compete\"} 3"));
+    }
+
+    #[test]
+    fn sink_times_phases_with_the_injected_clock() {
+        let mut sink = MetricsSink::manual(10);
+        sink.on_event(&DescentEvent::PhaseStarted {
+            phase: Phase::Compete,
+            step: 1,
+        });
+        sink.on_event(&DescentEvent::PhaseStarted {
+            phase: Phase::Quantize,
+            step: 1,
+        });
+        sink.on_event(&DescentEvent::Finished {
+            baseline_accuracy: 0.9,
+            final_accuracy: 0.8,
+            final_compression: 4.0,
+            bit_pattern: "4b".into(),
+        });
+        let m = sink.registry();
+        assert_eq!(
+            m.counter("ccq_phase_micros_total", &[("phase", "compete")]),
+            10
+        );
+        assert_eq!(
+            m.counter("ccq_phase_micros_total", &[("phase", "quantize")]),
+            10
+        );
+        assert_eq!(
+            m.counter("ccq_events_total", &[("event", "phase_started")]),
+            2
+        );
+    }
+}

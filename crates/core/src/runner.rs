@@ -311,6 +311,10 @@ impl CcqRunner {
 
     /// [`CcqRunner::run`] with an [`EventSink`] observing the descent.
     ///
+    /// Sinks compose: wrap several observers in a
+    /// [`crate::FanoutSink`] to stream CSV, JSONL, and derived metrics
+    /// ([`crate::MetricsSink`]) from one run without re-running it.
+    ///
     /// # Errors
     ///
     /// Same contract as [`CcqRunner::run`].

@@ -6,14 +6,15 @@
 
 use ccq::event::event_json;
 use ccq::{
-    CcqConfig, CcqReport, CcqRunner, CsvSink, DescentEvent, EventSink, JsonlSink, LambdaSchedule,
-    Phase, RecoveryMode, StartPoint, StepOutcome, TraceBuffer,
+    CcqConfig, CcqReport, CcqRunner, CsvSink, DescentEvent, EventSink, ExpertKind, FanoutSink,
+    JsonlSink, LambdaSchedule, Phase, ProbeRecord, RecoveryMode, StartPoint, StepOutcome,
+    StepRecord, TraceBuffer,
 };
 use ccq_data::{gaussian_blobs, BlobsConfig};
 use ccq_models::mlp;
 use ccq_nn::train::Batch;
 use ccq_nn::{Network, Sgd};
-use ccq_quant::{BitLadder, PolicyKind};
+use ccq_quant::{BitLadder, BitWidth, PolicyKind};
 use ccq_tensor::{rng, Rng64};
 use std::collections::BTreeMap;
 
@@ -48,17 +49,6 @@ fn fast_config() -> CcqConfig {
     }
 }
 
-/// A sink fanning one stream out to several observers.
-struct Tee<'a>(Vec<&'a mut dyn EventSink>);
-
-impl EventSink for Tee<'_> {
-    fn on_event(&mut self, ev: &DescentEvent) {
-        for sink in &mut self.0 {
-            sink.on_event(ev);
-        }
-    }
-}
-
 fn run_with_all_sinks() -> (CcqReport, TraceBuffer, CsvSink, String) {
     let (mut net, train, val) = setup();
     let mut runner = CcqRunner::new(fast_config());
@@ -67,9 +57,13 @@ fn run_with_all_sinks() -> (CcqReport, TraceBuffer, CsvSink, String) {
     let mut csv = CsvSink::new();
     let mut jsonl = JsonlSink::new(Vec::new());
     let report = {
-        let mut tee = Tee(vec![&mut buf, &mut csv, &mut jsonl]);
+        let mut fan = FanoutSink::new()
+            .with(&mut buf)
+            .with(&mut csv)
+            .with(&mut jsonl);
+        assert_eq!(fan.len(), 3);
         runner
-            .drive(&mut net, &mut provider, &val, StartPoint::Fresh, &mut tee)
+            .drive(&mut net, &mut provider, &val, StartPoint::Fresh, &mut fan)
             .unwrap()
     };
     assert!(jsonl.io_error().is_none());
@@ -101,8 +95,15 @@ fn jsonl_stream_round_trips_and_matches_the_report() {
     assert!(!events.is_empty());
 
     let kind = |v: &Json| v.get("event").unwrap().as_str().unwrap().to_string();
-    assert_eq!(kind(&events[0]), "baseline");
-    assert_eq!(kind(&events[1]), "init_quantize");
+    // The engine narrates every phase boundary before running it, so the
+    // stream opens with the InitQuantize span, then its payload events.
+    assert_eq!(kind(&events[0]), "phase_started");
+    assert_eq!(
+        events[0].get("phase").unwrap().as_str().unwrap(),
+        "init_quantize"
+    );
+    assert_eq!(kind(&events[1]), "baseline");
+    assert_eq!(kind(&events[2]), "init_quantize");
     assert_eq!(kind(events.last().unwrap()), "finished");
 
     // Per-step events mirror the report's schedule exactly.
@@ -148,6 +149,100 @@ fn non_finite_floats_serialize_as_null() {
     };
     let (v, _) = Json::parse(&event_json(&ev)).unwrap();
     assert!(matches!(v.get("accuracy"), Some(Json::Null)));
+}
+
+/// A step record with a label no naive emitter survives: a comma, a
+/// quoted alias, and a trailing newline.
+fn hostile_step() -> StepRecord {
+    StepRecord {
+        step: 1,
+        layer: 0,
+        kind: ExpertKind::Layer,
+        label: "fc,0 \"input\"\n".to_string(),
+        from_bits: BitWidth::of(8),
+        to_bits: BitWidth::of(4),
+        accuracy_before: 0.95,
+        accuracy_after_quant: 0.80,
+        accuracy_after_recovery: 0.93,
+        recovery_epochs: 2,
+        compression: 4.0,
+        lambda: 0.3,
+    }
+}
+
+#[test]
+fn schedule_csv_quotes_hostile_labels_rfc4180_style() {
+    let mut csv = CsvSink::new();
+    csv.on_event(&DescentEvent::StepCompleted {
+        record: hostile_step(),
+    });
+    let rendered = csv.schedule_csv();
+    // The whole field is quoted, embedded quotes doubled, and the comma
+    // and newline stay inside the quoted field instead of splitting it.
+    assert!(
+        rendered.contains("\"fc,0 \"\"input\"\"\n\""),
+        "label not escaped: {rendered:?}"
+    );
+    // The data row still carries exactly 12 top-level columns once the
+    // quoted field is honoured.
+    let body = rendered.split_once('\n').unwrap().1;
+    let mut cols = 1;
+    let mut in_quotes = false;
+    for c in body.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => cols += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(cols, 12, "row split by an unescaped comma: {body:?}");
+    // Ordinary labels keep the historical unquoted bytes.
+    let mut plain = hostile_step();
+    plain.label = "conv1".to_string();
+    let mut csv = CsvSink::new();
+    csv.on_event(&DescentEvent::StepCompleted { record: plain });
+    assert!(csv.schedule_csv().contains(",conv1,"));
+}
+
+#[test]
+fn jsonl_escapes_hostile_labels_and_non_finite_xi() {
+    let ev = DescentEvent::QuantizeDecision {
+        step: 1,
+        epoch: 2,
+        layer: 0,
+        kind: ExpertKind::Layer,
+        label: "fc,0 \"input\"\n".to_string(),
+        from_bits: BitWidth::of(8),
+        to_bits: BitWidth::of(4),
+        probabilities: vec![0.5, 0.5],
+        valley_accuracy: 0.8,
+        lr: 0.02,
+    };
+    let line = event_json(&ev);
+    let (v, rest) = Json::parse(&line).unwrap();
+    assert!(rest.trim().is_empty(), "label broke out of the object");
+    assert_eq!(
+        v.get("label").unwrap().as_str().unwrap(),
+        "fc,0 \"input\"\n"
+    );
+
+    let probe = DescentEvent::ProbeRound {
+        step: 1,
+        round: 0,
+        probes: vec![ProbeRecord {
+            round: 0,
+            layer: 0,
+            kind: ExpertKind::Layer,
+            val_loss: f32::NAN,
+        }],
+        pi: vec![f32::INFINITY, 0.25],
+    };
+    let (v, _) = Json::parse(&event_json(&probe)).unwrap();
+    let probes = v.get("probes").unwrap().as_array().unwrap();
+    assert!(matches!(probes[0].get("val_loss"), Some(Json::Null)));
+    let pi = v.get("pi").unwrap().as_array().unwrap();
+    assert!(matches!(pi[0], Json::Null));
+    assert_eq!(pi[1].as_f64().unwrap(), 0.25);
 }
 
 #[test]

@@ -1,0 +1,129 @@
+//! Property-based tests for quantization-policy invariants the CCQ
+//! descent relies on: fake-quantized outputs stay finite and inside
+//! each policy's clip range, DoReFa and SAWB are monotone maps of their
+//! input (order-preserving, so competition probes compare like with
+//! like), and adding bits never degrades reconstruction quality.
+
+use ccq_quant::policies::{dorefa, pact, sawb, uniform, wrpn};
+use ccq_quant::{quantization_mse, BitWidth, LayerQuant, PolicyKind, QuantSpec};
+use ccq_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Weight tensors with a wide dynamic range, including values far
+/// outside every policy's clip.
+fn weights() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-30.0f32..30.0, 4..96).prop_map(|v| {
+        let n = v.len();
+        Tensor::from_vec(v, &[n]).expect("len matches")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quantize→dequantize is finite for every policy, on weights and
+    /// activations alike, across the whole supported bit range.
+    #[test]
+    fn fake_quantization_is_always_finite(w in weights(), bits in 1u32..9) {
+        for policy in PolicyKind::ALL {
+            let lq = LayerQuant::new(QuantSpec::new(
+                policy, BitWidth::of(bits), BitWidth::of(bits)));
+            let qw = lq.quantize_weights(&w);
+            let qa = lq.quantize_acts(&w);
+            prop_assert!(qw.all_finite(), "{policy} weights non-finite");
+            prop_assert!(qa.all_finite(), "{policy} acts non-finite");
+        }
+    }
+
+    /// Each policy's output stays inside its own documented clip range.
+    #[test]
+    fn outputs_respect_each_policys_clip_range(w in weights(), bits in 2u32..9) {
+        let eps = 1e-5f32;
+
+        // DoReFa weights live on the grid over [-1, 1].
+        let q = dorefa::quantize_weights(&w, bits);
+        prop_assert!(q.max_abs() <= 1.0 + eps, "dorefa escaped [-1,1]");
+        // DoReFa acts are clamped to [0, 1] first.
+        let q = dorefa::quantize_acts(&w, bits);
+        prop_assert!(q.min() >= -eps && q.max() <= 1.0 + eps);
+
+        // WRPN clips weights to [-1, 1] by definition.
+        let q = wrpn::quantize_weights(&w, bits);
+        prop_assert!(q.max_abs() <= 1.0 + eps, "wrpn escaped [-1,1]");
+
+        // SAWB clips symmetrically at its MSE-optimal α.
+        let alpha = sawb::optimal_alpha(&w, bits);
+        let q = sawb::quantize_weights(&w, bits);
+        prop_assert!(q.max_abs() <= alpha + eps, "sawb escaped ±α");
+
+        // PACT activations land in [0, α].
+        let alpha = 2.5;
+        let q = pact::quantize_acts(&w, alpha, bits);
+        prop_assert!(q.min() >= -eps && q.max() <= alpha + eps);
+
+        // Affine uniform stays inside the input's own [min, max].
+        let q = uniform::quantize_affine(&w, bits);
+        prop_assert!(q.min() >= w.min() - eps && q.max() <= w.max() + eps);
+        // Max-abs uniform is symmetric about zero at the input's radius.
+        let q = uniform::quantize_maxabs(&w, bits);
+        prop_assert!(q.max_abs() <= w.max_abs() + eps);
+    }
+
+    /// DoReFa's weight map is monotone: tanh, the shared normalization,
+    /// and round-to-nearest on a fixed grid all preserve order, so
+    /// `w[i] <= w[j]` implies `q[i] <= q[j]` *within one tensor*.
+    #[test]
+    fn dorefa_weight_quantization_is_monotone_in_input(w in weights(), bits in 1u32..9) {
+        let q = dorefa::quantize_weights(&w, bits);
+        let (wv, qv) = (w.as_slice(), q.as_slice());
+        for i in 0..wv.len() {
+            for j in 0..wv.len() {
+                if wv[i] <= wv[j] {
+                    prop_assert!(
+                        qv[i] <= qv[j],
+                        "order inverted: w {} <= {} but q {} > {}",
+                        wv[i], wv[j], qv[i], qv[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// SAWB's clamp-then-round at a shared α is likewise monotone.
+    #[test]
+    fn sawb_weight_quantization_is_monotone_in_input(w in weights(), bits in 2u32..7) {
+        let q = sawb::quantize_weights(&w, bits);
+        let (wv, qv) = (w.as_slice(), q.as_slice());
+        for i in 0..wv.len() {
+            for j in 0..wv.len() {
+                if wv[i] <= wv[j] {
+                    prop_assert!(qv[i] <= qv[j], "sawb inverted order");
+                }
+            }
+        }
+    }
+
+    /// More bits never hurt reconstruction: the quantization MSE (the
+    /// reciprocal view of SQNR) at `bits + 2` is no worse than at
+    /// `bits`. Grids are not nested and DoReFa's tanh compression puts
+    /// a large bit-independent floor under its MSE, so the comparison
+    /// is up to a small relative tolerance.
+    #[test]
+    fn more_bits_never_degrade_reconstruction(w in weights(), bits in 2u32..6) {
+        type Quantizer = fn(&Tensor, u32) -> Tensor;
+        let pairs: [(&str, Quantizer); 4] = [
+            ("dorefa", dorefa::quantize_weights),
+            ("sawb", sawb::quantize_weights),
+            ("uniform-affine", uniform::quantize_affine),
+            ("uniform-maxabs", uniform::quantize_maxabs),
+        ];
+        for (name, quantize) in pairs {
+            let lo = quantization_mse(&w, &quantize(&w, bits));
+            let hi = quantization_mse(&w, &quantize(&w, bits + 2));
+            prop_assert!(
+                hi <= lo * 1.001 + 1e-6,
+                "{name}: mse went up with bits ({lo} -> {hi})"
+            );
+        }
+    }
+}

@@ -20,12 +20,17 @@
 //!
 //! Either way the search streams its event log — baseline, per-round
 //! probe losses, quantize decisions, recovery epochs — as JSON lines to
-//! `mixed_precision_search.events.jsonl` through a [`JsonlSink`].
+//! `mixed_precision_search.events.jsonl` through a [`JsonlSink`], and
+//! fans the same stream into a [`MetricsSink`] whose Prometheus-style
+//! exposition lands in `mixed_precision_search.metrics.txt`. Replay the
+//! JSONL later with `cargo run -p ccq-bench --bin ccq-report`.
 
 // Tables and CSVs go to stdout by design.
 #![allow(clippy::print_stdout)]
 
-use ccq_repro::ccq::{layer_profiles, CcqConfig, CcqRunner, JsonlSink, RecoveryMode};
+use ccq_repro::ccq::{
+    layer_profiles, CcqConfig, CcqRunner, FanoutSink, JsonlSink, MetricsSink, RecoveryMode,
+};
 use ccq_repro::data::{synth_cifar, Augment, SynthCifarConfig};
 use ccq_repro::hw::{model_size, network_power, MacEnergyModel};
 use ccq_repro::models::{resnet20, ModelConfig};
@@ -97,22 +102,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stream the descent's event log as JSON lines; each line is one
     // structured event (probe round, quantize decision, recovery epoch…).
+    // The same stream fans out into a metrics sink on the wall clock, so
+    // the run also leaves a Prometheus-style exposition behind.
     let events_path = "mixed_precision_search.events.jsonl";
+    let metrics_path = "mixed_precision_search.metrics.txt";
     let mut events = JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(events_path)?));
-    let report = match &resume {
-        Some(path) => {
-            println!("resuming from {}", path.display());
-            runner.resume_with_sink(path, &mut net, &train, &val, &mut events)?
+    let mut metrics = MetricsSink::wall();
+    let report = {
+        let mut fan = FanoutSink::new().with(&mut events).with(&mut metrics);
+        match &resume {
+            Some(path) => {
+                println!("resuming from {}", path.display());
+                runner.resume_with_sink(path, &mut net, &train, &val, &mut fan)?
+            }
+            None => runner.run_with_sink(&mut net, &train, &val, &mut fan)?,
         }
-        None => runner.run_with_sink(&mut net, &train, &val, &mut events)?,
     };
     if let Some(err) = events.io_error() {
         eprintln!("warning: event log truncated: {err}");
     }
     use std::io::Write as _;
     events.into_inner().flush()?;
+    std::fs::write(metrics_path, metrics.render_text())?;
     println!("{report}");
     println!("event log: {events_path}");
+    println!("metrics exposition: {metrics_path}");
 
     // Hardware analysis of the learned assignment.
     let profiles = layer_profiles(&mut net);

@@ -24,6 +24,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps 2> results/doc.log ||
 cargo test -q -p ccq --no-default-features --features fault-inject 2> results/test_fault_serial.log || exit 1
 cargo test -q -p ccq --test resume_determinism --test guarded_descent 2> results/test_fault.log || exit 1
 
+# --- metrics gate: the golden-trace suite pins the observed run — the
+# JSONL trace, the Prometheus-style exposition, and the ccq-report
+# summary must be byte-identical to the blessed goldens on the parallel
+# AND serial builds (same trajectory, same bytes, any thread count) ---
+cargo test -q -p ccq --test golden_trace 2> results/metrics.log || exit 1
+cargo test -q -p ccq --test golden_trace --no-default-features 2>> results/metrics.log || exit 1
+
 # --- experiment harness ---
 cargo build --release -p ccq-bench 2> results/build.log
 time target/release/fig5_power > results/fig5_power.csv 2> results/fig5_power.log
