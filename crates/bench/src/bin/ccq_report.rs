@@ -8,22 +8,40 @@
 //! Prometheus-style text exposition — byte-identical to what a live run
 //! with the same clock would have exported.
 //!
-//! Usage: `cargo run -p ccq-bench --bin ccq-report -- trace.jsonl [--metrics]`
+//! With `--probe-cache <stats.json>` it also reads the probe-cache
+//! sidecar a run wrote (see [`ccq::render_probe_cache_stats`]) and
+//! reports how much forward work incremental probe evaluation saved;
+//! under `--metrics` the stats fold into the exposition as
+//! `ccq_probe_cache_*` counters and the partial-forward depth histogram.
+//!
+//! Usage: `cargo run -p ccq-bench --bin ccq-report -- trace.jsonl
+//! [--metrics] [--probe-cache stats.json]`
 
 // Reports go to stdout by design.
 #![allow(clippy::print_stdout)]
 
-use ccq::{parse_events, render_run_summary, EventSink, MetricsSink};
+use ccq::{parse_events, parse_probe_cache_stats, render_run_summary, EventSink, MetricsSink};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: ccq-report <trace.jsonl> [--metrics] [--probe-cache <stats.json>]";
 
 fn main() -> ExitCode {
     let mut trace: Option<String> = None;
     let mut metrics = false;
-    for arg in std::env::args().skip(1) {
+    let mut cache_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics" => metrics = true,
+            "--probe-cache" => match args.next() {
+                Some(p) => cache_path = Some(p),
+                None => {
+                    eprintln!("ccq-report: --probe-cache needs a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: ccq-report <trace.jsonl> [--metrics]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if trace.is_none() => trace = Some(other.to_string()),
@@ -34,7 +52,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = trace else {
-        eprintln!("usage: ccq-report <trace.jsonl> [--metrics]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let jsonl = match std::fs::read_to_string(&path) {
@@ -51,14 +69,40 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let cache_stats = match &cache_path {
+        None => None,
+        Some(p) => {
+            let json = match std::fs::read_to_string(p) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ccq-report: cannot read {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_probe_cache_stats(&json) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("ccq-report: {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
     print!("{}", render_run_summary(&events));
+    if let Some(stats) = &cache_stats {
+        println!("{stats}");
+    }
     if metrics {
         let mut sink = MetricsSink::manual(1_000);
         for ev in &events {
             sink.on_event(ev);
         }
+        let mut registry = sink.into_registry();
+        if let Some(stats) = &cache_stats {
+            registry.record_probe_cache(stats);
+        }
         println!();
-        print!("{}", sink.render_text());
+        print!("{}", registry.render_text());
     }
     ExitCode::SUCCESS
 }

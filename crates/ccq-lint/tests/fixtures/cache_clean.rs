@@ -1,0 +1,42 @@
+//! The activation-cache idiom as the workspace actually writes it:
+//! ordered storage, a logical generation counter for invalidation (no
+//! wall clock), typed errors instead of unwraps, and a BTreeMap for the
+//! depth histogram so iteration order is stable run-to-run.
+
+use std::collections::BTreeMap;
+
+pub struct CacheError(pub String);
+
+pub struct MiniCache {
+    generation: u64,
+    boundaries: Vec<Vec<f32>>,
+    depth_hist: BTreeMap<usize, u64>,
+}
+
+impl MiniCache {
+    pub fn fill(generation: u64, boundaries: Vec<Vec<f32>>) -> Self {
+        MiniCache {
+            generation,
+            boundaries,
+            depth_hist: BTreeMap::new(),
+        }
+    }
+
+    pub fn check_current(&self, generation: u64) -> Result<(), CacheError> {
+        if self.generation != generation {
+            return Err(CacheError(format!(
+                "cache filled at generation {}, network at {generation}",
+                self.generation
+            )));
+        }
+        Ok(())
+    }
+
+    pub fn record(&mut self, skipped: usize) {
+        *self.depth_hist.entry(skipped).or_insert(0) += 1;
+    }
+
+    pub fn input(&self, segment: usize, batch: usize) -> Option<&f32> {
+        self.boundaries.get(segment)?.get(batch)
+    }
+}

@@ -1,0 +1,24 @@
+//! A cache keyed on iteration-order-unstable storage and invalidated by
+//! the wall clock — exactly what the determinism rule bans from the
+//! activation-cache layer.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct BadCache {
+    filled_at: Instant,
+    boundaries: HashMap<usize, Vec<f32>>,
+}
+
+impl BadCache {
+    pub fn fill(boundaries: HashMap<usize, Vec<f32>>) -> Self {
+        BadCache {
+            filled_at: Instant::now(),
+            boundaries,
+        }
+    }
+
+    pub fn is_current(&self) -> bool {
+        self.filled_at.elapsed().as_millis() < 5 && !self.boundaries.is_empty()
+    }
+}

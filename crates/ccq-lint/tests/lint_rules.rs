@@ -119,6 +119,48 @@ fn feature_hygiene_accepts_declared_and_waived() {
     assert!(f.is_empty(), "{f:#?}");
 }
 
+/// Lints a fixture as if it were the activation-cache module of the
+/// protected `ccq-nn` crate.
+fn lint_cache_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path).unwrap();
+    let features: BTreeSet<String> = ["default", "parallel"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let ctx = FileCtx {
+        path: format!("crates/nn/src/{name}"),
+        crate_name: "ccq-nn",
+        kind: FileKind::LibrarySrc,
+        features: &features,
+    };
+    check_file(&ctx, &src)
+}
+
+#[test]
+fn cache_idiom_is_clean() {
+    // The incremental-evaluation cache layer must stay free of banned
+    // nondeterminism: generation counters instead of wall-clock
+    // invalidation, ordered containers, typed errors. This fixture
+    // mirrors `crates/nn/src/cache.rs` and must lint clean under the
+    // same protected-crate rules that cover the real module.
+    let f = lint_cache_fixture("cache_clean.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn nondeterministic_cache_fires() {
+    // The anti-pattern the rules exist to catch: a HashMap-backed cache
+    // invalidated by `Instant::now()`. Three `HashMap` mentions plus the
+    // wall-clock read.
+    let f = lint_cache_fixture("cache_fire.rs");
+    assert_eq!(rules(&f), ["determinism"; 4], "{f:#?}");
+    assert!(f.iter().any(|x| x.message.contains("iteration order")));
+    assert!(f.iter().any(|x| x.message.contains("Instant::now")));
+}
+
 #[test]
 fn waiver_without_reason_is_rejected_and_covers_nothing() {
     let f = lint_fixture("waiver_no_reason.rs");

@@ -1,12 +1,14 @@
 //! The competition stage: online learning over layers (paper §III-B.a).
 
 use crate::{CcqError, LambdaSchedule, Result};
-use ccq_nn::train::{evaluate, Batch};
+use ccq_nn::cache::ActivationCache;
+use ccq_nn::train::{evaluate, evaluate_from, Batch};
 use ccq_nn::Network;
 use ccq_quant::{BitLadder, BitWidth};
 use ccq_tensor::Rng64;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// A per-round competition observer: called as `(round, round_probes, π)`
 /// after each probe round's Hedge updates. See
@@ -97,6 +99,66 @@ pub enum ExpertKind {
     Activations,
 }
 
+/// Forward-work accounting for the incremental probe path, accumulated
+/// across every competition a [`Competition`] runs.
+///
+/// A *hit* is a probe that re-entered the network at a cached segment
+/// boundary (`segment > 0`); a *miss* ran the full stack (segment-0
+/// probes and cache-off runs). `segments_run / segments_total` is the
+/// fraction of forward work actually executed — the paper's probe cost
+/// is proportional to it. These numbers are a pure function of the
+/// expert set and the network topology, so they are deterministic at
+/// any thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbeCacheStats {
+    /// Probes that re-used cached boundary activations.
+    pub hits: u64,
+    /// Probes that ran the network from the top.
+    pub misses: u64,
+    /// Top-level segments actually executed across all probes.
+    pub segments_run: u64,
+    /// Segments a full-forward implementation would have executed.
+    pub segments_total: u64,
+    /// Histogram: number of segments *skipped* per probe → probe count.
+    pub depth_hist: BTreeMap<usize, u64>,
+}
+
+impl ProbeCacheStats {
+    fn record(&mut self, skipped: usize, segments: usize) {
+        if skipped > 0 {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.segments_run += (segments - skipped) as u64;
+        self.segments_total += segments as u64;
+        *self.depth_hist.entry(skipped).or_insert(0) += 1;
+    }
+
+    /// Fraction of full-forward segment work actually executed
+    /// (1.0 when nothing was saved; NaN-free: 1.0 before any probe).
+    pub fn forward_fraction(&self) -> f64 {
+        if self.segments_total == 0 {
+            return 1.0;
+        }
+        self.segments_run as f64 / self.segments_total as f64
+    }
+}
+
+impl std::fmt::Display for ProbeCacheStats {
+    /// One human-readable line for run reports, e.g.
+    /// `probe cache: 34/36 probes incremental, 41.7% of full forward work executed`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let probes = self.hits + self.misses;
+        write!(
+            f,
+            "probe cache: {}/{probes} probes incremental, {:.1}% of full forward work executed",
+            self.hits,
+            100.0 * self.forward_fraction()
+        )
+    }
+}
+
 /// One candidate move in the competition.
 #[derive(Debug, Clone, Copy)]
 struct Expert {
@@ -124,6 +186,8 @@ pub struct Competition {
     regime: ProbeRegime,
     granularity: ExpertGranularity,
     pi: Vec<f32>,
+    incremental: bool,
+    stats: ProbeCacheStats,
 }
 
 impl Competition {
@@ -143,7 +207,28 @@ impl Competition {
             regime: ProbeRegime::FullInformation,
             granularity: ExpertGranularity::Layer,
             pi: Vec::new(),
+            incremental: true,
+            stats: ProbeCacheStats::default(),
         }
+    }
+
+    /// Enables or disables incremental probe evaluation (builder style).
+    ///
+    /// On by default. Every probe then re-enters the network at the
+    /// cached boundary of the probed layer's segment instead of running
+    /// a full forward — bit-identical by construction (a layer quantizes
+    /// its own input and weights, so upstream activations are unchanged
+    /// by the probe's spec flip). The full-forward path is kept for
+    /// benchmarking the saving and as the bit-identity reference.
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Forward-work accounting accumulated across every run of this
+    /// competition. See [`ProbeCacheStats`].
+    pub fn cache_stats(&self) -> &ProbeCacheStats {
+        &self.stats
     }
 
     /// Switches the probe regime (builder style).
@@ -277,26 +362,65 @@ impl Competition {
         (experts, slots)
     }
 
+    /// The spec an expert's move produces, given the spec currently in
+    /// place. Pure — shared by [`Competition::apply`] (global indices)
+    /// and the tail-clone probe workers (local indices).
+    fn probe_target(spec: ccq_quant::QuantSpec, e: &Expert) -> ccq_quant::QuantSpec {
+        match e.kind {
+            ExpertKind::Layer => spec.with_bits(e.to, e.to),
+            ExpertKind::Weights => spec.with_bits(e.to, spec.act_bits),
+            ExpertKind::Activations => spec.with_bits(spec.weight_bits, e.to),
+        }
+    }
+
     /// Applies an expert's move to the network. Returns the spec that was
     /// in place before.
     fn apply(net: &mut Network, e: &Expert) -> ccq_quant::QuantSpec {
         let spec = net.quant_spec(e.layer);
-        let new = match e.kind {
-            ExpertKind::Layer => spec.with_bits(e.to, e.to),
-            ExpertKind::Weights => spec.with_bits(e.to, spec.act_bits),
-            ExpertKind::Activations => spec.with_bits(spec.weight_bits, e.to),
-        };
-        net.set_quant_spec(e.layer, new);
+        net.set_quant_spec(e.layer, Self::probe_target(spec, e));
         spec
     }
 
+    /// [`Competition::probe_one`] on a network whose quant layer `local`
+    /// corresponds to the expert's global layer — the original network
+    /// (`local == e.layer`, `segment_base == 0`) or a tail clone starting
+    /// at `segment_base`. Re-enters at the probed layer's own segment,
+    /// so only the suffix the probe can affect is recomputed.
+    fn probe_one_from(
+        net: &mut Network,
+        e: &Expert,
+        local: usize,
+        segment_base: usize,
+        cache: &ActivationCache,
+        val: &[Batch],
+    ) -> Result<f32> {
+        let before = net.quant_spec(local);
+        net.set_quant_spec(local, Self::probe_target(before, e));
+        let seg = cache.segment_of(e.layer);
+        let result = evaluate_from(net, seg, segment_base, cache, val);
+        net.set_quant_spec(local, before);
+        Ok(result.map_err(CcqError::from)?.loss)
+    }
+
     /// Hypothetically applies one expert's move, measures the validation
-    /// loss (Eq. 4), and restores the previous spec.
-    fn probe_one(net: &mut Network, e: &Expert, val: &[Batch]) -> Result<f32> {
-        let before = Self::apply(net, e);
-        let loss = evaluate(net, val).map_err(CcqError::from)?.loss;
-        net.set_quant_spec(e.layer, before);
-        Ok(loss)
+    /// loss (Eq. 4), and restores the previous spec. With a cache the
+    /// measurement re-runs only the network suffix from the probed
+    /// layer's segment — bit-identical to the full forward.
+    fn probe_one(
+        net: &mut Network,
+        e: &Expert,
+        val: &[Batch],
+        cache: Option<&ActivationCache>,
+    ) -> Result<f32> {
+        match cache {
+            Some(c) => Self::probe_one_from(net, e, e.layer, 0, c, val),
+            None => {
+                let before = Self::apply(net, e);
+                let loss = evaluate(net, val).map_err(CcqError::from)?.loss;
+                net.set_quant_spec(e.layer, before);
+                Ok(loss)
+            }
+        }
     }
 
     /// Probes every expert in order on one network, returning the losses
@@ -305,49 +429,93 @@ impl Competition {
         net: &mut Network,
         experts: &[Expert],
         val: &[Batch],
+        cache: Option<&ActivationCache>,
     ) -> Result<Vec<f32>> {
         experts
             .iter()
-            .map(|e| Self::probe_one(net, e, val))
+            .map(|e| Self::probe_one(net, e, val, cache))
             .collect()
     }
 
     #[cfg(not(feature = "parallel"))]
-    fn probe_round(net: &mut Network, experts: &[Expert], val: &[Batch]) -> Result<Vec<f32>> {
-        Self::probe_round_serial(net, experts, val)
+    fn probe_round(
+        net: &mut Network,
+        experts: &[Expert],
+        val: &[Batch],
+        cache: Option<&ActivationCache>,
+    ) -> Result<Vec<f32>> {
+        Self::probe_round_serial(net, experts, val, cache)
     }
 
-    /// Splits a round's experts over worker clones of the network, keeping
-    /// chunk 0 on the original (so its MAC counters warm up as in a serial
-    /// run) and flattening per-chunk losses back into expert order.
+    /// Splits a round's experts over workers, keeping chunk 0 on the
+    /// original network and flattening per-chunk losses back into expert
+    /// order. With a cache each worker clones only the network *suffix*
+    /// from its chunk's first re-entry segment (experts are in layer
+    /// order, so that segment covers the whole chunk); without one it
+    /// falls back to full-network clones.
     #[cfg(feature = "parallel")]
-    fn probe_round(net: &mut Network, experts: &[Expert], val: &[Batch]) -> Result<Vec<f32>> {
+    fn probe_round(
+        net: &mut Network,
+        experts: &[Expert],
+        val: &[Batch],
+        cache: Option<&ActivationCache>,
+    ) -> Result<Vec<f32>> {
         let threads = rayon::current_num_threads();
         if threads <= 1 || experts.len() < 2 {
-            return Self::probe_round_serial(net, experts, val);
+            return Self::probe_round_serial(net, experts, val, cache);
         }
         let chunk = experts.len().div_ceil(threads);
         let chunks: Vec<&[Expert]> = experts.chunks(chunk).collect();
-        let mut clones: Vec<Network> = (1..chunks.len()).map(|_| net.clone()).collect();
         let mut results: Vec<Result<Vec<f32>>> = chunks.iter().map(|_| Ok(Vec::new())).collect();
-        let (head, tail) = results.split_at_mut(1);
-        // The calling thread probes chunk 0 under a single-thread pool so
-        // its inner evaluation doesn't oversubscribe while workers run.
-        let single = rayon::ThreadPoolBuilder::new()
-            .num_threads(1)
-            .build()
-            // ccq-lint: allow(panic-surface) — pool build fails only on thread-spawn exhaustion; no recovery path mid-probe
-            .expect("single-thread pool");
-        rayon::scope(|s| {
-            for ((chunk_experts, clone), slot) in chunks[1..]
-                .iter()
-                .zip(clones.iter_mut())
-                .zip(tail.iter_mut())
-            {
-                s.spawn(move |_| *slot = Self::probe_round_serial(clone, chunk_experts, val));
+        let (head, rest) = results.split_at_mut(1);
+        // The calling thread probes chunk 0 under the shared single-thread
+        // pool so its inner evaluation doesn't oversubscribe while workers
+        // run; the pool is built once per process, not once per round.
+        let single = ccq_nn::train::single_thread_pool();
+        match cache {
+            Some(c) => {
+                let mut tails: Vec<(Network, usize, usize)> = chunks[1..]
+                    .iter()
+                    .map(|ch| {
+                        let seg = c.segment_of(ch[0].layer);
+                        (net.clone_tail(seg), seg, c.quant_layers_before(seg))
+                    })
+                    .collect();
+                rayon::scope(|s| {
+                    for ((chunk_experts, (tail, seg, base)), slot) in chunks[1..]
+                        .iter()
+                        .zip(tails.iter_mut())
+                        .zip(rest.iter_mut())
+                    {
+                        let (seg, base) = (*seg, *base);
+                        s.spawn(move |_| {
+                            *slot = chunk_experts
+                                .iter()
+                                .map(|e| Self::probe_one_from(tail, e, e.layer - base, seg, c, val))
+                                .collect();
+                        });
+                    }
+                    head[0] =
+                        single.install(|| Self::probe_round_serial(net, chunks[0], val, cache));
+                });
             }
-            head[0] = single.install(|| Self::probe_round_serial(net, chunks[0], val));
-        });
+            None => {
+                let mut clones: Vec<Network> = (1..chunks.len()).map(|_| net.clone()).collect();
+                rayon::scope(|s| {
+                    for ((chunk_experts, clone), slot) in chunks[1..]
+                        .iter()
+                        .zip(clones.iter_mut())
+                        .zip(rest.iter_mut())
+                    {
+                        s.spawn(move |_| {
+                            *slot = Self::probe_round_serial(clone, chunk_experts, val, None)
+                        });
+                    }
+                    head[0] =
+                        single.install(|| Self::probe_round_serial(net, chunks[0], val, None));
+                });
+            }
+        }
         let mut losses = Vec::with_capacity(experts.len());
         for r in results {
             losses.extend(r?);
@@ -444,6 +612,17 @@ impl Competition {
         if experts.is_empty() {
             return Ok(None);
         }
+        // One cache fill per competition step — a single full Eval
+        // forward per validation batch, amortized over rounds × experts
+        // partial-forward probes.
+        let cache = if self.incremental {
+            Some(ActivationCache::fill(net, val).map_err(CcqError::from)?)
+        } else {
+            None
+        };
+        let segments = cache
+            .as_ref()
+            .map_or_else(|| net.segment_count(), ActivationCache::segments);
         // Slot-indexed views for the λ blend.
         let mut sizes = vec![0usize; slots];
         let mut active = vec![false; slots];
@@ -481,8 +660,13 @@ impl Competition {
                     // π ← π·exp(−γξ) are then replayed in expert order,
                     // keeping every per-slot update sequence — and thus
                     // the float results — identical to a serial run.
-                    let losses = Self::probe_round(net, &experts, val)?;
+                    let losses = Self::probe_round(net, &experts, val, cache.as_ref())?;
                     for (e, loss) in experts.iter().zip(losses) {
+                        // Forward-work accounting: a pure function of the
+                        // expert list and topology, so deterministic at
+                        // any thread count.
+                        let saved = cache.as_ref().map_or(0, |c| c.segment_of(e.layer));
+                        self.stats.record(saved, segments);
                         // A non-finite ξ would poison π permanently
                         // (exp(−γ·NaN) = NaN); record the probe but skip
                         // the update.
@@ -507,7 +691,9 @@ impl Competition {
                         .ok_or_else(|| CcqError::InvalidConfig("degenerate distribution".into()))?;
                     // ccq-lint: allow(panic-surface) — the blend assigns zero mass to inactive slots, so a draw is always active
                     let e = experts[by_slot[slot].expect("sampled slot is active")];
-                    let loss = Self::probe_one(net, &e, val)?;
+                    let loss = Self::probe_one(net, &e, val, cache.as_ref())?;
+                    let saved = cache.as_ref().map_or(0, |c| c.segment_of(e.layer));
+                    self.stats.record(saved, segments);
                     if loss.is_finite() {
                         self.pi[e.slot] *= (-self.gamma * loss).exp();
                     } else {
@@ -746,6 +932,64 @@ mod tests {
         // finite and the winner well-defined.
         assert!(comp.expert_weights().iter().all(|w| w.is_finite()));
         assert!(out.probabilities.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn incremental_and_full_probe_paths_are_bit_identical() {
+        // The same competition run twice — once re-entering at cached
+        // segment boundaries, once with full forwards per probe — must
+        // produce the same probe losses to the bit, the same winner, and
+        // the same π trajectory.
+        let (mut net_inc, val) = setup();
+        let mut net_full = net_inc.clone();
+        let ladder = BitLadder::paper_default();
+        let lambda = LambdaSchedule::constant(0.2);
+        let mut comp_inc = Competition::new(0.5, 3);
+        let mut comp_full = Competition::new(0.5, 3).incremental(false);
+        let mut r_inc = rng(7);
+        let mut r_full = rng(7);
+        for step in 0..3 {
+            let a = comp_inc
+                .run(&mut net_inc, &ladder, None, &lambda, step, &val, &mut r_inc)
+                .unwrap();
+            let b = comp_full
+                .run(
+                    &mut net_full,
+                    &ladder,
+                    None,
+                    &lambda,
+                    step,
+                    &val,
+                    &mut r_full,
+                )
+                .unwrap();
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.winner, b.winner);
+                    assert_eq!(a.to_bits, b.to_bits);
+                    for (pa, pb) in a.probes.iter().zip(&b.probes) {
+                        assert_eq!(pa.layer, pb.layer);
+                        assert_eq!(pa.val_loss.to_bits(), pb.val_loss.to_bits());
+                    }
+                }
+                (None, None) => break,
+                _ => panic!("paths diverged on completion"),
+            }
+            assert_eq!(comp_inc.expert_weights(), comp_full.expert_weights());
+        }
+        // The incremental run actually skipped forward work; the full run
+        // recorded every probe as a miss.
+        let si = comp_inc.cache_stats();
+        assert!(si.hits > 0, "expected cache hits, got {si:?}");
+        assert!(si.forward_fraction() < 1.0);
+        assert_eq!(si.hits + si.misses, comp_full.cache_stats().misses);
+        assert_eq!(
+            si.depth_hist.values().sum::<u64>(),
+            si.hits + si.misses,
+            "histogram covers every probe"
+        );
+        assert!(comp_full.cache_stats().hits == 0);
+        assert!((comp_full.cache_stats().forward_fraction() - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]

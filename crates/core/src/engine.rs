@@ -260,6 +260,14 @@ impl<'a> DescentEngine<'a> {
         self.phase
     }
 
+    /// Forward-work accounting for the competition's probe evaluations —
+    /// see [`crate::ProbeCacheStats`]. Fold it into a
+    /// [`crate::MetricsRegistry`] with
+    /// [`crate::MetricsRegistry::record_probe_cache`] after the run.
+    pub fn probe_cache_stats(&self) -> &crate::ProbeCacheStats {
+        self.competition.cache_stats()
+    }
+
     /// The quantization step `t` currently in flight (0 before the first
     /// [`Phase::Compete`]).
     pub fn current_step(&self) -> usize {

@@ -61,8 +61,8 @@ mod runner;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use competition::{
-    Competition, CompetitionOutcome, ExpertGranularity, ExpertKind, ProbeObserver, ProbeRecord,
-    ProbeRegime,
+    Competition, CompetitionOutcome, ExpertGranularity, ExpertKind, ProbeCacheStats, ProbeObserver,
+    ProbeRecord, ProbeRegime,
 };
 pub use engine::{DescentEngine, Phase, StartPoint, StepOutcome};
 pub use error::CcqError;
@@ -75,11 +75,15 @@ pub use fault::FaultPlan;
 pub use guard::GuardPolicy;
 pub use lambda::LambdaSchedule;
 pub use metrics::{
-    Histogram, MetricsRegistry, MetricsSink, DROP_BUCKETS, EPOCH_BUCKETS, LOSS_BUCKETS, XI_BUCKETS,
+    Histogram, MetricsRegistry, MetricsSink, DROP_BUCKETS, EPOCH_BUCKETS, LOSS_BUCKETS,
+    SEGMENT_SKIP_BUCKETS, XI_BUCKETS,
 };
 pub use profiles::layer_profiles;
 pub use recovery::{Collaboration, EpochHook, RecoveryMode, RecoveryRecord};
-pub use replay::{parse_events, render_run_summary, ReplayError};
+pub use replay::{
+    parse_events, parse_probe_cache_stats, render_probe_cache_stats, render_run_summary,
+    ReplayError,
+};
 pub use run_state::RunState;
 pub use runner::{CcqConfig, CcqReport, CcqRunner};
 

@@ -185,6 +185,34 @@ impl MetricsRegistry {
         self.histograms.get(&Series::new(name, labels))
     }
 
+    /// Folds a run's accumulated [`crate::ProbeCacheStats`] into the
+    /// registry: probe-cache hit/miss counters, segment-work counters, a
+    /// forward-work-fraction gauge, and the partial-forward depth
+    /// histogram (segments skipped per probe, [`SEGMENT_SKIP_BUCKETS`]).
+    ///
+    /// The stats are not part of the descent's event stream (they are a
+    /// pure function of topology, not of training), so this is an
+    /// explicit side channel: call it **once** per finished run — the
+    /// counters are monotonic and a second fold of the same stats would
+    /// double them.
+    pub fn record_probe_cache(&mut self, stats: &crate::ProbeCacheStats) {
+        self.inc("ccq_probe_cache_hits_total", &[], stats.hits);
+        self.inc("ccq_probe_cache_misses_total", &[], stats.misses);
+        self.inc("ccq_probe_segments_run_total", &[], stats.segments_run);
+        self.inc("ccq_probe_segments_full_total", &[], stats.segments_total);
+        self.set_gauge("ccq_probe_forward_fraction", &[], stats.forward_fraction());
+        for (&skipped, &count) in &stats.depth_hist {
+            for _ in 0..count {
+                self.observe(
+                    "ccq_probe_segments_skipped",
+                    &[],
+                    &SEGMENT_SKIP_BUCKETS,
+                    skipped as f64,
+                );
+            }
+        }
+    }
+
     /// Whether nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
@@ -304,6 +332,10 @@ fn push_f64(v: f64, out: &mut String) {
         let _ = write!(out, "{v}");
     }
 }
+
+/// Bucket bounds for partial-forward depth histograms (segments skipped
+/// per probe by the activation cache).
+pub const SEGMENT_SKIP_BUCKETS: [f64; 7] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 
 /// Bucket bounds for validation-loss (ξ) histograms.
 pub const XI_BUCKETS: [f64; 8] = [0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0];
@@ -607,6 +639,35 @@ mod tests {
         assert!(text.contains("lat_bucket{phase=\"compete\",le=\"1\"} 2"));
         assert!(text.contains("lat_bucket{phase=\"compete\",le=\"+Inf\"} 3"));
         assert!(text.contains("lat_count{phase=\"compete\"} 3"));
+    }
+
+    #[test]
+    fn probe_cache_stats_fold_into_the_registry() {
+        let mut stats = crate::ProbeCacheStats::default();
+        // 3 probes: one full (0 skipped), two re-entering past 2 and 4
+        // segments of a 5-segment network.
+        for skipped in [0usize, 2, 4] {
+            *stats.depth_hist.entry(skipped).or_insert(0) += 1;
+        }
+        stats.hits = 2;
+        stats.misses = 1;
+        stats.segments_run = 5 + (5 - 2) + (5 - 4);
+        stats.segments_total = 15;
+        let mut m = MetricsRegistry::new();
+        m.record_probe_cache(&stats);
+        assert_eq!(m.counter("ccq_probe_cache_hits_total", &[]), 2);
+        assert_eq!(m.counter("ccq_probe_cache_misses_total", &[]), 1);
+        assert_eq!(m.counter("ccq_probe_segments_run_total", &[]), 9);
+        assert_eq!(m.counter("ccq_probe_segments_full_total", &[]), 15);
+        let frac = m.gauge("ccq_probe_forward_fraction", &[]).unwrap();
+        assert!((frac - 0.6).abs() < 1e-12);
+        let h = m.histogram("ccq_probe_segments_skipped", &[]).unwrap();
+        assert_eq!(h.total(), 3);
+        assert!((h.sum() - 6.0).abs() < 1e-12);
+        // The exposition carries the new families.
+        let text = m.render_text();
+        assert!(text.contains("ccq_probe_forward_fraction 0.6"));
+        assert!(text.contains("ccq_probe_segments_skipped_bucket"));
     }
 
     #[test]

@@ -71,6 +71,68 @@ pub fn parse_events(jsonl: &str) -> Result<Vec<DescentEvent>, ReplayError> {
     Ok(events)
 }
 
+/// Renders a run's [`crate::ProbeCacheStats`] as one JSON object — the
+/// sidecar `ccq-report --probe-cache` reads back. Keys are emitted in a
+/// fixed order and the depth histogram is a `skipped → count` object
+/// with ascending keys, so identical stats render byte-identically.
+pub fn render_probe_cache_stats(stats: &crate::ProbeCacheStats) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"hits\": {}, \"misses\": {}, \"segments_run\": {}, \"segments_total\": {}, \"depth_hist\": {{",
+        stats.hits, stats.misses, stats.segments_run, stats.segments_total
+    );
+    for (i, (skipped, count)) in stats.depth_hist.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{skipped}\": {count}");
+    }
+    s.push_str("}}\n");
+    s
+}
+
+/// Parses a probe-cache sidecar written by
+/// [`render_probe_cache_stats`] back into the stats, bit-for-bit.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] (never line-bound — the sidecar is one
+/// object) on malformed JSON or a missing/mistyped field.
+pub fn parse_probe_cache_stats(json: &str) -> Result<crate::ProbeCacheStats, ReplayError> {
+    let at = |message: String| ReplayError { line: 0, message };
+    let (v, rest) = Json::parse(json).map_err(at)?;
+    if !rest.trim().is_empty() {
+        return Err(at("trailing bytes after JSON object".into()));
+    }
+    let u64_field = |key: &str| -> Result<u64, ReplayError> {
+        match v.field(key).map_err(at)? {
+            Json::Num(x) if *x >= 0.0 && x.fract().abs() < f64::EPSILON => Ok(*x as u64),
+            _ => Err(at(format!("field \"{key}\" is not a non-negative integer"))),
+        }
+    };
+    let mut stats = crate::ProbeCacheStats {
+        hits: u64_field("hits")?,
+        misses: u64_field("misses")?,
+        segments_run: u64_field("segments_run")?,
+        segments_total: u64_field("segments_total")?,
+        depth_hist: BTreeMap::new(),
+    };
+    let Json::Object(hist) = v.field("depth_hist").map_err(at)? else {
+        return Err(at("field \"depth_hist\" is not an object".into()));
+    };
+    for (key, count) in hist {
+        let skipped: usize = key
+            .parse()
+            .map_err(|_| at(format!("depth_hist key \"{key}\" is not an integer")))?;
+        let Json::Num(c) = count else {
+            return Err(at(format!("depth_hist[\"{key}\"] is not a number")));
+        };
+        stats.depth_hist.insert(skipped, *c as u64);
+    }
+    Ok(stats)
+}
+
 /// Decodes one parsed JSON object into a [`DescentEvent`].
 fn decode_event(v: &Json) -> Result<DescentEvent, String> {
     let kind = v.str_field("event")?;
@@ -603,5 +665,28 @@ mod tests {
         assert_eq!(parse_bits("4b").expect("4b"), BitWidth::of(4));
         assert!(parse_bits("0b").is_err());
         assert!(parse_bits("4").is_err());
+    }
+
+    #[test]
+    fn probe_cache_stats_round_trip_through_the_sidecar() {
+        let mut stats = crate::ProbeCacheStats {
+            hits: 34,
+            misses: 2,
+            segments_run: 100,
+            segments_total: 180,
+            depth_hist: BTreeMap::new(),
+        };
+        stats.depth_hist.insert(0, 2);
+        stats.depth_hist.insert(3, 20);
+        stats.depth_hist.insert(7, 14);
+        let json = render_probe_cache_stats(&stats);
+        let back = parse_probe_cache_stats(&json).expect("round trip");
+        assert_eq!(back, stats);
+        // Render is deterministic (byte-stable for goldens and diffs).
+        assert_eq!(json, render_probe_cache_stats(&back));
+        // Malformed sidecars are rejected, not misread.
+        assert!(parse_probe_cache_stats("{\"hits\": -1}").is_err());
+        assert!(parse_probe_cache_stats("{}").is_err());
+        assert!(parse_probe_cache_stats(&format!("{json} trailing")).is_err());
     }
 }

@@ -234,6 +234,15 @@ impl CcqRunner {
         self.competition.expert_weights()
     }
 
+    /// Forward-work accounting for this runner's probe evaluations,
+    /// accumulated across every run — how much forward work the
+    /// incremental activation cache saved. Fold it into a
+    /// [`crate::MetricsRegistry`] with
+    /// [`crate::MetricsRegistry::record_probe_cache`].
+    pub fn probe_cache_stats(&self) -> &crate::ProbeCacheStats {
+        self.competition.cache_stats()
+    }
+
     /// The armed fault plan, when one was injected.
     #[cfg(feature = "fault-inject")]
     pub fn fault_plan(&self) -> Option<&FaultPlan> {

@@ -58,6 +58,15 @@ fn full_run_quantizes_every_layer_to_the_floor() {
     }
     assert!(report.final_compression > 7.9, "4-bit weights ≈ 8x");
     assert!(report.baseline_accuracy > 0.8, "baseline should be trained");
+    // The incremental probe path is on by default: the run's cache stats
+    // show real forward work saved, and they fold into a registry.
+    let stats = runner.probe_cache_stats();
+    assert!(stats.hits > 0, "expected incremental probes: {stats:?}");
+    assert!(stats.forward_fraction() < 1.0);
+    let mut m = ccq::MetricsRegistry::new();
+    m.record_probe_cache(stats);
+    assert_eq!(m.counter("ccq_probe_cache_hits_total", &[]), stats.hits);
+    assert!(stats.to_string().contains("probes incremental"));
 }
 
 #[test]

@@ -19,6 +19,15 @@ pub enum NnError {
         /// Number of state tensors supplied.
         actual: usize,
     },
+    /// An [`crate::cache::ActivationCache`] was consulted after the
+    /// network mutated (or for a different batch set than it was filled
+    /// from); the cached boundary activations are no longer valid.
+    StaleCache {
+        /// Generation recorded when the cache was filled.
+        cache_generation: u64,
+        /// The network's current generation.
+        net_generation: u64,
+    },
     /// Reading or writing a checkpoint failed at the I/O layer (the
     /// message carries the underlying `std::io::Error` rendering; the
     /// error itself stays `Clone + PartialEq`).
@@ -42,6 +51,13 @@ impl fmt::Display for NnError {
                     "network state mismatch: expected {expected} tensors, got {actual}"
                 )
             }
+            NnError::StaleCache {
+                cache_generation,
+                net_generation,
+            } => write!(
+                f,
+                "activation cache is stale: filled at generation {cache_generation}, network is at {net_generation}"
+            ),
             NnError::CheckpointIo(msg) => write!(f, "checkpoint I/O error: {msg}"),
             NnError::CheckpointFormat(msg) => write!(f, "malformed checkpoint: {msg}"),
         }

@@ -42,6 +42,61 @@ impl Sequential {
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
     }
+
+    /// Runs the forward pass starting at child `start` (clamped to the
+    /// child count), feeding `x` as that child's input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_from(&mut self, start: usize, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in self.layers.iter_mut().skip(start) {
+            cur = layer.forward(&cur, mode)?;
+        }
+        Ok(cur)
+    }
+
+    /// Runs the forward pass, calling `record(i, out)` with child `i`'s
+    /// output as soon as it is produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_recording(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        record: &mut dyn FnMut(usize, &Tensor),
+    ) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            cur = layer.forward(&cur, mode)?;
+            record(i, &cur);
+        }
+        Ok(cur)
+    }
+
+    /// Clones the children `[start, len())` into a new container
+    /// (clamped to the child count).
+    pub fn clone_tail(&self, start: usize) -> Sequential {
+        Sequential {
+            layers: self.layers.iter().skip(start).cloned().collect(),
+            name: self.name.clone(),
+        }
+    }
+
+    /// Number of quantizable layers inside each child, in order.
+    pub fn child_quant_counts(&mut self) -> Vec<usize> {
+        self.layers
+            .iter_mut()
+            .map(|layer| {
+                let mut n = 0;
+                layer.visit_quant(&mut |_| n += 1);
+                n
+            })
+            .collect()
+    }
 }
 
 impl std::fmt::Debug for Sequential {

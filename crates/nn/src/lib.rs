@@ -41,6 +41,7 @@
 //! # Ok::<(), ccq_nn::NnError>(())
 //! ```
 
+pub mod cache;
 pub mod checkpoint;
 mod error;
 pub mod integer;

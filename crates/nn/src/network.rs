@@ -39,9 +39,23 @@ pub struct NetworkState {
 ///
 /// Networks are `Clone`: parallel evaluation and competition probing
 /// run worker clones so the original's state is never raced.
+///
+/// # Generation counter
+///
+/// Every network carries a monotonically increasing *generation*: any
+/// operation that can change what an `Eval`-mode forward pass computes
+/// from a given input — parameter or state-tensor mutation, a backward
+/// pass, a `Train`-mode forward (batch-norm running stats), a snapshot
+/// restore — bumps it. Quantization-spec changes deliberately do **not**
+/// bump it: a competition probe flips one layer's spec and the cached
+/// activations *upstream* of that layer stay exact (each layer
+/// quantizes its own input and weights internally). The
+/// [`crate::cache::ActivationCache`] records the generation at fill
+/// time and refuses to serve a network whose generation has moved.
 #[derive(Clone)]
 pub struct Network {
     root: Sequential,
+    generation: u64,
 }
 
 impl std::fmt::Debug for Network {
@@ -53,7 +67,18 @@ impl std::fmt::Debug for Network {
 impl Network {
     /// Wraps a sequential graph as a network.
     pub fn new(root: Sequential) -> Self {
-        Network { root }
+        Network {
+            root,
+            generation: 0,
+        }
+    }
+
+    /// The mutation generation — see the type-level docs. Two calls
+    /// returning the same value bracket a window in which every
+    /// `Eval`-mode forward was a pure function of its input and the
+    /// (unchanged) weights.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Runs the forward pass.
@@ -62,6 +87,11 @@ impl Network {
     ///
     /// Propagates layer shape errors.
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Train {
+            // Train-mode forwards fold the batch into batch-norm running
+            // statistics and PACT activation observers.
+            self.generation += 1;
+        }
         self.root.forward(x, mode)
     }
 
@@ -71,7 +101,67 @@ impl Network {
     ///
     /// Returns an error when no train-mode forward preceded this call.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        self.generation += 1;
         self.root.backward(grad_out)
+    }
+
+    /// Number of top-level segments (direct children of the root
+    /// [`Sequential`]) — the boundaries at which
+    /// [`crate::cache::ActivationCache`] records activations.
+    pub fn segment_count(&self) -> usize {
+        self.root.len()
+    }
+
+    /// Runs an `Eval`-mode forward starting at top-level segment
+    /// `segment`, feeding `x` as that segment's input. `segment == 0` is
+    /// a plain full forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when `segment` is out of
+    /// range; otherwise propagates layer shape errors.
+    pub fn forward_from(&mut self, segment: usize, x: &Tensor) -> Result<Tensor> {
+        if segment > self.root.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "forward_from segment {segment} out of range ({} segments)",
+                self.root.len()
+            )));
+        }
+        self.root.forward_from(segment, x, Mode::Eval)
+    }
+
+    /// Runs an `Eval`-mode forward, calling `record(s, out)` with the
+    /// output of each top-level segment `s` as it is produced (the
+    /// input of segment `s + 1`). The cache-fill traversal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_recording(
+        &mut self,
+        x: &Tensor,
+        record: &mut dyn FnMut(usize, &Tensor),
+    ) -> Result<Tensor> {
+        self.root.forward_recording(x, Mode::Eval, record)
+    }
+
+    /// Clones only the top-level segments `[start, segment_count())`
+    /// into a standalone network (the probe workers' *tail clone*: a
+    /// probe re-runs from its layer's segment on, so upstream segments
+    /// never need to be copied). The clone inherits this network's
+    /// generation, so an [`crate::cache::ActivationCache`] filled from
+    /// the original serves the tail as well.
+    pub fn clone_tail(&self, start: usize) -> Network {
+        Network {
+            root: self.root.clone_tail(start),
+            generation: self.generation,
+        }
+    }
+
+    /// Number of quantizable layers inside each top-level segment, in
+    /// traversal order (`sum == quant_layer_count()`).
+    pub fn segment_quant_counts(&mut self) -> Vec<usize> {
+        self.root.child_quant_counts()
     }
 
     /// Clears every parameter gradient.
@@ -80,7 +170,11 @@ impl Network {
     }
 
     /// Visits every learnable parameter in deterministic order.
+    ///
+    /// Conservatively bumps the generation: callers get `&mut Param`
+    /// and the optimizer path mutates through exactly this hook.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.generation += 1;
         self.root.visit_params(f);
     }
 
@@ -165,7 +259,10 @@ impl Network {
     /// Visits every state tensor (parameters plus batch-norm running
     /// statistics) in deterministic order — the set a snapshot or
     /// checkpoint captures.
+    ///
+    /// Conservatively bumps the generation (callers get `&mut Tensor`).
     pub fn visit_state_tensors(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.generation += 1;
         self.root.visit_state(f);
     }
 
@@ -195,6 +292,7 @@ impl Network {
     /// Returns [`NnError::StateMismatch`] when the snapshot does not match
     /// the network's structure.
     pub fn restore(&mut self, state: &NetworkState) -> Result<()> {
+        self.generation += 1;
         let mut count = 0;
         self.root.visit_state(&mut |_| count += 1);
         if count != state.tensors.len() {

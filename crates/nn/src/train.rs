@@ -1,9 +1,33 @@
 //! Batched training and evaluation helpers.
 
+use crate::cache::ActivationCache;
 use crate::loss::{accuracy, cross_entropy};
 use crate::{Mode, Network, Result, Sgd};
 use ccq_tensor::{Rng64, Tensor};
 use rand::seq::SliceRandom;
+
+/// Minimum batches *per worker* before [`evaluate`] dispatches batches
+/// to cloned networks: below this, the clone + thread hand-off overhead
+/// outweighs the work (small validation sets were measurably *slower*
+/// parallel than serial).
+#[cfg(feature = "parallel")]
+const PAR_MIN_BATCHES_PER_WORKER: usize = 4;
+
+/// The lazily-initialized single-thread pool the calling thread uses to
+/// run its own share of a parallel region without oversubscribing —
+/// shared across every probe round and evaluation instead of being
+/// rebuilt inside the hot loop.
+#[cfg(feature = "parallel")]
+pub fn single_thread_pool() -> &'static rayon::ThreadPool {
+    static POOL: std::sync::OnceLock<rayon::ThreadPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            // ccq-lint: allow(panic-surface) — pool build fails only on thread-spawn exhaustion; no recovery path
+            .expect("single-thread pool")
+    })
+}
 
 /// One minibatch: stacked inputs plus class labels.
 #[derive(Debug, Clone)]
@@ -70,6 +94,70 @@ pub fn evaluate(net: &mut Network, batches: &[Batch]) -> Result<EvalResult> {
     Ok(reduce_metrics(&per_batch, batches))
 }
 
+/// Incremental evaluation: re-runs the network only from top-level
+/// `segment` on, feeding each batch's cached boundary activation from
+/// `cache` instead of running the upstream segments at all. Per-batch
+/// metrics go through the exact same reduction as [`evaluate`], so for
+/// a valid cache the result is **bit-identical** to a full evaluation —
+/// this is what turns a competition probe from a full forward into a
+/// partial one.
+///
+/// `segment` is a segment index of the network the cache was filled
+/// from; `segment_base` is the index of `net`'s first segment within
+/// that network (0 when `net` *is* the original, the tail offset when
+/// `net` is a [`Network::clone_tail`] probe worker).
+///
+/// # Errors
+///
+/// [`crate::NnError::StaleCache`] when the network mutated since the
+/// cache was filled, [`crate::NnError::InvalidConfig`] when the batch
+/// set or segment indices don't match the cache geometry (including an
+/// upstream quant-spec change on the full network), and layer errors
+/// from the partial forwards.
+pub fn evaluate_from(
+    net: &mut Network,
+    segment: usize,
+    segment_base: usize,
+    cache: &ActivationCache,
+    batches: &[Batch],
+) -> Result<EvalResult> {
+    cache.check_current(net, batches)?;
+    if segment < segment_base || segment > cache.segments() {
+        return Err(crate::NnError::InvalidConfig(format!(
+            "evaluate_from segment {segment} outside [{segment_base}, {}]",
+            cache.segments()
+        )));
+    }
+    if segment_base == 0 {
+        cache.validate_prefix(net, segment)?;
+    }
+    let run = |net: &mut Network| -> Result<Vec<(f32, f32)>> {
+        let mut per_batch = Vec::with_capacity(batches.len());
+        for (b, batch) in batches.iter().enumerate() {
+            let logits = if segment == 0 {
+                net.forward(&batch.images, Mode::Eval)?
+            } else {
+                net.forward_from(segment - segment_base, cache.input(segment, b))?
+            };
+            let (loss, _) = cross_entropy(&logits, &batch.labels)?;
+            per_batch.push((loss, accuracy(&logits, &batch.labels)));
+        }
+        Ok(per_batch)
+    };
+    // Partial forwards always run serially on the calling thread; pin
+    // nested kernels to one thread when a wider pool is installed so
+    // each matmul doesn't spawn `current_num_threads()` workers.
+    #[cfg(feature = "parallel")]
+    let per_batch = if rayon::current_num_threads() > 1 {
+        single_thread_pool().install(|| run(net))?
+    } else {
+        run(net)?
+    };
+    #[cfg(not(feature = "parallel"))]
+    let per_batch = run(net)?;
+    Ok(reduce_metrics(&per_batch, batches))
+}
+
 /// Per-batch `(mean loss, accuracy)` for one minibatch.
 fn eval_batch(net: &mut Network, batch: &Batch) -> Result<(f32, f32)> {
     let logits = net.forward(&batch.images, Mode::Eval)?;
@@ -92,21 +180,25 @@ fn eval_batches(net: &mut Network, batches: &[Batch]) -> Result<Vec<(f32, f32)>>
 #[cfg(feature = "parallel")]
 fn eval_batches(net: &mut Network, batches: &[Batch]) -> Result<Vec<(f32, f32)>> {
     let threads = rayon::current_num_threads();
-    if threads <= 1 || batches.len() < 2 {
-        return eval_batches_serial(net, batches);
+    if threads <= 1 || batches.len() < PAR_MIN_BATCHES_PER_WORKER * threads {
+        // The fallback must also pin nested kernels to one thread:
+        // running on the calling thread leaves `current_num_threads()`
+        // at the installed count, and every large-enough matmul inside
+        // the forwards would spawn that many workers per call.
+        if threads <= 1 {
+            return eval_batches_serial(net, batches);
+        }
+        return single_thread_pool().install(|| eval_batches_serial(net, batches));
     }
     let chunk = batches.len().div_ceil(threads);
     let chunks: Vec<&[Batch]> = batches.chunks(chunk).collect();
     let mut clones: Vec<Network> = (1..chunks.len()).map(|_| net.clone()).collect();
     let mut results: Vec<Result<Vec<(f32, f32)>>> = chunks.iter().map(|_| Ok(Vec::new())).collect();
     let (head, tail) = results.split_at_mut(1);
-    // The calling thread works chunk 0 under a single-thread pool so its
-    // inner tensor kernels don't oversubscribe while workers run.
-    let single = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        // ccq-lint: allow(panic-surface) — pool build fails only on thread-spawn exhaustion; no recovery path mid-eval
-        .expect("single-thread pool");
+    // The calling thread works chunk 0 under the shared single-thread
+    // pool so its inner tensor kernels don't oversubscribe while
+    // workers run.
+    let single = single_thread_pool();
     rayon::scope(|s| {
         for ((chunk_batches, clone), slot) in chunks[1..]
             .iter()

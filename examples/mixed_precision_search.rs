@@ -29,7 +29,8 @@
 #![allow(clippy::print_stdout)]
 
 use ccq_repro::ccq::{
-    layer_profiles, CcqConfig, CcqRunner, FanoutSink, JsonlSink, MetricsSink, RecoveryMode,
+    layer_profiles, render_probe_cache_stats, CcqConfig, CcqRunner, FanoutSink, JsonlSink,
+    MetricsSink, RecoveryMode,
 };
 use ccq_repro::data::{synth_cifar, Augment, SynthCifarConfig};
 use ccq_repro::hw::{model_size, network_power, MacEnergyModel};
@@ -123,10 +124,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     use std::io::Write as _;
     events.into_inner().flush()?;
-    std::fs::write(metrics_path, metrics.render_text())?;
+    // Fold the run's probe-cache accounting into the exposition and
+    // leave a sidecar behind so `ccq-report --probe-cache` can show how
+    // much forward work incremental probe evaluation saved offline.
+    let cache_path = "mixed_precision_search.probe_cache.json";
+    let mut registry = metrics.into_registry();
+    registry.record_probe_cache(runner.probe_cache_stats());
+    std::fs::write(metrics_path, registry.render_text())?;
+    std::fs::write(
+        cache_path,
+        render_probe_cache_stats(runner.probe_cache_stats()),
+    )?;
     println!("{report}");
+    println!("{}", runner.probe_cache_stats());
     println!("event log: {events_path}");
     println!("metrics exposition: {metrics_path}");
+    println!("probe-cache sidecar: {cache_path}");
 
     // Hardware analysis of the learned assignment.
     let profiles = layer_profiles(&mut net);

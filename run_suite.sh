@@ -31,8 +31,20 @@ cargo test -q -p ccq --test resume_determinism --test guarded_descent 2> results
 cargo test -q -p ccq --test golden_trace 2> results/metrics.log || exit 1
 cargo test -q -p ccq --test golden_trace --no-default-features 2>> results/metrics.log || exit 1
 
+# --- bench-smoke gate: both snapshot benchmarks must run at one rep on
+# the serial AND parallel builds, write parseable JSON, and incremental
+# probing must never lose to full-forward probing (bench_simd --smoke
+# self-checks its snapshot and enforces the speedup floor) ---
+cargo build --release -p ccq-bench --no-default-features 2> results/build_serial.log || exit 1
+CCQ_BENCH_REPS=1 target/release/bench_parallel results/bench_parallel_smoke_serial.json > /dev/null 2> results/bench_smoke_serial.log || exit 1
+test -s results/bench_parallel_smoke_serial.json || exit 1
+target/release/bench_simd --smoke results/bench_simd_smoke_serial.json > /dev/null 2>> results/bench_smoke_serial.log || exit 1
+cargo build --release -p ccq-bench 2> results/build.log || exit 1
+CCQ_BENCH_REPS=1 target/release/bench_parallel results/bench_parallel_smoke.json > /dev/null 2> results/bench_smoke.log || exit 1
+test -s results/bench_parallel_smoke.json || exit 1
+target/release/bench_simd --smoke results/bench_simd_smoke.json > /dev/null 2>> results/bench_smoke.log || exit 1
+
 # --- experiment harness ---
-cargo build --release -p ccq-bench 2> results/build.log
 time target/release/fig5_power > results/fig5_power.csv 2> results/fig5_power.log
 time target/release/fig4_lr > results/fig4_lr.csv 2> results/fig4_lr.log
 time target/release/fig2_curve > results/fig2_curve.csv 2> results/fig2_curve.log
