@@ -14,25 +14,37 @@
 //! under `--metrics` the stats fold into the exposition as
 //! `ccq_probe_cache_*` counters and the partial-forward depth histogram.
 //!
+//! With `--partial` a truncated *final* line — the signature of a
+//! live-tailed or crashed-writer log — is tolerated: the complete prefix
+//! is summarized and the dropped tail reported on stderr. Without it,
+//! any malformed line (including a torn tail) is a hard error with a
+//! diagnostic naming the line.
+//!
 //! Usage: `cargo run -p ccq-bench --bin ccq-report -- trace.jsonl
-//! [--metrics] [--probe-cache stats.json]`
+//! [--metrics] [--partial] [--probe-cache stats.json]`
 
 // Reports go to stdout by design.
 #![allow(clippy::print_stdout)]
 
-use ccq::{parse_events, parse_probe_cache_stats, render_run_summary, EventSink, MetricsSink};
+use ccq::{
+    parse_events, parse_events_lenient, parse_probe_cache_stats, render_run_summary, EventSink,
+    MetricsSink,
+};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: ccq-report <trace.jsonl> [--metrics] [--probe-cache <stats.json>]";
+const USAGE: &str =
+    "usage: ccq-report <trace.jsonl> [--metrics] [--partial] [--probe-cache <stats.json>]";
 
 fn main() -> ExitCode {
     let mut trace: Option<String> = None;
     let mut metrics = false;
+    let mut partial = false;
     let mut cache_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics" => metrics = true,
+            "--partial" => partial = true,
             "--probe-cache" => match args.next() {
                 Some(p) => cache_path = Some(p),
                 None => {
@@ -62,11 +74,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let events = match parse_events(&jsonl) {
-        Ok(ev) => ev,
-        Err(e) => {
-            eprintln!("ccq-report: {e}");
-            return ExitCode::FAILURE;
+    let events = if partial {
+        match parse_events_lenient(&jsonl) {
+            Ok(parsed) => {
+                if let Some(tail) = &parsed.truncated_tail {
+                    eprintln!(
+                        "ccq-report: {path}: dropped truncated final line {} ({} bytes): {}",
+                        tail.line, tail.bytes, tail.message
+                    );
+                }
+                parsed.events
+            }
+            Err(e) => {
+                eprintln!("ccq-report: {path}: {e} (not a truncated tail; --partial cannot help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match parse_events(&jsonl) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("ccq-report: {path}: {e} (pass --partial to tolerate a torn final line)");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let cache_stats = match &cache_path {

@@ -33,7 +33,7 @@ pub const RULE_NAMES: [&str; 5] = [
 /// these sit under the descent loop, the autosave path, or the golden
 /// digests, where a stray `unwrap()` or `HashMap` breaks the
 /// reproducibility guarantees of PRs 1–3.
-pub const PROTECTED_CRATES: [&str; 4] = ["ccq", "ccq-tensor", "ccq-nn", "ccq-quant"];
+pub const PROTECTED_CRATES: [&str; 5] = ["ccq", "ccq-tensor", "ccq-nn", "ccq-quant", "ccq-serve"];
 
 /// How a file participates in its crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -79,6 +79,37 @@ pub enum StartPoint {
     FromRunState(Box<RunState>),
 }
 
+/// How a driver steers a descent mid-run — consulted by
+/// [`DescentEngine::run_with_control`] before every phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunControl {
+    /// Keep stepping.
+    Continue,
+    /// Finish the quantization step in flight, then stop right after the
+    /// next [`Phase::Checkpoint`] executes — the autosave on disk is
+    /// current at that instant, so a later resume repeats nothing. The
+    /// request latches: once returned it cannot be rescinded.
+    Pause,
+    /// Abandon the run immediately with [`CcqError::Canceled`]. The last
+    /// completed autosave (if any) remains valid; resuming from it
+    /// re-runs only the abandoned step.
+    Cancel,
+}
+
+/// What [`DescentEngine::run_with_control`] produced.
+#[derive(Debug)]
+pub enum DriveOutcome {
+    /// The descent reached [`Phase::Done`] (boxed: a report carries the
+    /// full trace and dwarfs the `Paused` arm).
+    Finished(Box<CcqReport>),
+    /// The driver requested [`RunControl::Pause`] and the engine stopped
+    /// at a checkpoint boundary with a fresh autosave on disk.
+    Paused {
+        /// The quantization step a resumed run will execute next.
+        next_step: usize,
+    },
+}
+
 /// What one [`DescentEngine::step`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -164,7 +195,7 @@ impl<'a> DescentEngine<'a> {
         } else {
             Collaboration::new(config.recovery).with_constant_lr()
         };
-        let (st, phase) = match start {
+        let (st, phase, target_check) = match start {
             StartPoint::Fresh => {
                 if let Some(t) = &config.targets {
                     let m = net.quant_layer_count();
@@ -188,7 +219,7 @@ impl<'a> DescentEngine<'a> {
                     last_acc: 0.0,
                     next_step: 1,
                 };
-                (st, Phase::InitQuantize)
+                (st, Phase::InitQuantize, None)
             }
             StartPoint::FromRunState(state) => {
                 validate_resume(config, &state, net)?;
@@ -196,16 +227,31 @@ impl<'a> DescentEngine<'a> {
                     CcqError::ResumeMismatch(format!("checkpoint does not fit this network: {e}"))
                 })?;
                 restore_velocities(net, &state.velocities);
-                let slots = expert_slots(config.granularity, net.quant_layer_count());
-                competition
-                    .set_expert_weights(state.pi.clone(), slots)
-                    .map_err(|e| CcqError::ResumeMismatch(format!("saved π rejected: {e}")))?;
+                if state.pi.is_empty() {
+                    // The state predates the first competition (the
+                    // autosave after the initial ladder-top recovery): π
+                    // is pristine, and the next Compete phase
+                    // re-initializes it exactly as a fresh run would.
+                    competition.reset();
+                } else {
+                    let slots = expert_slots(config.granularity, net.quant_layer_count());
+                    competition
+                        .set_expert_weights(state.pi.clone(), slots)
+                        .map_err(|e| CcqError::ResumeMismatch(format!("saved π rejected: {e}")))?;
+                }
                 let mut hybrid = HybridRestart::new(state.base_lr);
                 hybrid.set_plateau_state(state.plateau);
                 let mut opt = Sgd::new(config.lr)
                     .momentum(config.momentum)
                     .weight_decay(config.weight_decay);
                 opt.set_lr(state.lr);
+                // The autosave this state came from ran *before* the
+                // checkpoint's compression-target decision, so that check
+                // is still pending on resume. Re-arm it from the last
+                // committed step (the exact f64 the interrupted run would
+                // have compared) or a kill between the final autosave and
+                // `finalize` would resume past its target.
+                let pending_target = state.steps.last().map(|s| s.compression);
                 let st = DescentState {
                     r: rng_from_state(state.rng),
                     opt,
@@ -217,7 +263,7 @@ impl<'a> DescentEngine<'a> {
                     last_acc: state.last_accuracy,
                     next_step: state.next_step,
                 };
-                (st, Phase::Checkpoint)
+                (st, Phase::Checkpoint, pending_target)
             }
         };
         let probe_val = if config.probe_val_batches == 0 {
@@ -243,7 +289,7 @@ impl<'a> DescentEngine<'a> {
             snap: None,
             lambda_now: 0.0,
             pending: None,
-            target_check: None,
+            target_check,
             report: None,
         })
     }
@@ -320,13 +366,51 @@ impl<'a> DescentEngine<'a> {
     /// # Errors
     ///
     /// Same contract as [`DescentEngine::step`].
-    pub fn run_to_completion(mut self) -> Result<CcqReport> {
-        while self.phase != Phase::Done {
-            self.step()?;
+    pub fn run_to_completion(self) -> Result<CcqReport> {
+        match self.run_with_control(&mut |_, _| RunControl::Continue)? {
+            DriveOutcome::Finished(report) => Ok(*report),
+            DriveOutcome::Paused { .. } => Err(CcqError::EngineInvariant(
+                "a never-pausing control cannot pause",
+            )),
         }
-        self.report
+    }
+
+    /// Steps to completion under a driver's control: `control` is
+    /// consulted with the upcoming phase and the step in flight before
+    /// every [`DescentEngine::step`] call. [`RunControl::Pause`] latches
+    /// and stops the run right after the next [`Phase::Checkpoint`]
+    /// executes (autosave current on disk); [`RunControl::Cancel`] aborts
+    /// immediately. Control decisions never perturb the trajectory — a
+    /// paused-then-resumed run is bit-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DescentEngine::step`] can surface, plus
+    /// [`CcqError::Canceled`] when the control requests it.
+    pub fn run_with_control(
+        mut self,
+        control: &mut dyn FnMut(Phase, usize) -> RunControl,
+    ) -> Result<DriveOutcome> {
+        let mut pause_requested = false;
+        while self.phase != Phase::Done {
+            match control(self.phase, self.t) {
+                RunControl::Continue => {}
+                RunControl::Pause => pause_requested = true,
+                RunControl::Cancel => return Err(CcqError::Canceled { step: self.t }),
+            }
+            let ran = self.phase;
+            self.step()?;
+            if pause_requested && ran == Phase::Checkpoint && self.phase != Phase::Done {
+                return Ok(DriveOutcome::Paused {
+                    next_step: self.st.next_step,
+                });
+            }
+        }
+        let report = self
+            .report
             .take()
-            .ok_or(CcqError::EngineInvariant("Done implies a finished report"))
+            .ok_or(CcqError::EngineInvariant("Done implies a finished report"))?;
+        Ok(DriveOutcome::Finished(Box::new(report)))
     }
 
     /// The final report, once the engine reached [`Phase::Done`].
@@ -694,7 +778,14 @@ impl<'a> DescentEngine<'a> {
                     path.display()
                 )))
             } else {
-                state.write_atomic(&path)
+                #[cfg(feature = "fault-inject")]
+                {
+                    state.write_atomic_with_faults(&path, self.fault)
+                }
+                #[cfg(not(feature = "fault-inject"))]
+                {
+                    state.write_atomic(&path)
+                }
             };
             match result {
                 Ok(()) => break,
@@ -804,7 +895,10 @@ fn validate_resume(config: &CcqConfig, state: &RunState, net: &mut Network) -> R
         }
     }
     let slots = expert_slots(config.granularity, net.quant_layer_count());
-    if state.pi.len() != slots {
+    // An empty π is legitimate: the autosave after the initial
+    // ladder-top recovery predates the first competition, and resume
+    // re-initializes π exactly as a fresh run would.
+    if !state.pi.is_empty() && state.pi.len() != slots {
         return mismatch(format!(
             "saved π has {} slots, this run needs {slots}",
             state.pi.len()

@@ -35,6 +35,15 @@ pub enum CcqError {
     /// Returned instead of panicking so embedding applications can fail
     /// the run and keep their last good autosave.
     EngineInvariant(&'static str),
+    /// The run was canceled by its driver (see
+    /// [`crate::RunControl::Cancel`]) before reaching a resumable
+    /// boundary. The last autosaved [`crate::RunState`] — when autosave
+    /// was configured — is still valid; resuming from it repeats only the
+    /// canceled step.
+    Canceled {
+        /// The quantization step `t` that was in flight.
+        step: usize,
+    },
 }
 
 impl fmt::Display for CcqError {
@@ -55,6 +64,9 @@ impl fmt::Display for CcqError {
             CcqError::CheckpointIo(msg) => write!(f, "checkpoint I/O error: {msg}"),
             CcqError::ResumeMismatch(msg) => write!(f, "cannot resume run state: {msg}"),
             CcqError::EngineInvariant(msg) => write!(f, "engine invariant violated: {msg}"),
+            CcqError::Canceled { step } => {
+                write!(f, "run canceled by driver at quantization step {step}")
+            }
         }
     }
 }

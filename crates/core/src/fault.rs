@@ -42,6 +42,13 @@ pub struct FaultPlan {
     nan_grads: RefCell<Vec<(usize, usize)>>,
     /// Run-state writes left to fail.
     write_failures: Cell<usize>,
+    /// Run-state/checkpoint reads left to fail at the I/O layer.
+    read_failures: Cell<usize>,
+    /// Run-state/checkpoint reads left to silently corrupt.
+    read_corruptions: Cell<usize>,
+    /// Parent-directory fsyncs (post-rename durability barriers) left to
+    /// fail.
+    dir_sync_failures: Cell<usize>,
 }
 
 impl FaultPlan {
@@ -78,20 +85,68 @@ impl FaultPlan {
         }
     }
 
+    /// Makes the next `n` run-state/checkpoint reads fail at the I/O
+    /// layer before one succeeds (builder style).
+    pub fn fail_reads(self, n: usize) -> Self {
+        self.read_failures.set(self.read_failures.get() + n);
+        self
+    }
+
+    /// Makes the next `n` run-state/checkpoint reads observe silently
+    /// corrupted bytes (builder style). The consumer XORs one mid-file
+    /// byte before parsing, modeling bit rot the format's magic/length
+    /// checks must catch.
+    pub fn corrupt_reads(self, n: usize) -> Self {
+        self.read_corruptions.set(self.read_corruptions.get() + n);
+        self
+    }
+
+    /// Makes the next `n` post-rename parent-directory fsyncs fail
+    /// (builder style). The rename itself lands — only the durability
+    /// barrier reports failure, so a retry re-rotates the same bytes.
+    pub fn fail_dir_syncs(self, n: usize) -> Self {
+        self.dir_sync_failures.set(self.dir_sync_failures.get() + n);
+        self
+    }
+
     /// Whether the next write should fail; consumes one failure.
     pub fn take_write_failure(&self) -> bool {
-        let left = self.write_failures.get();
-        if left > 0 {
-            self.write_failures.set(left - 1);
-            true
-        } else {
-            false
-        }
+        take_one(&self.write_failures)
+    }
+
+    /// Whether the next read should fail; consumes one failure.
+    pub fn take_read_failure(&self) -> bool {
+        take_one(&self.read_failures)
+    }
+
+    /// Whether the next read should see corrupted bytes; consumes one.
+    pub fn take_read_corruption(&self) -> bool {
+        take_one(&self.read_corruptions)
+    }
+
+    /// Whether the next parent-directory fsync should fail; consumes one.
+    pub fn take_dir_sync_failure(&self) -> bool {
+        take_one(&self.dir_sync_failures)
     }
 
     /// Whether any fault is still pending.
     pub fn exhausted(&self) -> bool {
-        self.nan_grads.borrow().is_empty() && self.write_failures.get() == 0
+        self.nan_grads.borrow().is_empty()
+            && self.write_failures.get() == 0
+            && self.read_failures.get() == 0
+            && self.read_corruptions.get() == 0
+            && self.dir_sync_failures.get() == 0
+    }
+}
+
+/// Decrements a one-shot fault counter, reporting whether it fired.
+fn take_one(cell: &Cell<usize>) -> bool {
+    let left = cell.get();
+    if left > 0 {
+        cell.set(left - 1);
+        true
+    } else {
+        false
     }
 }
 
@@ -152,6 +207,23 @@ mod tests {
         assert!(!plan.take_nan_grad(1, 0));
         assert!(plan.take_write_failure());
         assert!(!plan.take_write_failure());
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn read_and_dir_sync_faults_fire_exactly_once() {
+        let plan = FaultPlan::new()
+            .fail_reads(1)
+            .corrupt_reads(2)
+            .fail_dir_syncs(1);
+        assert!(!plan.exhausted());
+        assert!(plan.take_read_failure());
+        assert!(!plan.take_read_failure());
+        assert!(plan.take_read_corruption());
+        assert!(plan.take_read_corruption());
+        assert!(!plan.take_read_corruption());
+        assert!(plan.take_dir_sync_failure());
+        assert!(!plan.take_dir_sync_failure());
         assert!(plan.exhausted());
     }
 

@@ -64,7 +64,7 @@ pub use competition::{
     Competition, CompetitionOutcome, ExpertGranularity, ExpertKind, ProbeCacheStats, ProbeObserver,
     ProbeRecord, ProbeRegime,
 };
-pub use engine::{DescentEngine, Phase, StartPoint, StepOutcome};
+pub use engine::{DescentEngine, DriveOutcome, Phase, RunControl, StartPoint, StepOutcome};
 pub use error::CcqError;
 pub use event::{
     CsvSink, DescentEvent, EventSink, FanoutSink, JsonlSink, NullSink, StepRecord, TraceBuffer,
@@ -81,8 +81,8 @@ pub use metrics::{
 pub use profiles::layer_profiles;
 pub use recovery::{Collaboration, EpochHook, RecoveryMode, RecoveryRecord};
 pub use replay::{
-    parse_events, parse_probe_cache_stats, render_probe_cache_stats, render_run_summary,
-    ReplayError,
+    parse_event_line, parse_events, parse_events_lenient, parse_probe_cache_stats,
+    render_probe_cache_stats, render_run_summary, LenientParse, ReplayError, TruncatedTail,
 };
 pub use run_state::RunState;
 pub use runner::{CcqConfig, CcqReport, CcqRunner};

@@ -58,17 +58,92 @@ pub fn parse_events(jsonl: &str) -> Result<Vec<DescentEvent>, ReplayError> {
         if line.trim().is_empty() {
             continue;
         }
-        let at = |message: String| ReplayError {
+        events.push(parse_event_line(line).map_err(|message| ReplayError {
             line: i + 1,
             message,
-        };
-        let (value, rest) = Json::parse(line).map_err(&at)?;
-        if !rest.trim().is_empty() {
-            return Err(at("trailing bytes after JSON object".into()));
-        }
-        events.push(decode_event(&value).map_err(at)?);
+        })?);
     }
     Ok(events)
+}
+
+/// Parses one JSONL line into its [`DescentEvent`].
+///
+/// # Errors
+///
+/// Returns the parse/decode failure message (not line-bound — the caller
+/// knows the line number).
+pub fn parse_event_line(line: &str) -> Result<DescentEvent, String> {
+    let (value, rest) = Json::parse(line)?;
+    if !rest.trim().is_empty() {
+        return Err("trailing bytes after JSON object".into());
+    }
+    decode_event(&value)
+}
+
+/// A malformed final line a lenient parse tolerated — the signature a
+/// live-tailed or crashed-writer log leaves behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedTail {
+    /// 1-based line number of the malformed tail.
+    pub line: usize,
+    /// Bytes in the malformed tail.
+    pub bytes: usize,
+    /// Why the tail failed to parse.
+    pub message: String,
+}
+
+/// The outcome of [`parse_events_lenient`]: every event from a complete
+/// line, plus the truncated tail when one was dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientParse {
+    /// Events decoded from complete lines.
+    pub events: Vec<DescentEvent>,
+    /// The dropped final line, when the log ended mid-record.
+    pub truncated_tail: Option<TruncatedTail>,
+}
+
+/// [`parse_events`] tolerating a truncated *final* line: a writer killed
+/// mid-append (or a reader racing it) tears only the last record, so a
+/// malformed final line is reported as a [`TruncatedTail`] rather than an
+/// error while the complete prefix still decodes.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] for a malformed line anywhere *before* the
+/// final one — that is corruption, not truncation.
+pub fn parse_events_lenient(jsonl: &str) -> Result<LenientParse, ReplayError> {
+    let lines: Vec<(usize, &str)> = jsonl
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut events = Vec::with_capacity(lines.len());
+    let last = lines.len();
+    for (k, &(i, line)) in lines.iter().enumerate() {
+        match parse_event_line(line) {
+            Ok(ev) => events.push(ev),
+            Err(message) if k + 1 == last => {
+                return Ok(LenientParse {
+                    events,
+                    truncated_tail: Some(TruncatedTail {
+                        line: i + 1,
+                        bytes: line.len(),
+                        message,
+                    }),
+                })
+            }
+            Err(message) => {
+                return Err(ReplayError {
+                    line: i + 1,
+                    message,
+                })
+            }
+        }
+    }
+    Ok(LenientParse {
+        events,
+        truncated_tail: None,
+    })
 }
 
 /// Renders a run's [`crate::ProbeCacheStats`] as one JSON object — the
@@ -648,6 +723,39 @@ mod tests {
     fn unknown_event_kinds_are_rejected() {
         let err = parse_events("{\"event\":\"warp_drive\"}\n").expect_err("unknown kind");
         assert!(err.message.contains("warp_drive"));
+    }
+
+    #[test]
+    fn lenient_parse_drops_only_a_torn_final_line() {
+        // Compare streams by their canonical JSON (NaN-carrying events
+        // are not reflexively equal under PartialEq).
+        let canon = |evs: &[DescentEvent]| evs.iter().map(event_json).collect::<Vec<_>>();
+        let events = sample_events();
+        let jsonl: String = events.iter().map(|e| event_json(e) + "\n").collect();
+
+        // A clean log parses with no tail.
+        let clean = parse_events_lenient(&jsonl).expect("clean log");
+        assert_eq!(canon(&clean.events), canon(&events));
+        assert!(clean.truncated_tail.is_none());
+
+        // Tear the final line mid-record: the prefix survives, the tail
+        // is reported, and the strict parser rejects the same bytes.
+        let torn = &jsonl[..jsonl.len() - 7];
+        let parsed = parse_events_lenient(torn).expect("torn tail tolerated");
+        assert_eq!(canon(&parsed.events), canon(&events[..events.len() - 1]));
+        let tail = parsed.truncated_tail.expect("tail reported");
+        assert_eq!(tail.line, events.len());
+        assert!(tail.bytes > 0);
+        assert!(parse_events(torn).is_err(), "strict parser must reject");
+
+        // A malformed line *before* the end is corruption, not
+        // truncation: both parsers reject it at the same line.
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        lines[1] = "{\"event\": \"basel";
+        let corrupt = lines.join("\n");
+        let err = parse_events_lenient(&corrupt).expect_err("mid-log corruption");
+        assert_eq!(err.line, 2);
+        assert_eq!(parse_events(&corrupt).expect_err("strict").line, 2);
     }
 
     #[test]

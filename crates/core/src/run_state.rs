@@ -362,12 +362,36 @@ impl RunState {
     /// Atomically writes the state to `path`: the bytes go to
     /// `<path>.tmp`, are fsynced, and renamed into place; an existing
     /// current file is first rotated to `<path>.prev` so the last good
-    /// generation survives a torn write.
+    /// generation survives a torn write. The parent directory is then
+    /// fsynced so the renames themselves survive power loss.
     ///
     /// # Errors
     ///
-    /// Returns [`CcqError::CheckpointIo`] on any filesystem failure.
+    /// Returns [`CcqError::CheckpointIo`] on any filesystem failure,
+    /// including a failed directory fsync (the renamed file is in place
+    /// but not yet durable — callers retry the whole write).
     pub fn write_atomic(&self, path: &Path) -> Result<()> {
+        self.write_atomic_inner(path, false)
+    }
+
+    /// [`RunState::write_atomic`] with a fault plan consulted at the
+    /// post-rename directory-fsync barrier: an injected failure reports
+    /// after the rename lands, exactly like a real barrier failure.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RunState::write_atomic`].
+    #[cfg(feature = "fault-inject")]
+    pub fn write_atomic_with_faults(
+        &self,
+        path: &Path,
+        plan: Option<&crate::FaultPlan>,
+    ) -> Result<()> {
+        let inject = plan.is_some_and(|p| p.take_dir_sync_failure());
+        self.write_atomic_inner(path, inject)
+    }
+
+    fn write_atomic_inner(&self, path: &Path, inject_dir_sync_failure: bool) -> Result<()> {
         let io = |e: std::io::Error, what: &str| {
             CcqError::CheckpointIo(format!("{what} {}: {e}", path.display()))
         };
@@ -382,11 +406,19 @@ impl RunState {
             fs::rename(path, &prev).map_err(|e| io(e, "rotate previous for"))?;
         }
         fs::rename(&tmp, path).map_err(|e| io(e, "rename into"))?;
-        // Durability of the renames themselves: fsync the directory
-        // (best-effort; not every platform supports opening a directory).
+        if inject_dir_sync_failure {
+            return Err(CcqError::CheckpointIo(format!(
+                "injected directory fsync failure for {}",
+                path.display()
+            )));
+        }
+        // Durability of the renames themselves: a rename that only lives
+        // in the directory's page cache is lost on power failure. Opening
+        // the directory is skipped silently where unsupported, but a
+        // failed fsync on an opened directory is a real durability error.
         if let Some(dir) = path.parent() {
             if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
+                d.sync_all().map_err(|e| io(e, "fsync parent dir of"))?;
             }
         }
         Ok(())
@@ -409,6 +441,62 @@ impl RunState {
                 Err(_) => Err(primary),
             },
         }
+    }
+
+    /// [`RunState::load_with_fallback`] with a fault plan consulted on
+    /// the read path: an injected read failure surfaces as
+    /// [`CcqError::CheckpointIo`] without touching the file; an injected
+    /// read corruption XORs one mid-file byte in memory before parsing,
+    /// so the format's integrity checks reject the primary generation and
+    /// the loader falls back to `<path>.prev` exactly as with real bit
+    /// rot.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RunState::load_with_fallback`], plus the
+    /// injected failures.
+    #[cfg(feature = "fault-inject")]
+    pub fn load_with_fallback_faulted(
+        path: &Path,
+        plan: Option<&crate::FaultPlan>,
+    ) -> Result<Self> {
+        let Some(plan) = plan else {
+            return Self::load_with_fallback(path);
+        };
+        if plan.take_read_failure() {
+            return Err(CcqError::CheckpointIo(format!(
+                "injected read failure for {}",
+                path.display()
+            )));
+        }
+        if plan.take_read_corruption() {
+            return match Self::load_corrupted(path) {
+                Ok(s) => Ok(s),
+                Err(primary) => match Self::load(&sibling(path, ".prev")) {
+                    Ok(s) => Ok(s),
+                    Err(_) => Err(primary),
+                },
+            };
+        }
+        Self::load_with_fallback(path)
+    }
+
+    /// Loads `path` with one mid-file byte flipped in memory — the
+    /// injected-corruption read path.
+    #[cfg(feature = "fault-inject")]
+    fn load_corrupted(path: &Path) -> Result<Self> {
+        let mut bytes = fs::read(path)
+            .map_err(|e| CcqError::CheckpointIo(format!("read {}: {e}", path.display())))?;
+        if !bytes.is_empty() {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xA5;
+        }
+        Self::from_bytes(&bytes).map_err(|e| {
+            CcqError::CheckpointIo(format!(
+                "injected read corruption for {}: {e}",
+                path.display()
+            ))
+        })
     }
 
     /// Loads the state from exactly `path` (no fallback).

@@ -249,6 +249,20 @@ impl CcqRunner {
         self.fault.as_ref()
     }
 
+    /// Loads a run state for resume, consulting the armed fault plan's
+    /// read-path faults so injected load failures surface as the same
+    /// typed [`CcqError::CheckpointIo`] a real one would.
+    fn load_state(&self, path: &Path) -> Result<RunState> {
+        #[cfg(feature = "fault-inject")]
+        {
+            RunState::load_with_fallback_faulted(path, self.fault.as_ref())
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            RunState::load_with_fallback(path)
+        }
+    }
+
     /// Builds a [`DescentEngine`] borrowing this runner's configuration
     /// and competition, for callers that want to single-step the phase
     /// machine. [`CcqRunner::drive`] is the run-to-completion shortcut.
@@ -398,7 +412,7 @@ impl CcqRunner {
         if val_batches.is_empty() {
             return Err(CcqError::EmptyValidationSet);
         }
-        let state = RunState::load_with_fallback(path)?;
+        let state = self.load_state(path)?;
         self.drive(
             net,
             &mut provider,
@@ -423,7 +437,7 @@ impl CcqRunner {
         if val.is_empty() {
             return Err(CcqError::EmptyValidationSet);
         }
-        let state = RunState::load_with_fallback(path)?;
+        let state = self.load_state(path)?;
         self.drive(
             net,
             train_provider,

@@ -13,10 +13,86 @@
 use crate::{Network, NnError, Result};
 use ccq_quant::{BitWidth, PolicyKind, QuantSpec};
 use ccq_tensor::Tensor;
+use std::fs;
 use std::io::{Read, Write};
+use std::path::Path;
 
 const MAGIC: &[u8; 7] = b"CCQCKPT";
 const VERSION: u8 = 1;
+
+/// Deterministic one-shot I/O faults for checkpoint file operations
+/// (feature `fault-inject`): each scheduled fault fires exactly once,
+/// letting tests drive the read/write failure paths without a faulty
+/// disk. Interior mutability (`Cell`) mirrors ccq's `FaultPlan` usage —
+/// the consumers hold shared references.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Default)]
+pub struct CkptFaults {
+    read_failures: std::cell::Cell<usize>,
+    read_corruptions: std::cell::Cell<usize>,
+    dir_sync_failures: std::cell::Cell<usize>,
+}
+
+#[cfg(feature = "fault-inject")]
+impl CkptFaults {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        CkptFaults::default()
+    }
+
+    /// Makes the next `n` checkpoint file reads fail (builder style).
+    pub fn fail_reads(self, n: usize) -> Self {
+        self.read_failures.set(self.read_failures.get() + n);
+        self
+    }
+
+    /// Makes the next `n` checkpoint file reads observe one corrupted
+    /// mid-file byte (builder style).
+    pub fn corrupt_reads(self, n: usize) -> Self {
+        self.read_corruptions.set(self.read_corruptions.get() + n);
+        self
+    }
+
+    /// Makes the next `n` post-rename parent-directory fsyncs fail
+    /// (builder style). The rename itself lands first.
+    pub fn fail_dir_syncs(self, n: usize) -> Self {
+        self.dir_sync_failures.set(self.dir_sync_failures.get() + n);
+        self
+    }
+
+    /// Whether the next read should fail; consumes one failure.
+    pub fn take_read_failure(&self) -> bool {
+        take_one(&self.read_failures)
+    }
+
+    /// Whether the next read should see corrupted bytes; consumes one.
+    pub fn take_read_corruption(&self) -> bool {
+        take_one(&self.read_corruptions)
+    }
+
+    /// Whether the next directory fsync should fail; consumes one.
+    pub fn take_dir_sync_failure(&self) -> bool {
+        take_one(&self.dir_sync_failures)
+    }
+
+    /// Whether any fault is still pending.
+    pub fn exhausted(&self) -> bool {
+        self.read_failures.get() == 0
+            && self.read_corruptions.get() == 0
+            && self.dir_sync_failures.get() == 0
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+fn take_one(cell: &std::cell::Cell<usize>) -> bool {
+    let left = cell.get();
+    if left > 0 {
+        cell.set(left - 1);
+        true
+    } else {
+        false
+    }
+}
 
 /// A serializable network checkpoint.
 ///
@@ -247,6 +323,112 @@ impl Checkpoint {
         Checkpoint::from_bytes(&buf)
     }
 
+    /// Atomically writes the checkpoint to `path`: the bytes go to
+    /// `<path>.tmp`, are fsynced, and renamed into place, then the parent
+    /// directory is fsynced so the rename itself survives power loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CheckpointIo`] on any filesystem failure,
+    /// including a failed directory fsync (the renamed file is in place
+    /// but not yet durable — callers retry the whole write).
+    pub fn save_atomic(&self, path: &Path) -> Result<()> {
+        self.save_atomic_inner(path, false)
+    }
+
+    /// [`Checkpoint::save_atomic`] with a fault plan consulted at the
+    /// post-rename directory-fsync barrier: an injected failure reports
+    /// after the rename lands, exactly like a real barrier failure.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Checkpoint::save_atomic`].
+    #[cfg(feature = "fault-inject")]
+    pub fn save_atomic_with_faults(&self, path: &Path, faults: Option<&CkptFaults>) -> Result<()> {
+        let inject = faults.is_some_and(|f| f.take_dir_sync_failure());
+        self.save_atomic_inner(path, inject)
+    }
+
+    fn save_atomic_inner(&self, path: &Path, inject_dir_sync_failure: bool) -> Result<()> {
+        let io = |what: &str, e: std::io::Error| {
+            NnError::CheckpointIo(format!("{what} {}: {e}", path.display()))
+        };
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        let mut f = fs::File::create(&tmp).map_err(|e| io("create tmp for", e))?;
+        f.write_all(&self.to_bytes())
+            .map_err(|e| io("write tmp for", e))?;
+        f.sync_all().map_err(|e| io("fsync tmp for", e))?;
+        drop(f);
+        fs::rename(&tmp, path).map_err(|e| io("rename into", e))?;
+        if inject_dir_sync_failure {
+            return Err(NnError::CheckpointIo(format!(
+                "injected directory fsync failure for {}",
+                path.display()
+            )));
+        }
+        // A rename that only lives in the directory's page cache is lost
+        // on power failure. Opening the directory is skipped silently
+        // where unsupported; a failed fsync on an opened directory is a
+        // real durability error.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                d.sync_all().map_err(|e| io("fsync parent dir of", e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CheckpointIo`] on a read failure and
+    /// [`NnError::CheckpointFormat`] on malformed contents.
+    pub fn load_file(path: &Path) -> Result<Self> {
+        let bytes = fs::read(path)
+            .map_err(|e| NnError::CheckpointIo(format!("read {}: {e}", path.display())))?;
+        Checkpoint::from_bytes(&bytes)
+    }
+
+    /// [`Checkpoint::load_file`] with a fault plan consulted on the read
+    /// path: an injected read failure surfaces as
+    /// [`NnError::CheckpointIo`] without touching the file; an injected
+    /// read corruption XORs one mid-file byte in memory before parsing,
+    /// which the format's integrity checks reject.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Checkpoint::load_file`], plus the injected
+    /// failures.
+    #[cfg(feature = "fault-inject")]
+    pub fn load_file_with_faults(path: &Path, faults: Option<&CkptFaults>) -> Result<Self> {
+        if let Some(plan) = faults {
+            if plan.take_read_failure() {
+                return Err(NnError::CheckpointIo(format!(
+                    "injected read failure for {}",
+                    path.display()
+                )));
+            }
+            if plan.take_read_corruption() {
+                let mut bytes = fs::read(path)
+                    .map_err(|e| NnError::CheckpointIo(format!("read {}: {e}", path.display())))?;
+                if !bytes.is_empty() {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0xA5;
+                }
+                return Checkpoint::from_bytes(&bytes).map_err(|e| {
+                    NnError::CheckpointIo(format!(
+                        "injected read corruption for {}: {e}",
+                        path.display()
+                    ))
+                });
+            }
+        }
+        Self::load_file(path)
+    }
+
     /// Number of state tensors captured.
     pub fn tensor_count(&self) -> usize {
         self.tensors.len()
@@ -354,6 +536,59 @@ mod tests {
         assert_eq!(y_before.as_slice(), y_after.as_slice());
         assert_eq!(b.quant_spec(1).weight_bits, BitWidth::of(3));
         assert_eq!(b.quant_spec(1).act_bits, BitWidth::of(4));
+    }
+
+    #[test]
+    fn save_atomic_round_trips_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("ccq_ckpt_atomic_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("model.ccqckpt");
+        let ckpt = Checkpoint::capture(&mut net());
+        ckpt.save_atomic(&path).unwrap();
+        assert!(!path.with_extension("ccqckpt.tmp").exists());
+        assert_eq!(Checkpoint::load_file(&path).unwrap(), ckpt);
+        // Overwriting in place is also atomic.
+        ckpt.save_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::load_file(&path).unwrap(), ckpt);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_faults_surface_as_typed_errors() {
+        let dir = std::env::temp_dir().join("ccq_ckpt_fault_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("model.ccqckpt");
+        let ckpt = Checkpoint::capture(&mut net());
+
+        // Injected dir-sync failure reports *after* the rename lands.
+        let faults = CkptFaults::new().fail_dir_syncs(1);
+        let err = ckpt
+            .save_atomic_with_faults(&path, Some(&faults))
+            .unwrap_err();
+        assert!(matches!(err, NnError::CheckpointIo(_)), "{err:?}");
+        assert!(path.exists(), "rename lands before the barrier fails");
+        assert!(faults.exhausted());
+        // The retry (no fault left) succeeds.
+        ckpt.save_atomic_with_faults(&path, Some(&faults)).unwrap();
+
+        // Read failure fires without touching the file; corruption is
+        // caught by the format checks; then a clean read succeeds.
+        let faults = CkptFaults::new().fail_reads(1).corrupt_reads(1);
+        assert!(matches!(
+            Checkpoint::load_file_with_faults(&path, Some(&faults)),
+            Err(NnError::CheckpointIo(_))
+        ));
+        assert!(matches!(
+            Checkpoint::load_file_with_faults(&path, Some(&faults)),
+            Err(NnError::CheckpointIo(_))
+        ));
+        assert!(faults.exhausted());
+        assert_eq!(
+            Checkpoint::load_file_with_faults(&path, Some(&faults)).unwrap(),
+            ckpt
+        );
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

@@ -54,6 +54,8 @@ mod param;
 pub mod schedule;
 pub mod train;
 
+#[cfg(feature = "fault-inject")]
+pub use checkpoint::CkptFaults;
 pub use error::NnError;
 pub use layer::{Layer, Mode, QuantHandle};
 pub use network::{Network, NetworkState};

@@ -1,0 +1,240 @@
+//! The supervisor: the pure decision core of the daemon.
+//!
+//! Given the typed error a worker surfaced and the job's attempt count,
+//! [`Supervisor::decide`] produces a deterministic [`Decision`] — retry
+//! with a fixed backoff, quarantine, fail permanently, or park the job
+//! for the next daemon (graceful shutdown). Keeping this logic free of
+//! I/O and clocks makes the whole state machine unit-testable and makes
+//! two daemons given the same event history behave identically.
+
+use crate::error::ServeError;
+use ccq::CcqError;
+
+/// Bounded-retry policy with deterministic exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry).
+    pub max_retries: usize,
+    /// Backoff before retry 1, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before the given retry (1-based): `base * 2^(retry-1)`,
+    /// capped at `max_backoff_ms`. Deterministic — no jitter, so crash
+    /// harnesses replay identically.
+    pub fn backoff_ms(&self, retry: usize) -> u64 {
+        if retry == 0 {
+            return 0;
+        }
+        // Clamp the exponent well below u64 range so the multiply can
+        // only saturate, never shift bits out.
+        let shift = u32::try_from(retry - 1).unwrap_or(u32::MAX).min(20);
+        self.base_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ms)
+    }
+}
+
+/// How a finished (or interrupted) attempt should be disposed of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// The run completed; move the job to `done/`.
+    Complete,
+    /// Transient failure with retry budget left: sleep `backoff_ms`,
+    /// then start attempt `attempt + 1` in place.
+    Retry {
+        /// Deterministic pre-retry sleep.
+        backoff_ms: u64,
+    },
+    /// The run diverged or spent its retry budget; move to
+    /// `quarantined/` for human attention.
+    Quarantine {
+        /// One-line reason recorded in the status sidecar.
+        reason: String,
+    },
+    /// Permanent, non-retryable failure; move to `failed/`.
+    Fail {
+        /// One-line reason recorded in the status sidecar.
+        reason: String,
+    },
+    /// Graceful shutdown interrupted the run at a phase boundary; the
+    /// job stays in `running/` and the next daemon resumes it.
+    Park,
+}
+
+/// Error classes the supervisor distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// I/O flakes worth retrying (checkpoint read/write failures).
+    Transient,
+    /// The optimization itself went bad; retrying the same spec would
+    /// reproduce it (deterministic runs), so escalate immediately.
+    Diverged,
+    /// Cooperative cancellation — not a failure at all.
+    Interrupted,
+    /// Everything else: bad specs, resume mismatches, engine invariant
+    /// violations. Deterministic and fatal.
+    Permanent,
+}
+
+/// Classifies a worker error. Queue/spec/I-O errors from the serve layer
+/// itself are permanent (a malformed spec never gets better); CCQ errors
+/// are split by variant.
+pub fn classify(err: &ServeError) -> ErrorClass {
+    match err {
+        ServeError::Io(_) => ErrorClass::Transient,
+        ServeError::Spec(_) | ServeError::Queue(_) => ErrorClass::Permanent,
+        ServeError::Run(e) => match e {
+            CcqError::CheckpointIo(_) => ErrorClass::Transient,
+            CcqError::Diverged { .. } => ErrorClass::Diverged,
+            CcqError::Canceled { .. } => ErrorClass::Interrupted,
+            _ => ErrorClass::Permanent,
+        },
+    }
+}
+
+/// The supervisor proper: a retry policy plus the attempt bookkeeping
+/// rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Supervisor {
+    /// Retry policy applied to transient failures.
+    pub retry: RetryPolicy,
+}
+
+impl Supervisor {
+    /// Decides the fate of attempt number `attempt` (1-based) that ended
+    /// with `outcome` (`Ok(())` for success).
+    pub fn decide(&self, attempt: usize, outcome: &Result<(), ServeError>) -> Decision {
+        let err = match outcome {
+            Ok(()) => return Decision::Complete,
+            Err(e) => e,
+        };
+        match classify(err) {
+            ErrorClass::Interrupted => Decision::Park,
+            ErrorClass::Diverged => Decision::Quarantine {
+                reason: err.to_string(),
+            },
+            ErrorClass::Permanent => Decision::Fail {
+                reason: err.to_string(),
+            },
+            ErrorClass::Transient => {
+                if attempt > self.retry.max_retries {
+                    Decision::Quarantine {
+                        reason: format!("retries exhausted after {attempt} attempts: {err}"),
+                    }
+                } else {
+                    Decision::Retry {
+                        backoff_ms: self.retry.backoff_ms(attempt),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_err(e: CcqError) -> Result<(), ServeError> {
+        Err(ServeError::Run(e))
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ms: 50,
+            max_backoff_ms: 300,
+        };
+        assert_eq!(p.backoff_ms(0), 0);
+        assert_eq!(p.backoff_ms(1), 50);
+        assert_eq!(p.backoff_ms(2), 100);
+        assert_eq!(p.backoff_ms(3), 200);
+        assert_eq!(p.backoff_ms(4), 300, "capped");
+        assert_eq!(p.backoff_ms(64), 300, "shift overflow saturates to cap");
+    }
+
+    #[test]
+    fn success_completes() {
+        assert_eq!(Supervisor::default().decide(1, &Ok(())), Decision::Complete);
+    }
+
+    #[test]
+    fn transient_errors_retry_then_quarantine() {
+        let sup = Supervisor {
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff_ms: 50,
+                max_backoff_ms: 2_000,
+            },
+        };
+        let io = || run_err(CcqError::CheckpointIo("disk flake".into()));
+        assert_eq!(sup.decide(1, &io()), Decision::Retry { backoff_ms: 50 });
+        assert_eq!(sup.decide(2, &io()), Decision::Retry { backoff_ms: 100 });
+        match sup.decide(3, &io()) {
+            Decision::Quarantine { reason } => {
+                assert!(reason.contains("retries exhausted after 3 attempts"));
+                assert!(reason.contains("disk flake"));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_quarantines_immediately_even_with_budget_left() {
+        let sup = Supervisor::default();
+        let out = run_err(CcqError::Diverged {
+            step: 4,
+            retries: 2,
+        });
+        match sup.decide(1, &out) {
+            Decision::Quarantine { reason } => assert!(reason.contains("step 4")),
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_parks_in_running() {
+        let out = run_err(CcqError::Canceled { step: 2 });
+        assert_eq!(Supervisor::default().decide(1, &out), Decision::Park);
+    }
+
+    #[test]
+    fn deterministic_errors_fail_permanently() {
+        let sup = Supervisor::default();
+        for out in [
+            run_err(CcqError::EmptyValidationSet),
+            run_err(CcqError::EngineInvariant("broken")),
+            Err(ServeError::Spec("bad ladder".into())),
+            Err(ServeError::Queue("duplicate".into())),
+        ] {
+            match sup.decide(1, &out) {
+                Decision::Fail { .. } => {}
+                other => panic!("expected fail for {out:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serve_io_errors_are_transient() {
+        let out: Result<(), ServeError> = Err(ServeError::Io("spool hiccup".into()));
+        assert_eq!(
+            Supervisor::default().decide(1, &out),
+            Decision::Retry { backoff_ms: 50 }
+        );
+    }
+}

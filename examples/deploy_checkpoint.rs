@@ -53,11 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = runner.run_with_sources(&mut net, &mut provider, &val_b)?;
     println!("{report}");
 
-    // Checkpoint to disk and reload into a fresh network.
+    // Checkpoint to disk (atomic: tmp + fsync + rename + dir fsync, so a
+    // crash mid-save never leaves a torn file) and reload into a fresh
+    // network.
     let path = std::env::temp_dir().join("ccq_deploy_example.ckpt");
     let ckpt = Checkpoint::capture(&mut net);
-    ckpt.save(std::fs::File::create(&path)?)?;
-    let loaded = Checkpoint::load(std::fs::File::open(&path)?)?;
+    ckpt.save_atomic(&path)?;
+    let loaded = Checkpoint::load_file(&path)?;
     let mut deployed = mlp(&[8, 24, 4], PolicyKind::MaxAbs, 0);
     loaded.apply(&mut deployed)?;
     let acc = evaluate(&mut deployed, &val_b)?;

@@ -31,6 +31,66 @@ cargo test -q -p ccq --test resume_determinism --test guarded_descent 2> results
 cargo test -q -p ccq --test golden_trace 2> results/metrics.log || exit 1
 cargo test -q -p ccq --test golden_trace --no-default-features 2>> results/metrics.log || exit 1
 
+# --- serve gate: crash-safe daemon smoke — drain two jobs in a
+# reference spool, run the identical queue in a second spool whose
+# daemon is SIGKILLed mid-run, restart it with --drain, and require the
+# recovered artifacts (RunState, event JSONL, report) to be
+# byte-identical to the uninterrupted reference (events normalized for
+# the spool root embedded in autosave paths; see DESIGN.md §14) ---
+cargo build --release -p ccq-serve 2> results/build_serve.log || exit 1
+SERVE=target/release/ccq-serve
+serve_spec() { # $1 = job name, $2 = seed offset
+  cat <<EOF
+ccq-job v1
+name = $1
+model = mlp:16x48x48x6
+policy = pact
+model_seed = $((11 + $2))
+data = blobs:6x16x192
+data_std = 0.4
+data_seed = $((31 + $2))
+split = 864
+pretrain_epochs = 60
+pretrain_lr = 0.05
+pretrain_momentum = 0.9
+pretrain_seed = $((7 + $2))
+batch_size = 16
+seed = $((13 + $2))
+gamma = 0.5
+ladder = 8,6,4,2
+probe_rounds = 3
+probe_val_batches = 0
+lambda = 0.3
+recovery = manual:3
+guard = quarantine:2
+lr = 0.02
+max_steps = 14
+target_compression = none
+EOF
+}
+rm -rf results/serve_ref results/serve_kill
+for SPOOL in results/serve_ref results/serve_kill; do
+  $SERVE init "$SPOOL" > /dev/null || exit 1
+  serve_spec smoke-a 0 | $SERVE enqueue "$SPOOL" - > /dev/null || exit 1
+  serve_spec smoke-b 5 | $SERVE enqueue "$SPOOL" - > /dev/null || exit 1
+done
+$SERVE run results/serve_ref --workers 2 --drain > results/serve.log 2>&1 || exit 1
+$SERVE status results/serve_ref --assert-done 2 >> results/serve.log 2>&1 || exit 1
+$SERVE run results/serve_kill --workers 2 >> results/serve.log 2>&1 &
+SERVE_PID=$!
+sleep 1.5
+kill -9 "$SERVE_PID" 2>/dev/null
+wait "$SERVE_PID" 2>/dev/null
+$SERVE run results/serve_kill --workers 2 --drain >> results/serve.log 2>&1 || exit 1
+$SERVE status results/serve_kill --assert-done 2 >> results/serve.log 2>&1 || exit 1
+for id in smoke-a smoke-b; do
+  cmp "results/serve_ref/done/$id.ccqruns" "results/serve_kill/done/$id.ccqruns" || exit 1
+  cmp "results/serve_ref/done/$id.report.txt" "results/serve_kill/done/$id.report.txt" || exit 1
+  sed 's|results/serve_ref|<spool>|g' "results/serve_ref/done/$id.events.jsonl" > "results/serve_events_ref_$id.norm"
+  sed 's|results/serve_kill|<spool>|g' "results/serve_kill/done/$id.events.jsonl" > "results/serve_events_kill_$id.norm"
+  cmp "results/serve_events_ref_$id.norm" "results/serve_events_kill_$id.norm" || exit 1
+done
+
 # --- bench-smoke gate: both snapshot benchmarks must run at one rep on
 # the serial AND parallel builds, write parseable JSON, and incremental
 # probing must never lose to full-forward probing (bench_simd --smoke
