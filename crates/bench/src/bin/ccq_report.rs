@@ -2,7 +2,9 @@
 //!
 //! Reads the JSONL event log a [`ccq::JsonlSink`] wrote (e.g. the
 //! `trace.jsonl` produced by `examples/mixed_precision_search.rs`),
-//! reconstructs the event stream, and prints the run summary table.
+//! reconstructs the event stream, and prints the run summary table
+//! followed by a per-searcher decision breakdown when the trace carries
+//! quantize decisions.
 //! With `--metrics` it additionally feeds the replayed stream through a
 //! [`ccq::MetricsSink`] on a deterministic manual clock and prints the
 //! Prometheus-style text exposition — byte-identical to what a live run
@@ -27,8 +29,8 @@
 #![allow(clippy::print_stdout)]
 
 use ccq::{
-    parse_events, parse_events_lenient, parse_probe_cache_stats, render_run_summary, EventSink,
-    MetricsSink,
+    parse_events, parse_events_lenient, parse_probe_cache_stats, render_run_summary,
+    render_searcher_summary, EventSink, MetricsSink,
 };
 use std::process::ExitCode;
 
@@ -119,6 +121,11 @@ fn main() -> ExitCode {
         }
     };
     print!("{}", render_run_summary(&events));
+    let searchers = render_searcher_summary(&events);
+    if !searchers.is_empty() {
+        println!();
+        print!("{searchers}");
+    }
     if let Some(stats) = &cache_stats {
         println!("{stats}");
     }

@@ -1,0 +1,35 @@
+//! A searcher implementation built on exactly the storage and clocks
+//! the determinism rule bans: per-slot scores in a `HashMap` (iteration
+//! order decides ties nondeterministically) and probe timing read off
+//! `Instant::now()` feeding the decision.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct BadSearcher {
+    scores: HashMap<usize, f32>,
+    started: Instant,
+}
+
+impl BadSearcher {
+    pub fn new() -> Self {
+        BadSearcher {
+            scores: HashMap::new(),
+            started: Instant::now(),
+        }
+    }
+
+    pub fn pick(&self) -> Option<usize> {
+        // First key wins — whichever that is today.
+        let budget_left = self.started.elapsed().as_millis() < 50;
+        self.scores.keys().next().copied().filter(|_| budget_left)
+    }
+}
+
+/// Gated behind a feature no Cargo.toml declares: the hygiene rule
+/// keeps phantom searcher variants from silently never compiling.
+#[cfg(feature = "experimental-searchers")]
+pub fn experimental_pick() -> usize {
+    0
+}
+

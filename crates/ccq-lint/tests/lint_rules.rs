@@ -162,6 +162,42 @@ fn nondeterministic_cache_fires() {
 }
 
 #[test]
+fn searcher_idiom_is_clean() {
+    // The pluggable-searcher surface must stay deterministic: dense
+    // slot-indexed state, logical round counters, typed errors, and a
+    // declared-feature gate. This fixture mirrors the idiom of
+    // `crates/core/src/searcher.rs` and must lint clean under the same
+    // protected-crate rules that cover the real module.
+    let f = lint_fixture("searcher_clean.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn nondeterministic_searcher_fires() {
+    // The anti-pattern the searcher rules exist to catch: HashMap-keyed
+    // expert scores (tie-breaks follow iteration order), a wall-clock
+    // probe budget, and a variant gated on an undeclared feature. Three
+    // `HashMap` mentions, one `Instant::now`, one phantom feature.
+    let f = lint_fixture("searcher_fire.rs");
+    assert_eq!(
+        rules(&f),
+        [
+            "determinism",
+            "determinism",
+            "determinism",
+            "determinism",
+            "feature-hygiene",
+        ],
+        "{f:#?}"
+    );
+    assert!(f.iter().any(|x| x.message.contains("iteration order")));
+    assert!(f.iter().any(|x| x.message.contains("Instant::now")));
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("\"experimental-searchers\"")));
+}
+
+#[test]
 fn waiver_without_reason_is_rejected_and_covers_nothing() {
     let f = lint_fixture("waiver_no_reason.rs");
     let waiver_diags: Vec<_> = f.iter().filter(|x| x.rule == "waiver").collect();

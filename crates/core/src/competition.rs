@@ -124,7 +124,7 @@ pub struct ProbeCacheStats {
 }
 
 impl ProbeCacheStats {
-    fn record(&mut self, skipped: usize, segments: usize) {
+    pub(crate) fn record(&mut self, skipped: usize, segments: usize) {
         if skipped > 0 {
             self.hits += 1;
         } else {
@@ -159,17 +159,19 @@ impl std::fmt::Display for ProbeCacheStats {
     }
 }
 
-/// One candidate move in the competition.
+/// One candidate move in the competition. `pub(crate)` so alternative
+/// [`crate::Searcher`] implementations share the exact probe machinery
+/// (and with it the cache-aware, bit-identical ξ measurement path).
 #[derive(Debug, Clone, Copy)]
-struct Expert {
-    layer: usize,
-    kind: ExpertKind,
-    from: BitWidth,
-    to: BitWidth,
+pub(crate) struct Expert {
+    pub(crate) layer: usize,
+    pub(crate) kind: ExpertKind,
+    pub(crate) from: BitWidth,
+    pub(crate) to: BitWidth,
     /// Slot in the persistent π vector.
-    slot: usize,
+    pub(crate) slot: usize,
     /// Layer size for the λ blend (Eq. 7 uses |Q_m|).
-    size: usize,
+    pub(crate) size: usize,
 }
 
 /// Multiplicative-weights (Hedge) competition between layers, with
@@ -231,6 +233,11 @@ impl Competition {
         &self.stats
     }
 
+    /// Whether incremental probe evaluation is enabled.
+    pub(crate) fn is_incremental(&self) -> bool {
+        self.incremental
+    }
+
     /// Switches the probe regime (builder style).
     pub fn regime(mut self, regime: ProbeRegime) -> Self {
         self.regime = regime;
@@ -284,6 +291,12 @@ impl Competition {
         Ok(())
     }
 
+    /// The probe-cache accounting, mutable — shared with the other
+    /// searcher implementations that drive the probe machinery directly.
+    pub(crate) fn stats_mut(&mut self) -> &mut ProbeCacheStats {
+        &mut self.stats
+    }
+
     /// The next rung below `cur`, honoring an optional per-layer floor
     /// (`None` = sleeping). A full-precision target freezes the operand.
     fn next_rung(
@@ -303,7 +316,7 @@ impl Competition {
 
     /// Enumerates the awake experts for the current network state,
     /// excluding quarantined π slots (treated as sleeping for this step).
-    fn experts(
+    pub(crate) fn experts(
         &self,
         net: &mut Network,
         ladder: &BitLadder,
@@ -375,7 +388,7 @@ impl Competition {
 
     /// Applies an expert's move to the network. Returns the spec that was
     /// in place before.
-    fn apply(net: &mut Network, e: &Expert) -> ccq_quant::QuantSpec {
+    pub(crate) fn apply(net: &mut Network, e: &Expert) -> ccq_quant::QuantSpec {
         let spec = net.quant_spec(e.layer);
         net.set_quant_spec(e.layer, Self::probe_target(spec, e));
         spec
@@ -438,7 +451,7 @@ impl Competition {
     }
 
     #[cfg(not(feature = "parallel"))]
-    fn probe_round(
+    pub(crate) fn probe_round(
         net: &mut Network,
         experts: &[Expert],
         val: &[Batch],
@@ -454,7 +467,7 @@ impl Competition {
     /// order, so that segment covers the whole chunk); without one it
     /// falls back to full-network clones.
     #[cfg(feature = "parallel")]
-    fn probe_round(
+    pub(crate) fn probe_round(
         net: &mut Network,
         experts: &[Expert],
         val: &[Batch],
@@ -748,7 +761,7 @@ impl Default for Competition {
 }
 
 /// Samples an index from an unnormalized non-negative weight vector.
-fn sample_categorical(p: &[f32], rng: &mut Rng64) -> Option<usize> {
+pub(crate) fn sample_categorical(p: &[f32], rng: &mut Rng64) -> Option<usize> {
     let total: f32 = p.iter().sum();
     // `<= 0.0` is false for NaN, but NaN is non-finite and still rejected.
     if total <= 0.0 || !total.is_finite() {

@@ -34,10 +34,11 @@ use crate::fault::{inject_nan, FaultPlan};
 use crate::guard::{capture_velocities, restore_velocities, StepSnapshot};
 use crate::run_state::RunState;
 use crate::runner::{CcqConfig, CcqReport};
+use crate::searcher::Searcher;
 use crate::{
-    layer_profiles, CcqError, Collaboration, Competition, CompetitionOutcome, DescentEvent,
-    EventSink, ExpertGranularity, GuardPolicy, ProbeRecord, ProbeRegime, RecoveryRecord, Result,
-    StepRecord, TraceBuffer,
+    layer_profiles, CcqError, Collaboration, CompetitionOutcome, DescentEvent, EventSink,
+    ExpertGranularity, GuardPolicy, ProbeRecord, ProbeRegime, RecoveryRecord, Result, StepRecord,
+    TraceBuffer,
 };
 use ccq_hw::model_size;
 use ccq_nn::checkpoint::Checkpoint;
@@ -147,11 +148,11 @@ struct PendingStep {
 }
 
 /// One staged descent over a network: borrows the runner's configuration
-/// and competition, the network, and the data sources for the duration of
+/// and searcher, the network, and the data sources for the duration of
 /// the run. Built by [`crate::CcqRunner::engine`].
 pub struct DescentEngine<'a> {
     config: &'a CcqConfig,
-    competition: &'a mut Competition,
+    searcher: &'a mut dyn Searcher,
     #[cfg(feature = "fault-inject")]
     fault: Option<&'a FaultPlan>,
     net: &'a mut Network,
@@ -173,13 +174,15 @@ pub struct DescentEngine<'a> {
     /// Compression after the step just completed, checked against the
     /// target at the next [`Phase::Checkpoint`].
     target_check: Option<f64>,
+    /// Guard rollbacks taken so far (carried across resume).
+    rollbacks: u64,
     report: Option<CcqReport>,
 }
 
 impl<'a> DescentEngine<'a> {
     pub(crate) fn new(
         config: &'a CcqConfig,
-        competition: &'a mut Competition,
+        searcher: &'a mut dyn Searcher,
         net: &'a mut Network,
         train: &'a mut dyn FnMut(&mut Rng64) -> Vec<Batch>,
         val: &'a [Batch],
@@ -195,7 +198,7 @@ impl<'a> DescentEngine<'a> {
         } else {
             Collaboration::new(config.recovery).with_constant_lr()
         };
-        let (st, phase, target_check) = match start {
+        let (st, phase, target_check, rollbacks) = match start {
             StartPoint::Fresh => {
                 if let Some(t) = &config.targets {
                     let m = net.quant_layer_count();
@@ -219,7 +222,7 @@ impl<'a> DescentEngine<'a> {
                     last_acc: 0.0,
                     next_step: 1,
                 };
-                (st, Phase::InitQuantize, None)
+                (st, Phase::InitQuantize, None, 0)
             }
             StartPoint::FromRunState(state) => {
                 validate_resume(config, &state, net)?;
@@ -227,18 +230,13 @@ impl<'a> DescentEngine<'a> {
                     CcqError::ResumeMismatch(format!("checkpoint does not fit this network: {e}"))
                 })?;
                 restore_velocities(net, &state.velocities);
-                if state.pi.is_empty() {
-                    // The state predates the first competition (the
-                    // autosave after the initial ladder-top recovery): π
-                    // is pristine, and the next Compete phase
-                    // re-initializes it exactly as a fresh run would.
-                    competition.reset();
-                } else {
-                    let slots = expert_slots(config.granularity, net.quant_layer_count());
-                    competition
-                        .set_expert_weights(state.pi.clone(), slots)
-                        .map_err(|e| CcqError::ResumeMismatch(format!("saved π rejected: {e}")))?;
-                }
+                // A pristine state (the autosave after the initial
+                // ladder-top recovery, before the first competition)
+                // resets the searcher exactly as a fresh run would.
+                let slots = expert_slots(config.granularity, net.quant_layer_count());
+                searcher.restore(&state.searcher, slots).map_err(|e| {
+                    CcqError::ResumeMismatch(format!("saved searcher state rejected: {e}"))
+                })?;
                 let mut hybrid = HybridRestart::new(state.base_lr);
                 hybrid.set_plateau_state(state.plateau);
                 let mut opt = Sgd::new(config.lr)
@@ -263,7 +261,7 @@ impl<'a> DescentEngine<'a> {
                     last_acc: state.last_accuracy,
                     next_step: state.next_step,
                 };
-                (st, Phase::Checkpoint, pending_target)
+                (st, Phase::Checkpoint, pending_target, state.rollbacks)
             }
         };
         let probe_val = if config.probe_val_batches == 0 {
@@ -273,7 +271,7 @@ impl<'a> DescentEngine<'a> {
         };
         Ok(DescentEngine {
             config,
-            competition,
+            searcher,
             #[cfg(feature = "fault-inject")]
             fault: None,
             net,
@@ -290,6 +288,7 @@ impl<'a> DescentEngine<'a> {
             lambda_now: 0.0,
             pending: None,
             target_check,
+            rollbacks,
             report: None,
         })
     }
@@ -306,12 +305,12 @@ impl<'a> DescentEngine<'a> {
         self.phase
     }
 
-    /// Forward-work accounting for the competition's probe evaluations —
+    /// Forward-work accounting for the searcher's probe evaluations —
     /// see [`crate::ProbeCacheStats`]. Fold it into a
     /// [`crate::MetricsRegistry`] with
     /// [`crate::MetricsRegistry::record_probe_cache`] after the run.
     pub fn probe_cache_stats(&self) -> &crate::ProbeCacheStats {
-        self.competition.cache_stats()
+        self.searcher.cache_stats()
     }
 
     /// The quantization step `t` currently in flight (0 before the first
@@ -460,7 +459,7 @@ impl<'a> DescentEngine<'a> {
     }
 
     /// [`Phase::Compete`]: guard snapshot, probe rounds (narrated per
-    /// round), λ-blended draw, winner lowered one rung.
+    /// round), then the searcher's draw lowers the winner one rung.
     fn phase_compete(&mut self) -> Result<()> {
         let t = self.t;
         self.lambda_now = self.config.lambda.value(t - 1);
@@ -469,7 +468,7 @@ impl<'a> DescentEngine<'a> {
         } else {
             Some(StepSnapshot::capture(
                 self.net,
-                self.competition.expert_weights(),
+                self.searcher.state(),
                 &self.st.r,
                 &self.st.opt,
                 &self.st.hybrid,
@@ -490,7 +489,7 @@ impl<'a> DescentEngine<'a> {
                 buf.on_event(&ev);
                 sink.on_event(&ev);
             };
-            self.competition.run_observed(
+            self.searcher.compete(
                 self.net,
                 &self.config.ladder,
                 self.config.targets.as_deref(),
@@ -544,6 +543,7 @@ impl<'a> DescentEngine<'a> {
                 probabilities: o.probabilities.clone(),
                 valley_accuracy: valley,
                 lr: self.st.opt.lr(),
+                searcher: self.searcher.label().to_string(),
             }
         };
         self.emit(ev);
@@ -592,6 +592,7 @@ impl<'a> DescentEngine<'a> {
         ))?;
         let discarded = self.st.buf.trace().len() - snap.trace_len;
         self.restore_snapshot(&snap)?;
+        self.rollbacks += 1;
         self.attempt += 1;
         if self.attempt > self.config.guard.max_retries() {
             return Err(CcqError::Diverged {
@@ -663,6 +664,7 @@ impl<'a> DescentEngine<'a> {
             steps: self.st.buf.steps().to_vec(),
             trace: self.st.buf.trace().to_vec(),
             bit_assignment,
+            rollbacks: self.rollbacks,
         };
         self.emit(DescentEvent::Finished {
             baseline_accuracy: report.baseline_accuracy,
@@ -676,20 +678,13 @@ impl<'a> DescentEngine<'a> {
     }
 
     /// Restores a pre-step snapshot after a divergent attempt: network
-    /// and momentum, Hedge weights, RNG stream, LR schedule, and the
+    /// and momentum, searcher state, RNG stream, LR schedule, and the
     /// epoch cursor. The trace retraction travels as the
     /// [`DescentEvent::GuardRollback`] event.
     fn restore_snapshot(&mut self, snap: &StepSnapshot) -> Result<()> {
         snap.restore_network(self.net)?;
-        if snap.pi.is_empty() {
-            // The snapshot predates the first competition (step 1): π was
-            // still pristine and the next run re-initializes it to ones.
-            self.competition.reset();
-        } else {
-            let slots = expert_slots(self.config.granularity, self.net.quant_layer_count());
-            self.competition
-                .set_expert_weights(snap.pi.clone(), slots)?;
-        }
+        let slots = expert_slots(self.config.granularity, self.net.quant_layer_count());
+        self.searcher.restore(&snap.searcher, slots)?;
         self.st.r = rng_from_state(snap.rng);
         let mut hybrid = HybridRestart::new(snap.base_lr);
         hybrid.set_plateau_state(snap.plateau);
@@ -827,7 +822,8 @@ impl<'a> DescentEngine<'a> {
             base_lr: self.st.hybrid.base_lr(),
             rng: rng_state(&self.st.r),
             plateau: self.st.hybrid.plateau_state(),
-            pi: self.competition.expert_weights().to_vec(),
+            searcher: self.searcher.state(),
+            rollbacks: self.rollbacks,
             velocities: capture_velocities(self.net),
             ckpt: Checkpoint::capture(self.net),
             trace: self.st.buf.trace().to_vec(),
@@ -894,14 +890,14 @@ fn validate_resume(config: &CcqConfig, state: &RunState, net: &mut Network) -> R
             return mismatch(format!("momentum buffer {i} shape differs"));
         }
     }
-    let slots = expert_slots(config.granularity, net.quant_layer_count());
-    // An empty π is legitimate: the autosave after the initial
-    // ladder-top recovery predates the first competition, and resume
-    // re-initializes π exactly as a fresh run would.
-    if !state.pi.is_empty() && state.pi.len() != slots {
+    // Slot-dimension validation happens inside `Searcher::restore`; the
+    // fingerprint check here is only that the state was written by the
+    // searcher this run is configured for.
+    if state.searcher.kind_str() != config.searcher.as_str() {
         return mismatch(format!(
-            "saved π has {} slots, this run needs {slots}",
-            state.pi.len()
+            "saved searcher state is {:?}, this run is configured for {:?}",
+            state.searcher.kind_str(),
+            config.searcher.as_str()
         ));
     }
     Ok(())

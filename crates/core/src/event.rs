@@ -158,6 +158,9 @@ pub enum DescentEvent {
         valley_accuracy: f32,
         /// Learning rate in effect.
         lr: f32,
+        /// Label of the searcher that made this decision (e.g.
+        /// `"hedge"`, `"releq"`).
+        searcher: String,
     },
     /// One collaboration (fine-tuning) epoch completed.
     RecoveryEpoch {
@@ -622,6 +625,7 @@ pub fn event_json(ev: &DescentEvent) -> String {
             probabilities,
             valley_accuracy,
             lr,
+            searcher,
         } => {
             let _ = write!(
                 s,
@@ -639,6 +643,8 @@ pub fn event_json(ev: &DescentEvent) -> String {
             jf32(*lr, &mut s);
             s.push_str(",\"probabilities\":");
             jf32_array(probabilities, &mut s);
+            s.push_str(",\"searcher\":");
+            jstr(searcher, &mut s);
         }
         DescentEvent::RecoveryEpoch {
             step,
@@ -795,6 +801,7 @@ mod tests {
             probabilities: vec![0.25, 0.75],
             valley_accuracy: acc,
             lr: 0.02,
+            searcher: "hedge".into(),
         }
     }
 

@@ -6,6 +6,7 @@
 //! descent state before each step, detects the blow-up right after the
 //! collaboration stage, and applies a [`GuardPolicy`].
 
+use crate::searcher::SearcherState;
 use ccq_nn::checkpoint::Checkpoint;
 use ccq_nn::schedule::HybridRestart;
 use ccq_nn::{Network, Sgd};
@@ -67,13 +68,13 @@ impl GuardPolicy {
 
 /// Everything the runner must restore to replay one quantization step as
 /// if it never happened: network state, SGD momentum (which lives outside
-/// [`Checkpoint`]), Hedge weights, the RNG stream, the LR schedule, and
+/// [`Checkpoint`]), searcher state, the RNG stream, the LR schedule, and
 /// the learning-curve cursor.
 #[derive(Debug, Clone)]
 pub(crate) struct StepSnapshot {
     pub ckpt: Checkpoint,
     pub velocities: Vec<Tensor>,
-    pub pi: Vec<f32>,
+    pub searcher: SearcherState,
     pub rng: [u64; 4],
     pub plateau: (f32, usize, Option<usize>),
     pub base_lr: f32,
@@ -88,7 +89,7 @@ impl StepSnapshot {
     /// exact trajectory of an unguarded one.
     pub fn capture(
         net: &mut Network,
-        pi: &[f32],
+        searcher: SearcherState,
         r: &Rng64,
         opt: &Sgd,
         hybrid: &HybridRestart,
@@ -98,7 +99,7 @@ impl StepSnapshot {
         StepSnapshot {
             ckpt: Checkpoint::capture(net),
             velocities: capture_velocities(net),
-            pi: pi.to_vec(),
+            searcher,
             rng: rng_state(r),
             plateau: hybrid.plateau_state(),
             base_lr: hybrid.base_lr(),
@@ -183,7 +184,15 @@ mod tests {
         net.visit_params(&mut |p| p.velocity.fill(0.25));
         let opt = Sgd::new(0.02);
         let hybrid = HybridRestart::new(0.02);
-        let snap = StepSnapshot::capture(&mut net, &[1.0, 1.0], &r, &opt, &hybrid, 3, 7);
+        let snap = StepSnapshot::capture(
+            &mut net,
+            SearcherState::Hedge { pi: vec![1.0, 1.0] },
+            &r,
+            &opt,
+            &hybrid,
+            3,
+            7,
+        );
 
         // Diverge: poison weights and velocities, advance the RNG.
         net.visit_params(&mut |p| {

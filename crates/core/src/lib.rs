@@ -58,6 +58,7 @@ mod recovery;
 mod replay;
 mod run_state;
 mod runner;
+mod searcher;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use competition::{
@@ -82,10 +83,15 @@ pub use profiles::layer_profiles;
 pub use recovery::{Collaboration, EpochHook, RecoveryMode, RecoveryRecord};
 pub use replay::{
     parse_event_line, parse_events, parse_events_lenient, parse_probe_cache_stats,
-    render_probe_cache_stats, render_run_summary, LenientParse, ReplayError, TruncatedTail,
+    render_probe_cache_stats, render_run_summary, render_searcher_summary, LenientParse,
+    ReplayError, TruncatedTail,
 };
 pub use run_state::RunState;
 pub use runner::{CcqConfig, CcqReport, CcqRunner};
+pub use searcher::{
+    HedgeSearcher, OneShotSearcher, ReleqSearcher, Searcher, SearcherKind, SearcherState,
+    ZeroBitSearcher,
+};
 
 /// Crate-wide result alias. See [`CcqError`] for the error cases.
 pub type Result<T> = std::result::Result<T, CcqError>;

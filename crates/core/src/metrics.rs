@@ -359,7 +359,7 @@ pub const DROP_BUCKETS: [f64; 7] = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0];
 /// | `ccq_probe_rounds_total` / `ccq_probes_total` | counter | [`DescentEvent::ProbeRound`] |
 /// | `ccq_probe_xi` / `ccq_layer_probe_xi{layer}` | histogram | probe losses ξ |
 /// | `ccq_expert_weight{slot}` | gauge | π after each round |
-/// | `ccq_quantize_decisions_total{to}` | counter | [`DescentEvent::QuantizeDecision`] |
+/// | `ccq_quantize_decisions_total{to}` / `ccq_searcher_decisions_total{searcher}` | counter | [`DescentEvent::QuantizeDecision`] |
 /// | `ccq_recovery_epochs_total` / `ccq_train_loss` | counter / histogram | [`DescentEvent::RecoveryEpoch`] |
 /// | `ccq_steps_completed_total` / `ccq_recovery_epochs` / `ccq_valley_depth` | counter / histograms | [`DescentEvent::StepCompleted`] |
 /// | `ccq_guard_rollbacks_total` / `ccq_discarded_trace_points_total` | counter | [`DescentEvent::GuardRollback`] |
@@ -379,8 +379,14 @@ pub struct MetricsSink {
 impl MetricsSink {
     /// A sink reading time from `clock`.
     pub fn new(clock: Box<dyn Clock>) -> Self {
+        let mut registry = MetricsRegistry::new();
+        // Pre-register the rollback counters at zero: a run that never
+        // rolled back still exposes them, so expositions diff cleanly
+        // across runs that did and did not hit the guard.
+        registry.inc("ccq_guard_rollbacks_total", &[], 0);
+        registry.inc("ccq_discarded_trace_points_total", &[], 0);
         MetricsSink {
-            registry: MetricsRegistry::new(),
+            registry,
             clock,
             open: None,
         }
@@ -511,11 +517,14 @@ impl EventSink for MetricsSink {
                 to_bits,
                 valley_accuracy,
                 epoch,
+                searcher,
                 ..
             } => {
                 let to = to_bits.to_string();
                 self.registry
                     .inc("ccq_quantize_decisions_total", &[("to", &to)], 1);
+                self.registry
+                    .inc("ccq_searcher_decisions_total", &[("searcher", searcher)], 1);
                 self.registry
                     .set_gauge("ccq_val_accuracy", &[], f64::from(*valley_accuracy));
                 self.registry.set_gauge("ccq_epoch", &[], *epoch as f64);

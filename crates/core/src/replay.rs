@@ -255,6 +255,12 @@ fn decode_event(v: &Json) -> Result<DescentEvent, String> {
             probabilities: v.f32_array_field("probabilities")?,
             valley_accuracy: v.f32_field("valley_accuracy")?,
             lr: v.f32_field("lr")?,
+            // Streams written before the searcher abstraction carry no
+            // searcher field; only Hedge existed then.
+            searcher: match v.field("searcher") {
+                Ok(Json::Str(s)) => s.clone(),
+                _ => "hedge".to_string(),
+            },
         }),
         "recovery_epoch" => Ok(DescentEvent::RecoveryEpoch {
             step: v.usize_field("step")?,
@@ -326,18 +332,19 @@ fn parse_kind(s: &str) -> Result<ExpertKind, String> {
     }
 }
 
-/// Inverse of [`BitWidth`]'s `Display`: `"fp"` or `"<n>b"`.
+/// Inverse of [`BitWidth`]'s `Display`: `"fp"` or `"<n>b"` — including
+/// the zero-bit searcher's `"0b"` pruning rung.
 fn parse_bits(s: &str) -> Result<BitWidth, String> {
     if s == "fp" {
         return Ok(BitWidth::FP32);
     }
     let digits = s.strip_suffix('b').ok_or_else(|| bad_bits(s))?;
     let n: u32 = digits.parse().map_err(|_| bad_bits(s))?;
-    BitWidth::new(n).map_err(|_| bad_bits(s))
+    BitWidth::new_allowing_zero(n).map_err(|_| bad_bits(s))
 }
 
 fn bad_bits(s: &str) -> String {
-    format!("invalid bit width \"{s}\" (expected \"fp\" or \"<1..=32>b\")")
+    format!("invalid bit width \"{s}\" (expected \"fp\" or \"<0..=32>b\")")
 }
 
 fn as_usize(v: &Json, field: &str) -> Result<usize, String> {
@@ -452,6 +459,42 @@ pub fn render_run_summary(events: &[DescentEvent]) -> String {
                 r.compression
             );
         }
+    }
+    out
+}
+
+/// Renders a per-searcher decision summary from a replayed event
+/// stream: how many quantize decisions each searcher made, with the
+/// destination-rung distribution of those decisions. Deterministic
+/// ordering (searchers and rungs sorted lexically); the empty string
+/// when the stream carries no quantize decisions.
+pub fn render_searcher_summary(events: &[DescentEvent]) -> String {
+    let mut by_searcher: BTreeMap<&str, BTreeMap<String, usize>> = BTreeMap::new();
+    for ev in events {
+        if let DescentEvent::QuantizeDecision {
+            searcher, to_bits, ..
+        } = ev
+        {
+            *by_searcher
+                .entry(searcher.as_str())
+                .or_default()
+                .entry(to_bits.to_string())
+                .or_insert(0) += 1;
+        }
+    }
+    if by_searcher.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str("searcher decisions\n==================\n");
+    for (name, rungs) in &by_searcher {
+        let total: usize = rungs.values().sum();
+        let dist = rungs
+            .iter()
+            .map(|(to, n)| format!("{to}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "{name:<10} {total:>4} decisions  ({dist})");
     }
     out
 }
@@ -677,6 +720,7 @@ mod tests {
                 probabilities: vec![0.25, 0.75],
                 valley_accuracy: 0.701_2,
                 lr: 0.02,
+                searcher: "hedge".into(),
             },
             DescentEvent::GuardRollback {
                 step: 1,
@@ -771,8 +815,46 @@ mod tests {
     fn bit_widths_round_trip_fp_and_sized() {
         assert_eq!(parse_bits("fp").expect("fp"), BitWidth::FP32);
         assert_eq!(parse_bits("4b").expect("4b"), BitWidth::of(4));
-        assert!(parse_bits("0b").is_err());
+        // The zero-bit searcher's pruning rung is a legal stored width.
+        assert_eq!(parse_bits("0b").expect("0b"), BitWidth::ZERO);
+        assert!(parse_bits("33b").is_err());
         assert!(parse_bits("4").is_err());
+    }
+
+    #[test]
+    fn legacy_quantize_lines_without_searcher_parse_as_hedge() {
+        let line = "{\"event\":\"quantize\",\"step\":1,\"epoch\":3,\"layer\":2,\
+                    \"kind\":\"layer\",\"label\":\"fc2\",\"from_bits\":\"8b\",\
+                    \"to_bits\":\"4b\",\"valley_accuracy\":0.7,\"lr\":0.02,\
+                    \"probabilities\":[0.25,0.75]}";
+        let ev = parse_event_line(line).expect("legacy line");
+        let DescentEvent::QuantizeDecision { searcher, .. } = ev else {
+            panic!("expected a quantize decision");
+        };
+        assert_eq!(searcher, "hedge");
+    }
+
+    #[test]
+    fn searcher_summary_groups_decisions_deterministically() {
+        let mut events = sample_events();
+        if let DescentEvent::QuantizeDecision { searcher, .. } = &mut events[3] {
+            *searcher = "releq".into();
+        }
+        events.push(events[3].clone());
+        if let DescentEvent::QuantizeDecision {
+            searcher, to_bits, ..
+        } = &mut events[6]
+        {
+            *searcher = "zero-bit".into();
+            *to_bits = BitWidth::ZERO;
+        }
+        let s = render_searcher_summary(&events);
+        assert!(s.starts_with("searcher decisions\n"), "{s}");
+        assert!(s.contains("releq"), "{s}");
+        assert!(s.contains("zero-bit"), "{s}");
+        assert!(s.contains("0b:1"), "{s}");
+        assert_eq!(s, render_searcher_summary(&events), "byte-stable");
+        assert_eq!(render_searcher_summary(&[]), "");
     }
 
     #[test]

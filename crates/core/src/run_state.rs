@@ -14,6 +14,7 @@
 //! so a crash mid-write never loses the run.
 
 use crate::event::{StepRecord, TraceEvent, TracePoint};
+use crate::searcher::SearcherState;
 use crate::{CcqError, ExpertKind, Result};
 use ccq_nn::checkpoint::Checkpoint;
 use ccq_quant::BitWidth;
@@ -23,7 +24,16 @@ use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 7] = b"CCQRUNS";
-const VERSION: u8 = 1;
+/// Current write version. Version 1 (pre-[`crate::Searcher`]) stored a
+/// bare π vector where version 2 stores a tagged [`SearcherState`] plus
+/// the rollback counter; v1 files still load, mapping π to Hedge state.
+const VERSION: u8 = 2;
+
+/// Tags of the searcher-state section (v2+).
+const TAG_HEDGE: u8 = 0;
+const TAG_ZERO_BIT: u8 = 1;
+const TAG_RELEQ: u8 = 2;
+const TAG_ONE_SHOT: u8 = 3;
 
 /// A serializable snapshot of an in-flight CCQ run at a step boundary.
 ///
@@ -60,8 +70,11 @@ pub struct RunState {
     pub rng: [u64; 4],
     /// Plateau tracking of the hybrid LR schedule.
     pub plateau: (f32, usize, Option<usize>),
-    /// Hedge expert weights π.
-    pub pi: Vec<f32>,
+    /// The searcher's tagged mutable state (π for Hedge, θ for the RL
+    /// policy, the measured ordering for the one-shot allocator).
+    pub searcher: SearcherState,
+    /// Guard rollbacks taken so far in this run.
+    pub rollbacks: u64,
     /// SGD momentum buffers, in parameter visit order.
     pub velocities: Vec<Tensor>,
     /// The network checkpoint (weights, batch-norm stats, α, specs).
@@ -114,10 +127,38 @@ impl RunState {
                 w_u64(&mut out, k as u64);
             }
         }
-        w_u32(&mut out, self.pi.len() as u32);
-        for &p in &self.pi {
-            w_f32(&mut out, p);
+        match &self.searcher {
+            SearcherState::Hedge { pi } => {
+                out.push(TAG_HEDGE);
+                w_f32_list(&mut out, pi);
+            }
+            SearcherState::ZeroBit { pi } => {
+                out.push(TAG_ZERO_BIT);
+                w_f32_list(&mut out, pi);
+            }
+            SearcherState::ReleqRl {
+                theta,
+                baseline,
+                updates,
+            } => {
+                out.push(TAG_RELEQ);
+                w_f32_list(&mut out, theta);
+                w_f32(&mut out, *baseline);
+                w_u64(&mut out, *updates);
+            }
+            SearcherState::OneShot {
+                order,
+                sensitivities,
+            } => {
+                out.push(TAG_ONE_SHOT);
+                w_u32(&mut out, order.len() as u32);
+                for &s in order {
+                    w_u32(&mut out, s as u32);
+                }
+                w_f32_list(&mut out, sensitivities);
+            }
         }
+        w_u64(&mut out, self.rollbacks);
         w_u32(&mut out, self.velocities.len() as u32);
         for t in &self.velocities {
             w_u32(&mut out, t.rank() as u32);
@@ -166,6 +207,55 @@ impl RunState {
         out
     }
 
+    /// Serializes in the legacy v1 layout — a bare Hedge π vector where
+    /// v2 writes the tagged searcher section and rollback counter —
+    /// byte-for-byte what pre-searcher builds wrote to disk. Fixture
+    /// support for compatibility tests; not part of the stable API.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the searcher state isn't [`SearcherState::Hedge`]:
+    /// v1 only ever stored Hedge weights.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn to_legacy_v1_bytes(&self) -> Vec<u8> {
+        let SearcherState::Hedge { pi } = &self.searcher else {
+            // ccq-lint: allow(panic-surface) — test-fixture API, not a runtime path.
+            panic!("v1 fixtures are Hedge-only, got {:?}", self.searcher)
+        };
+        let v2 = self.to_bytes();
+        // v2 = header..plateau | tag + π-section + rollbacks | tail.
+        // Rebuild as   header..plateau | π-section | tail   with the
+        // version byte set to 1. The searcher section starts right
+        // after the plateau block, whose length is fixed given the
+        // restart tag, so split the v2 bytes around it.
+        let head_len = self.header_len();
+        let sect_len = 1 + 4 + 4 * pi.len() + 8; // tag + len + f32s + rollbacks
+        let mut out = Vec::new();
+        out.extend_from_slice(&v2[..head_len]);
+        out[7] = 1; // version byte
+        w_u32(&mut out, pi.len() as u32);
+        for &p in pi {
+            w_f32(&mut out, p);
+        }
+        out.extend_from_slice(&v2[head_len + sect_len..]);
+        out
+    }
+
+    /// Byte length of the serialized header through the plateau block
+    /// (where the searcher section begins).
+    fn header_len(&self) -> usize {
+        7 + 1 // magic + version
+            + 8 + 4 // seed + gamma
+            + 4 + 4 * self.ladder.len() // ladder
+            + 1 + 1 // granularity + regime
+            + match &self.targets { None => 1, Some(t) => 1 + 4 + 4 * t.len() }
+            + 8 + 8 // next_step + epoch
+            + 4 + 4 + 4 + 4 // accuracies + lrs
+            + 32 // rng
+            + 4 + 8 + match self.plateau.2 { None => 1, Some(_) => 9 }
+    }
+
     /// Deserializes from the binary run-state format.
     ///
     /// # Errors
@@ -180,9 +270,9 @@ impl RunState {
             return Err(malformed("not a CCQ run state (bad magic)"));
         }
         let version = r_u8(cur)?;
-        if version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(malformed(&format!(
-                "unsupported run-state version {version} (this build reads version {VERSION})"
+                "unsupported run-state version {version} (this build reads versions 1..={VERSION})"
             )));
         }
         let seed = r_u64(cur)?;
@@ -229,14 +319,47 @@ impl RunState {
             1 => Some(r_u64(cur)? as usize),
             other => return Err(malformed(&format!("bad restart tag {other}"))),
         };
-        let n_pi = r_u32(cur)? as usize;
-        if n_pi > 1 << 20 {
-            return Err(malformed("implausible π length"));
-        }
-        let mut pi = Vec::with_capacity(n_pi);
-        for _ in 0..n_pi {
-            pi.push(r_f32(cur)?);
-        }
+        let (searcher, rollbacks) = if version == 1 {
+            // v1 predates the searcher abstraction: a bare π vector, no
+            // rollback counter. Only the Hedge searcher existed, so the
+            // mapping is lossless and resume stays byte-identical.
+            (
+                SearcherState::Hedge {
+                    pi: r_f32_list(cur)?,
+                },
+                0u64,
+            )
+        } else {
+            let searcher = match r_u8(cur)? {
+                TAG_HEDGE => SearcherState::Hedge {
+                    pi: r_f32_list(cur)?,
+                },
+                TAG_ZERO_BIT => SearcherState::ZeroBit {
+                    pi: r_f32_list(cur)?,
+                },
+                TAG_RELEQ => SearcherState::ReleqRl {
+                    theta: r_f32_list(cur)?,
+                    baseline: r_f32(cur)?,
+                    updates: r_u64(cur)?,
+                },
+                TAG_ONE_SHOT => {
+                    let n = r_u32(cur)? as usize;
+                    if n > 1 << 20 {
+                        return Err(malformed("implausible one-shot order length"));
+                    }
+                    let mut order = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        order.push(r_u32(cur)? as usize);
+                    }
+                    SearcherState::OneShot {
+                        order,
+                        sensitivities: r_f32_list(cur)?,
+                    }
+                }
+                other => return Err(malformed(&format!("bad searcher tag {other}"))),
+            };
+            (searcher, r_u64(cur)?)
+        };
         let n_vel = r_u32(cur)? as usize;
         if n_vel > 1 << 20 {
             return Err(malformed("implausible velocity count"));
@@ -351,7 +474,8 @@ impl RunState {
             base_lr,
             rng,
             plateau: (plateau_best, plateau_since, plateau_restart),
-            pi,
+            searcher,
+            rollbacks,
             velocities,
             ckpt,
             trace,
@@ -541,7 +665,28 @@ fn kind_from_code(c: u8) -> Result<ExpertKind> {
 }
 
 fn bitwidth(bits: u32) -> Result<BitWidth> {
-    BitWidth::new(bits).map_err(|e| malformed(&e.to_string()))
+    // Zero is a legal stored width: the zero-bit searcher quantizes
+    // layers down to the pruning rung.
+    BitWidth::new_allowing_zero(bits).map_err(|e| malformed(&e.to_string()))
+}
+
+fn w_f32_list(out: &mut Vec<u8>, vals: &[f32]) {
+    w_u32(out, vals.len() as u32);
+    for &v in vals {
+        w_f32(out, v);
+    }
+}
+
+fn r_f32_list(cur: &mut &[u8]) -> Result<Vec<f32>> {
+    let n = r_u32(cur)? as usize;
+    if n > 1 << 20 {
+        return Err(malformed("implausible weight-vector length"));
+    }
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(r_f32(cur)?);
+    }
+    Ok(vals)
 }
 
 fn w_u32(out: &mut Vec<u8>, v: u32) {
@@ -612,7 +757,8 @@ mod tests {
             base_lr: 0.02,
             rng: [1, 2, 3, 4],
             plateau: (0.9, 1, Some(2)),
-            pi: vec![1.0, 0.5],
+            searcher: SearcherState::Hedge { pi: vec![1.0, 0.5] },
+            rollbacks: 2,
             velocities: crate::guard::capture_velocities(&mut net),
             ckpt: Checkpoint::capture(&mut net),
             trace: vec![
@@ -654,6 +800,78 @@ mod tests {
         let s = sample();
         let restored = RunState::from_bytes(&s.to_bytes()).unwrap();
         assert_eq!(restored, s);
+    }
+
+    #[test]
+    fn every_searcher_state_round_trips() {
+        let states = [
+            SearcherState::Hedge {
+                pi: vec![1.0, 0.25, 1e-30],
+            },
+            SearcherState::ZeroBit { pi: vec![0.5, 1.0] },
+            SearcherState::ReleqRl {
+                theta: vec![0.1, -0.2, 0.3, 0.0, 1.5, -9.0],
+                baseline: -0.73,
+                updates: 41,
+            },
+            SearcherState::OneShot {
+                order: vec![2, 0, 1],
+                sensitivities: vec![0.3, 0.9, 0.1],
+            },
+            // Pristine states (pre-first-competition autosaves).
+            SearcherState::ReleqRl {
+                theta: vec![],
+                baseline: 0.0,
+                updates: 0,
+            },
+            SearcherState::OneShot {
+                order: vec![],
+                sensitivities: vec![],
+            },
+        ];
+        for state in states {
+            let mut s = sample();
+            s.searcher = state.clone();
+            s.rollbacks = 7;
+            let restored = RunState::from_bytes(&s.to_bytes()).unwrap();
+            assert_eq!(restored.searcher, state);
+            assert_eq!(restored.rollbacks, 7);
+            assert_eq!(restored, s);
+        }
+    }
+
+    #[test]
+    fn zero_bit_widths_survive_the_round_trip() {
+        let mut s = sample();
+        s.searcher = SearcherState::ZeroBit { pi: vec![1.0, 1.0] };
+        s.steps[0].to_bits = BitWidth::ZERO;
+        s.trace[1].event = TraceEvent::QuantStep {
+            layer: 1,
+            to_bits: BitWidth::ZERO,
+        };
+        let restored = RunState::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(restored, s);
+        assert!(restored.steps[0].to_bits.is_pruned());
+    }
+
+    #[test]
+    fn legacy_v1_files_load_as_hedge_state() {
+        let s = sample(); // sample() uses Hedge π = [1.0, 0.5], rollbacks = 2
+        let v1 = s.to_legacy_v1_bytes();
+        let restored = RunState::from_bytes(&v1).unwrap();
+        assert_eq!(
+            restored.searcher,
+            SearcherState::Hedge { pi: vec![1.0, 0.5] }
+        );
+        assert_eq!(restored.rollbacks, 0, "v1 predates the rollback counter");
+        // Everything else is identical to the v2 reading of the same run.
+        let mut expect = s.clone();
+        expect.rollbacks = 0;
+        assert_eq!(restored, expect);
+        // Truncated v1 prefixes are still rejected at every length.
+        for keep in 0..v1.len() {
+            assert!(RunState::from_bytes(&v1[..keep]).is_err());
+        }
     }
 
     #[test]

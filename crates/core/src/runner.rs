@@ -6,9 +6,10 @@ use crate::event::{render_schedule_csv, render_trace_csv, EventSink, NullSink};
 #[cfg(feature = "fault-inject")]
 use crate::fault::FaultPlan;
 use crate::run_state::RunState;
+use crate::searcher::{Searcher, SearcherKind};
 use crate::{
-    CcqError, Competition, ExpertGranularity, GuardPolicy, LambdaSchedule, ProbeRegime,
-    RecoveryMode, Result, StepRecord, TracePoint,
+    CcqError, ExpertGranularity, GuardPolicy, LambdaSchedule, ProbeRegime, RecoveryMode, Result,
+    StepRecord, TracePoint,
 };
 use ccq_data::{Augment, ImageDataset};
 use ccq_nn::train::Batch;
@@ -40,6 +41,10 @@ pub struct CcqConfig {
     /// Expert granularity: whole layers (the paper) or independent
     /// weight/act experts (the natural extension).
     pub granularity: ExpertGranularity,
+    /// Which search strategy drives the Compete phase — see
+    /// [`SearcherKind`]. The default Hedge searcher reproduces the paper
+    /// bit-for-bit.
+    pub searcher: SearcherKind,
     /// Memory-aggressiveness schedule λ (Eq. 7).
     pub lambda: LambdaSchedule,
     /// Recovery mode for the collaboration stage.
@@ -106,6 +111,7 @@ impl Default for CcqConfig {
             probe_val_batches: 4,
             probe_regime: ProbeRegime::FullInformation,
             granularity: ExpertGranularity::Layer,
+            searcher: SearcherKind::Hedge,
             lambda: LambdaSchedule::default(),
             recovery: RecoveryMode::default(),
             use_hybrid_lr: true,
@@ -140,6 +146,9 @@ pub struct CcqReport {
     pub trace: Vec<TracePoint>,
     /// Final per-layer `(label, weight_bits, act_bits)`.
     pub bit_assignment: Vec<(String, BitWidth, BitWidth)>,
+    /// Guard rollbacks taken over the whole run (0 when no step ever
+    /// diverged).
+    pub rollbacks: u64,
 }
 
 impl CcqReport {
@@ -180,6 +189,9 @@ impl fmt::Display for CcqReport {
             self.final_compression,
             self.steps.len()
         )?;
+        // Always printed — even at zero — so summaries diff cleanly
+        // across runs that did and did not roll back.
+        writeln!(f, "rollbacks: {}", self.rollbacks)?;
         write!(f, "bit pattern: {}", self.bit_pattern())
     }
 }
@@ -193,7 +205,7 @@ impl fmt::Display for CcqReport {
 #[derive(Debug)]
 pub struct CcqRunner {
     config: CcqConfig,
-    competition: Competition,
+    searcher: Box<dyn Searcher>,
     #[cfg(feature = "fault-inject")]
     fault: Option<FaultPlan>,
 }
@@ -206,12 +218,10 @@ impl CcqRunner {
     /// Panics when the learning rate or γ is not positive.
     pub fn new(config: CcqConfig) -> Self {
         assert!(config.lr > 0.0, "learning rate must be positive");
-        let competition = Competition::new(config.gamma, config.probe_rounds)
-            .regime(config.probe_regime)
-            .granularity(config.granularity);
+        let searcher = config.searcher.build(&config);
         CcqRunner {
             config,
-            competition,
+            searcher,
             #[cfg(feature = "fault-inject")]
             fault: None,
         }
@@ -229,9 +239,10 @@ impl CcqRunner {
         &self.config
     }
 
-    /// The competition's current Hedge weights π (empty before a run).
+    /// The searcher's current per-slot selection weights (π for Hedge;
+    /// empty before a run).
     pub fn expert_weights(&self) -> &[f32] {
-        self.competition.expert_weights()
+        self.searcher.expert_weights()
     }
 
     /// Forward-work accounting for this runner's probe evaluations,
@@ -240,7 +251,7 @@ impl CcqRunner {
     /// [`crate::MetricsRegistry`] with
     /// [`crate::MetricsRegistry::record_probe_cache`].
     pub fn probe_cache_stats(&self) -> &crate::ProbeCacheStats {
-        self.competition.cache_stats()
+        self.searcher.cache_stats()
     }
 
     /// The armed fault plan, when one was injected.
@@ -264,7 +275,7 @@ impl CcqRunner {
     }
 
     /// Builds a [`DescentEngine`] borrowing this runner's configuration
-    /// and competition, for callers that want to single-step the phase
+    /// and searcher, for callers that want to single-step the phase
     /// machine. [`CcqRunner::drive`] is the run-to-completion shortcut.
     ///
     /// # Errors
@@ -282,7 +293,7 @@ impl CcqRunner {
     ) -> Result<DescentEngine<'a>> {
         let engine = DescentEngine::new(
             &self.config,
-            &mut self.competition,
+            &mut *self.searcher,
             net,
             train_provider,
             val,

@@ -217,6 +217,7 @@ fn jsonl_escapes_hostile_labels_and_non_finite_xi() {
         probabilities: vec![0.5, 0.5],
         valley_accuracy: 0.8,
         lr: 0.02,
+        searcher: "hedge".to_string(),
     };
     let line = event_json(&ev);
     let (v, rest) = Json::parse(&line).unwrap();

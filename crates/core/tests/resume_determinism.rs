@@ -3,7 +3,10 @@
 //! to a run that never stopped — same Hedge weights, same bit
 //! assignment, same learning curve, same final metrics.
 
-use ccq::{CcqConfig, CcqError, CcqRunner, LambdaSchedule, RecoveryMode, RunState};
+use ccq::{
+    CcqConfig, CcqError, CcqRunner, LambdaSchedule, RecoveryMode, RunState, SearcherKind,
+    SearcherState,
+};
 use ccq_data::{gaussian_blobs, BlobsConfig};
 use ccq_models::mlp;
 use ccq_nn::train::Batch;
@@ -135,6 +138,104 @@ fn interrupted_plus_resumed_equals_uninterrupted_bit_for_bit() {
     let mut b = Vec::new();
     res_net.visit_state_tensors(&mut |t| b.extend(t.as_slice().iter().map(|v| v.to_bits())));
     assert_eq!(a, b);
+}
+
+/// A pre-searcher (CCQRUNS v1) checkpoint must resume exactly as a v2
+/// Hedge checkpoint of the same run: same steps, same trace, same final
+/// weights, scalar for scalar.
+#[test]
+fn legacy_v1_checkpoint_resumes_as_hedge_bit_for_bit() {
+    let (train, val) = data();
+
+    // Interrupt a Hedge run after one step to get a v2 autosave.
+    let v2_path = tmp_path("v1_compat_source.ccqruns");
+    let mut cfg = config(Some(v2_path.clone()));
+    cfg.max_steps = 1;
+    let mut net = pretrained_net(&train);
+    let mut runner = CcqRunner::new(cfg);
+    let t = train.clone();
+    let mut provider = move |_: &mut Rng64| t.clone();
+    let _ = runner
+        .run_with_sources(&mut net, &mut provider, &val)
+        .unwrap();
+
+    // Downgrade the autosave to the legacy v1 layout.
+    let state = RunState::load(&v2_path).unwrap();
+    assert!(matches!(state.searcher, SearcherState::Hedge { .. }));
+    let v1_path = tmp_path("v1_compat_legacy.ccqruns");
+    std::fs::write(&v1_path, state.to_legacy_v1_bytes()).unwrap();
+
+    // Resume both under the full-length default (Hedge) config.
+    let resume = |from: &std::path::Path, save: &str| {
+        let mut net = mlp(&[8, 16, 16, 4], PolicyKind::Pact, 5);
+        let mut runner = CcqRunner::new(config(Some(tmp_path(save))));
+        let t = train.clone();
+        let mut provider = move |_: &mut Rng64| t.clone();
+        let report = runner
+            .resume_with_sources(from, &mut net, &mut provider, &val)
+            .unwrap();
+        let mut scalars = Vec::new();
+        net.visit_state_tensors(&mut |t| {
+            scalars.extend(t.as_slice().iter().map(|v| v.to_bits()));
+        });
+        (report, scalars)
+    };
+    let (from_v2, net_v2) = resume(&v2_path, "v1_compat_resume_a.ccqruns");
+    let (from_v1, net_v1) = resume(&v1_path, "v1_compat_resume_b.ccqruns");
+
+    assert_eq!(from_v1.steps, from_v2.steps);
+    assert_eq!(from_v1.trace, from_v2.trace);
+    assert_eq!(from_v1.bit_assignment, from_v2.bit_assignment);
+    assert_eq!(from_v1.rollbacks, from_v2.rollbacks);
+    assert_eq!(
+        from_v1.final_accuracy.to_bits(),
+        from_v2.final_accuracy.to_bits()
+    );
+    assert_eq!(
+        net_v1, net_v2,
+        "resumed networks must agree scalar-for-scalar"
+    );
+}
+
+/// Same spec, same seed, twice — every searcher must reproduce its run
+/// exactly, down to the autosaved run-state bytes.
+#[test]
+fn every_searcher_is_deterministic_under_a_fixed_seed() {
+    let (train, val) = data();
+    for kind in [
+        SearcherKind::ReleqRl,
+        SearcherKind::ZeroBit,
+        SearcherKind::OneShot,
+    ] {
+        let run = |save: &str| {
+            let path = tmp_path(save);
+            let mut cfg = config(Some(path.clone()));
+            cfg.searcher = kind;
+            let mut net = pretrained_net(&train);
+            let mut runner = CcqRunner::new(cfg);
+            let t = train.clone();
+            let mut provider = move |_: &mut Rng64| t.clone();
+            let report = runner
+                .run_with_sources(&mut net, &mut provider, &val)
+                .unwrap();
+            (report, std::fs::read(&path).unwrap())
+        };
+        let (report_a, bytes_a) = run("searcher_det_a.ccqruns");
+        let (report_b, bytes_b) = run("searcher_det_b.ccqruns");
+        assert_eq!(report_a.steps, report_b.steps, "{kind}: steps drifted");
+        assert_eq!(
+            report_a.final_accuracy.to_bits(),
+            report_b.final_accuracy.to_bits(),
+            "{kind}: final accuracy drifted"
+        );
+        assert_eq!(bytes_a, bytes_b, "{kind}: run-state bytes drifted");
+        let state = RunState::from_bytes(&bytes_a).unwrap();
+        assert_eq!(
+            state.searcher.kind_str(),
+            kind.as_str(),
+            "autosave must carry the searcher's own tagged state"
+        );
+    }
 }
 
 #[test]

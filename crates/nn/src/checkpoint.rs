@@ -497,7 +497,9 @@ fn policy_from_code(c: u32) -> Result<PolicyKind> {
 }
 
 fn bitwidth(bits: u32) -> Result<BitWidth> {
-    BitWidth::new(bits).map_err(|e| NnError::CheckpointFormat(e.to_string()))
+    // Zero is a legal stored width: a checkpoint taken mid-run under the
+    // zero-bit searcher can hold layers quantized to the pruning rung.
+    BitWidth::new_allowing_zero(bits).map_err(|e| NnError::CheckpointFormat(e.to_string()))
 }
 
 #[cfg(test)]

@@ -32,14 +32,35 @@ impl BitWidth {
     pub const B8: BitWidth = BitWidth(8);
     /// Two bits — the customary bottom rung.
     pub const B2: BitWidth = BitWidth(2);
+    /// Zero bits: the layer is *pruned*. Weights and activations read as
+    /// zero, gradients are masked, and the layer contributes no bits to
+    /// the model size — the Bayesian-Bits view that channel pruning is
+    /// just the rung below the lowest quantized precision.
+    pub const ZERO: BitWidth = BitWidth(0);
 
     /// Creates a bit width.
     ///
     /// # Errors
     ///
-    /// Returns [`QuantError::InvalidBitWidth`] outside `1..=32`.
+    /// Returns [`QuantError::InvalidBitWidth`] outside `1..=32`. The 0-bit
+    /// pruning rung is deliberately excluded here so ordinary ladders and
+    /// parsers keep rejecting it; use [`BitWidth::new_allowing_zero`] on
+    /// paths that opt into the pruning regime.
     pub fn new(bits: u32) -> Result<Self> {
         if (1..=32).contains(&bits) {
+            Ok(BitWidth(bits as u8))
+        } else {
+            Err(QuantError::InvalidBitWidth(bits))
+        }
+    }
+
+    /// Creates a bit width, additionally accepting the 0-bit pruning rung.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidBitWidth`] outside `0..=32`.
+    pub fn new_allowing_zero(bits: u32) -> Result<Self> {
+        if bits <= 32 {
             Ok(BitWidth(bits as u8))
         } else {
             Err(QuantError::InvalidBitWidth(bits))
@@ -73,6 +94,11 @@ impl BitWidth {
     /// Whether this width means "leave values in full precision".
     pub fn is_full_precision(&self) -> bool {
         self.0 == 32
+    }
+
+    /// Whether this width is the 0-bit pruning rung.
+    pub fn is_pruned(&self) -> bool {
+        self.0 == 0
     }
 }
 
@@ -134,6 +160,18 @@ impl BitLadder {
     pub fn paper_default() -> Self {
         // ccq-lint: allow(panic-surface) — static strictly-descending literal always satisfies BitLadder::new
         BitLadder::new(&[8, 6, 4, 3, 2]).expect("static ladder is valid")
+    }
+
+    /// This ladder extended with the 0-bit pruning rung below its floor:
+    /// `8 → 4 → 2` becomes `8 → 4 → 2 → 0b`, so a layer can compete its
+    /// way past the lowest quantized precision into *pruned*. Idempotent
+    /// when the ladder already ends at zero.
+    pub fn with_zero_rung(&self) -> Self {
+        let mut rungs = self.rungs.clone();
+        if rungs.last() != Some(&BitWidth::ZERO) {
+            rungs.push(BitWidth::ZERO);
+        }
+        BitLadder { rungs }
     }
 
     /// The rungs, highest precision first.
@@ -201,6 +239,25 @@ mod tests {
         assert!(BitWidth::new(33).is_err());
         assert!(BitWidth::new(1).is_ok());
         assert!(BitWidth::new(32).is_ok());
+    }
+
+    #[test]
+    fn zero_bit_rung_is_opt_in() {
+        assert_eq!(BitWidth::new_allowing_zero(0).unwrap(), BitWidth::ZERO);
+        assert!(BitWidth::new_allowing_zero(33).is_err());
+        assert!(BitWidth::ZERO.is_pruned());
+        assert!(!BitWidth::B2.is_pruned());
+        assert_eq!(BitWidth::ZERO.to_string(), "0b");
+    }
+
+    #[test]
+    fn with_zero_rung_extends_below_the_floor() {
+        let l = BitLadder::new(&[8, 4, 2]).unwrap().with_zero_rung();
+        assert_eq!(l.floor(), BitWidth::ZERO);
+        assert_eq!(l.next_below(BitWidth::of(2)), Some(BitWidth::ZERO));
+        assert_eq!(l.next_below(BitWidth::ZERO), None);
+        // Idempotent: applying it twice adds no second rung.
+        assert_eq!(l.with_zero_rung().len(), l.len());
     }
 
     #[test]

@@ -199,10 +199,16 @@ impl LayerQuant {
     }
 
     /// Fake-quantizes a weight tensor according to the spec.
+    ///
+    /// The 0-bit pruning rung short-circuits every policy: pruned weights
+    /// read as zero.
     pub fn quantize_weights(&self, w: &Tensor) -> Tensor {
         let bits = self.spec.weight_bits.bits();
         if self.spec.weight_bits.is_full_precision() {
             return w.clone();
+        }
+        if self.spec.weight_bits.is_pruned() {
+            return Tensor::zeros(w.shape());
         }
         match self.spec.policy {
             PolicyKind::Dorefa => dorefa::quantize_weights(w, bits),
@@ -237,6 +243,10 @@ impl LayerQuant {
     pub fn weight_grad_mask(&self, w: &Tensor) -> Option<Tensor> {
         if self.spec.weight_bits.is_full_precision() {
             return None;
+        }
+        // Pruned weights are frozen: no gradient reaches the shadow values.
+        if self.spec.weight_bits.is_pruned() {
+            return Some(Tensor::zeros(w.shape()));
         }
         match self.spec.policy {
             // DoReFa's tanh remap never saturates, and PACT's max-abs
@@ -273,6 +283,9 @@ impl LayerQuant {
         if self.spec.weight_bits.is_full_precision() {
             return grad_wq;
         }
+        if self.spec.weight_bits.is_pruned() {
+            return Tensor::zeros(w.shape());
+        }
         if self.spec.policy.has_learnable_steps() {
             let bits = self.spec.weight_bits.bits().min(31);
             let (qn, qp) = lsq::signed_range(bits);
@@ -301,6 +314,11 @@ impl LayerQuant {
     /// through.
     pub fn quantize_acts(&self, x: &Tensor) -> Tensor {
         let bits = self.spec.act_bits.bits();
+        // Pruned activations read as zero before any policy dispatch: the
+        // policies' grids degenerate (divide by `levels - 1 = 0`) at 0 bits.
+        if self.spec.act_bits.is_pruned() {
+            return Tensor::zeros(x.shape());
+        }
         match self.spec.policy {
             PolicyKind::Pact | PolicyKind::Sawb => pact::quantize_acts(x, self.alpha, bits),
             // DoReFa/WRPN clamp even at 32 bits (handled inside).
@@ -335,6 +353,9 @@ impl LayerQuant {
     /// Panics when `grad_out` and `x` shapes differ.
     pub fn act_backward(&mut self, grad_out: &Tensor, x: &Tensor) -> Tensor {
         assert_eq!(grad_out.shape(), x.shape(), "act_backward shape mismatch");
+        if self.spec.act_bits.is_pruned() {
+            return Tensor::zeros(x.shape());
+        }
         match self.spec.policy {
             PolicyKind::Pact | PolicyKind::Sawb => {
                 let b = pact::act_backward(grad_out, x, self.alpha);
@@ -485,6 +506,21 @@ mod tests {
         let x = Tensor::from_vec(vec![-0.5, 0.5, 1.5], &[3]).unwrap();
         let g = Tensor::ones(&[3]);
         assert_eq!(lq.act_backward(&g, &x).as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_bit_rung_prunes_the_layer() {
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 3.0], &[3]).unwrap();
+        let g = Tensor::ones(&[3]);
+        for policy in PolicyKind::ALL {
+            let mut lq = LayerQuant::new(QuantSpec::new(policy, BitWidth::ZERO, BitWidth::ZERO));
+            assert_eq!(lq.quantize_weights(&x).as_slice(), &[0.0; 3], "{policy}");
+            assert_eq!(lq.quantize_acts(&x).as_slice(), &[0.0; 3], "{policy}");
+            assert_eq!(lq.weight_backward(&x, g.clone()).as_slice(), &[0.0; 3]);
+            assert_eq!(lq.act_backward(&g, &x).as_slice(), &[0.0; 3]);
+            let mask = lq.weight_grad_mask(&x).expect("pruned mask");
+            assert_eq!(mask.as_slice(), &[0.0; 3], "{policy}");
+        }
     }
 
     #[test]

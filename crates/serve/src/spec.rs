@@ -11,7 +11,7 @@
 //! contract.
 
 use crate::error::{Result, ServeError};
-use ccq::{CcqConfig, GuardPolicy, LambdaSchedule, RecoveryMode};
+use ccq::{CcqConfig, GuardPolicy, LambdaSchedule, RecoveryMode, SearcherKind};
 use ccq_data::{gaussian_blobs, BlobsConfig};
 use ccq_models::mlp;
 use ccq_nn::train::Batch;
@@ -51,6 +51,8 @@ pub struct JobSpec {
     pub seed: u64,
     /// Hedge learning rate γ.
     pub gamma: f32,
+    /// Compete-phase search strategy (hedge, zero-bit, releq, one-shot).
+    pub searcher: SearcherKind,
     /// Bit ladder, top to floor.
     pub ladder: Vec<u32>,
     /// Competition rounds per step (0 = the default two).
@@ -96,6 +98,7 @@ impl JobSpec {
             batch_size: 16,
             seed: 5 + variant,
             gamma: 0.5,
+            searcher: SearcherKind::Hedge,
             ladder: if variant.is_multiple_of(2) {
                 vec![8, 4]
             } else {
@@ -144,6 +147,7 @@ impl JobSpec {
         let _ = writeln!(out, "batch_size = {}", self.batch_size);
         let _ = writeln!(out, "seed = {}", self.seed);
         let _ = writeln!(out, "gamma = {}", self.gamma);
+        let _ = writeln!(out, "searcher = {}", self.searcher.as_str());
         let _ = writeln!(
             out,
             "ladder = {}",
@@ -196,7 +200,10 @@ impl JobSpec {
                 )))
             }
         }
-        let mut kv: Vec<(String, String)> = Vec::new();
+        // Each entry carries the 1-based line it came from so late
+        // diagnostics (unknown key) can point at the source line just
+        // like the early ones (malformed line, duplicate key).
+        let mut kv: Vec<(String, String, usize)> = Vec::new();
         for (i, line) in lines.enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -209,17 +216,17 @@ impl JobSpec {
                 )));
             };
             let k = k.trim().to_string();
-            if kv.iter().any(|(seen, _)| *seen == k) {
+            if kv.iter().any(|(seen, _, _)| *seen == k) {
                 return Err(ServeError::Spec(format!(
                     "line {}: duplicate key {k:?}",
                     i + 2
                 )));
             }
-            kv.push((k, v.trim().to_string()));
+            kv.push((k, v.trim().to_string(), i + 2));
         }
         let mut taken: Vec<bool> = vec![false; kv.len()];
         let mut get = |key: &str| -> Option<String> {
-            kv.iter().position(|(k, _)| k == key).map(|i| {
+            kv.iter().position(|(k, _, _)| k == key).map(|i| {
                 taken[i] = true;
                 kv[i].1.clone()
             })
@@ -265,6 +272,7 @@ impl JobSpec {
             batch_size: parse_num(get("batch_size"), "batch_size", 16)?,
             seed: parse_num(get("seed"), "seed", 0)?,
             gamma: parse_num(get("gamma"), "gamma", 0.5)?,
+            searcher: parse_searcher(get("searcher"))?,
             ladder: parse_ladder(&req(get("ladder"), "ladder")?)?,
             probe_rounds: parse_num(get("probe_rounds"), "probe_rounds", 0)?,
             probe_val_batches: parse_num(get("probe_val_batches"), "probe_val_batches", 0)?,
@@ -276,7 +284,10 @@ impl JobSpec {
             target_compression: parse_target(get("target_compression"))?,
         };
         if let Some((i, _)) = taken.iter().enumerate().find(|(_, t)| !**t) {
-            return Err(ServeError::Spec(format!("unknown key {:?}", kv[i].0)));
+            return Err(ServeError::Spec(format!(
+                "line {}: unknown key {:?}",
+                kv[i].2, kv[i].0
+            )));
         }
         spec.validate()?;
         Ok(spec)
@@ -333,6 +344,7 @@ impl JobSpec {
         Ok(CcqConfig {
             ladder,
             gamma: self.gamma,
+            searcher: self.searcher,
             probe_rounds: self.probe_rounds,
             probe_val_batches: self.probe_val_batches,
             lambda: match self.lambda {
@@ -422,6 +434,13 @@ fn parse_ladder(v: &str) -> Result<Vec<u32>> {
                 .map_err(|_| ServeError::Spec(format!("ladder rung {b:?} is not an integer")))
         })
         .collect()
+}
+
+fn parse_searcher(v: Option<String>) -> Result<SearcherKind> {
+    match v {
+        None => Ok(SearcherKind::Hedge),
+        Some(s) => SearcherKind::parse(&s).map_err(|e| ServeError::Spec(format!("searcher: {e}"))),
+    }
 }
 
 fn parse_lambda(v: Option<String>) -> Result<Option<f32>> {
@@ -576,10 +595,54 @@ mod tests {
         let spec = JobSpec::parse(minimal).expect("minimal spec");
         assert_eq!(spec.split, 96, "3/4 of 128 samples");
         assert_eq!(spec.guard, GuardPolicy::default());
+        assert_eq!(spec.searcher, SearcherKind::Hedge, "missing key -> hedge");
         assert!(spec.lambda.is_none());
         assert!(spec.target_compression.is_none());
         let cfg = spec.to_config().expect("config");
         cfg.validate().expect("valid ccq config");
+    }
+
+    #[test]
+    fn searcher_key_round_trips_every_kind() {
+        for (word, kind) in [
+            ("hedge", SearcherKind::Hedge),
+            ("zero-bit", SearcherKind::ZeroBit),
+            ("releq", SearcherKind::ReleqRl),
+            ("one-shot", SearcherKind::OneShot),
+        ] {
+            let mut spec = JobSpec::demo("s", 0);
+            spec.searcher = kind;
+            let text = spec.render();
+            assert!(text.contains(&format!("searcher = {word}\n")));
+            let back = JobSpec::parse(&text).expect("searcher spec parses");
+            assert_eq!(back.searcher, kind);
+            assert_eq!(back.to_config().expect("config").searcher, kind);
+        }
+        let bad = JobSpec::demo("s", 0)
+            .render()
+            .replace("searcher = hedge", "searcher = oracle");
+        let err = JobSpec::parse(&bad).expect_err("unknown searcher rejected");
+        assert!(err.to_string().contains("oracle"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_error_names_the_line() {
+        // Fixture with the stray key pinned mid-file: header is line 1,
+        // so `mystery_knob` below sits on line 5.
+        let fixture = "ccq-job v1\n\
+                       name = tiny\n\
+                       model = mlp:8x4\n\
+                       policy = pact\n\
+                       mystery_knob = 7\n\
+                       data = blobs:4x8x32\n\
+                       ladder = 8,4\n\
+                       recovery = manual:1\n";
+        let err = JobSpec::parse(fixture).expect_err("unknown key rejected");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 5: unknown key \"mystery_knob\""),
+            "diagnostic must cite the source line: {msg}"
+        );
     }
 
     #[test]

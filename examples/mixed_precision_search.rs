@@ -18,6 +18,16 @@
 //!     --resume mixed_precision_search.ccqruns
 //! ```
 //!
+//! `--searcher <hedge|zero-bit|releq|one-shot>` swaps the compete-phase
+//! strategy (artifact files pick up the searcher name so runs don't
+//! clobber each other), and `--assert-done` exits nonzero unless the
+//! search reached its compression target — the suite's searcher gate:
+//!
+//! ```sh
+//! cargo run --release --example mixed_precision_search -- \
+//!     --searcher releq --assert-done
+//! ```
+//!
 //! Either way the search streams its event log — baseline, per-round
 //! probe losses, quantize decisions, recovery epochs — as JSON lines to
 //! `mixed_precision_search.events.jsonl` through a [`JsonlSink`], and
@@ -30,7 +40,7 @@
 
 use ccq_repro::ccq::{
     layer_profiles, render_probe_cache_stats, CcqConfig, CcqRunner, FanoutSink, JsonlSink,
-    MetricsSink, RecoveryMode,
+    MetricsSink, RecoveryMode, SearcherKind,
 };
 use ccq_repro::data::{synth_cifar, Augment, SynthCifarConfig};
 use ccq_repro::hw::{model_size, network_power, MacEnergyModel};
@@ -44,15 +54,28 @@ use std::path::PathBuf;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let mut resume: Option<PathBuf> = None;
+    let mut searcher = SearcherKind::Hedge;
+    let mut assert_done = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--resume" => {
                 let path = args.next().ok_or("--resume needs a run-state path")?;
                 resume = Some(PathBuf::from(path));
             }
+            "--searcher" => {
+                let kind = args.next().ok_or("--searcher needs a strategy name")?;
+                searcher = SearcherKind::parse(&kind)?;
+            }
+            "--assert-done" => assert_done = true,
             other => return Err(format!("unknown argument: {other}").into()),
         }
     }
+    // Artifacts are per-searcher so a gate can run every strategy in one
+    // directory without the runs clobbering each other's autosaves.
+    let stem = match searcher {
+        SearcherKind::Hedge => "mixed_precision_search".to_string(),
+        other => format!("mixed_precision_search.{other}"),
+    };
 
     // A compact workload so the example finishes in about a minute.
     let data = synth_cifar(&SynthCifarConfig {
@@ -89,14 +112,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // CCQ search to a 10x compression target, with crash-safe autosaves
     // at every step boundary.
+    let target_compression = 10.0;
     let cfg = CcqConfig {
-        target_compression: Some(10.0),
+        target_compression: Some(target_compression),
         recovery: RecoveryMode::Adaptive {
             tolerance: 0.02,
             max_epochs: 4,
         },
         seed: 2,
-        autosave: Some(PathBuf::from("mixed_precision_search.ccqruns")),
+        searcher,
+        autosave: Some(PathBuf::from(format!("{stem}.ccqruns"))),
         ..CcqConfig::default()
     };
     let mut runner = CcqRunner::new(cfg);
@@ -105,9 +130,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // structured event (probe round, quantize decision, recovery epoch…).
     // The same stream fans out into a metrics sink on the wall clock, so
     // the run also leaves a Prometheus-style exposition behind.
-    let events_path = "mixed_precision_search.events.jsonl";
-    let metrics_path = "mixed_precision_search.metrics.txt";
-    let mut events = JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(events_path)?));
+    let events_path = format!("{stem}.events.jsonl");
+    let metrics_path = format!("{stem}.metrics.txt");
+    let mut events = JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(
+        &events_path,
+    )?));
     let mut metrics = MetricsSink::wall();
     let report = {
         let mut fan = FanoutSink::new().with(&mut events).with(&mut metrics);
@@ -127,12 +154,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fold the run's probe-cache accounting into the exposition and
     // leave a sidecar behind so `ccq-report --probe-cache` can show how
     // much forward work incremental probe evaluation saved offline.
-    let cache_path = "mixed_precision_search.probe_cache.json";
+    let cache_path = format!("{stem}.probe_cache.json");
     let mut registry = metrics.into_registry();
     registry.record_probe_cache(runner.probe_cache_stats());
-    std::fs::write(metrics_path, registry.render_text())?;
+    std::fs::write(&metrics_path, registry.render_text())?;
     std::fs::write(
-        cache_path,
+        &cache_path,
         render_probe_cache_stats(runner.probe_cache_stats()),
     )?;
     println!("{report}");
@@ -166,6 +193,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:<22} {:.4} mW ({} MACs/inference)",
             l.label, l.power_mw, l.macs
         );
+    }
+
+    // `--assert-done` turns the run into a gate: exit nonzero unless the
+    // search actually reached its compression target (mirrors ccq-serve's
+    // `status --assert-done` contract).
+    if assert_done && report.final_compression < target_compression {
+        return Err(format!(
+            "searcher {searcher} stopped at {:.2}x, short of the {target_compression:.0}x target",
+            report.final_compression
+        )
+        .into());
     }
     Ok(())
 }

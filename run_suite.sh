@@ -91,6 +91,15 @@ for id in smoke-a smoke-b; do
   cmp "results/serve_events_ref_$id.norm" "results/serve_events_kill_$id.norm" || exit 1
 done
 
+# --- searcher gate: the intro workload must reach its 10x compression
+# target under every compete-phase strategy; --assert-done makes each
+# run exit nonzero when the search stops short (see DESIGN.md §15) ---
+cargo build --release --example mixed_precision_search 2> results/build_example.log || exit 1
+for S in hedge zero-bit releq one-shot; do
+  target/release/examples/mixed_precision_search --searcher "$S" --assert-done \
+    > "results/search_$S.log" 2>&1 || exit 1
+done
+
 # --- bench-smoke gate: both snapshot benchmarks must run at one rep on
 # the serial AND parallel builds, write parseable JSON, and incremental
 # probing must never lose to full-forward probing (bench_simd --smoke
