@@ -6,6 +6,7 @@
 
 // Tables and CSVs go to stdout by design.
 #![allow(clippy::print_stdout)]
+// ccq-lint: allow-file(panic-surface) — bench harness: aborting on setup failure is the intended UX
 
 use ccq::{CcqConfig, CcqRunner, ExpertGranularity, LambdaSchedule, ProbeRegime, RecoveryMode};
 use ccq_bench::{build_workload, fmt_pct, fmt_ratio, Scale};

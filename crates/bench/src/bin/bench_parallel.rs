@@ -11,6 +11,7 @@
 
 // Tables and CSVs go to stdout by design.
 #![allow(clippy::print_stdout)]
+// ccq-lint: allow-file(panic-surface) — bench harness: aborting on setup failure is the intended UX
 
 use ccq::{Competition, LambdaSchedule};
 use ccq_data::{synth_cifar, SynthCifarConfig};

@@ -10,6 +10,7 @@
 
 // Tables and CSVs go to stdout by design.
 #![allow(clippy::print_stdout)]
+// ccq-lint: allow-file(panic-surface) — bench harness: aborting on setup failure is the intended UX
 
 use ccq::{CcqConfig, CcqReport, CcqRunner, RecoveryMode};
 use ccq_bench::{build_workload, fmt_pct, Scale};

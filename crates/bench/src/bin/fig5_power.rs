@@ -12,6 +12,7 @@
 
 // Tables and CSVs go to stdout by design.
 #![allow(clippy::print_stdout)]
+// ccq-lint: allow-file(panic-surface) — bench harness: aborting on setup failure is the intended UX
 
 use ccq::layer_profiles;
 use ccq_bench::Scale;

@@ -10,6 +10,7 @@
 
 // Tables and CSVs go to stdout by design.
 #![allow(clippy::print_stdout)]
+// ccq-lint: allow-file(panic-surface) — bench harness: aborting on setup failure is the intended UX
 
 use ccq::baselines::{one_shot_quantize, OneShotConfig};
 use ccq::{CcqConfig, CcqRunner, LambdaSchedule, RecoveryMode};

@@ -13,6 +13,7 @@
 
 // Tables and CSVs go to stdout by design.
 #![allow(clippy::print_stdout)]
+// ccq-lint: allow-file(panic-surface) — bench harness: aborting on setup failure is the intended UX
 
 use ccq::baselines::{hawq_assign, one_shot_quantize, HawqConfig, OneShotConfig};
 use ccq::{CcqConfig, CcqRunner, RecoveryMode};

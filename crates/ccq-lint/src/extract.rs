@@ -1,0 +1,579 @@
+//! Cross-file wire-format fact extraction and drift checking.
+//!
+//! CCQ serializes state in four hand-rolled formats, each with an
+//! emitter and a parser that must agree key-for-key:
+//!
+//! * the JSONL event stream — `event_json` in `event.rs` writes keys
+//!   that `decode_event` in `replay.rs` reads back;
+//! * the `ccq-job v1` text spec — `JobSpec::render` writes `key = value`
+//!   lines that `JobSpec::parse` reads back (same file, two halves);
+//! * the metrics exposition — names registered through
+//!   `inc`/`set_gauge`/`observe` in `metrics.rs` back the `# TYPE`
+//!   families in the golden `metrics.txt`;
+//! * the CCQRUNS v2 run state — `TAG_*` section tags in `run_state.rs`
+//!   must be pushed by the writer *and* matched by the reader.
+//!
+//! This module harvests those string-literal facts from the token
+//! stream ([`crate::lexer`] keeps the unquoted literal content, escapes
+//! unresolved) and reports any emitted-but-unparsed or
+//! parsed-but-never-emitted key as a `wire-drift` finding carrying both
+//! locations: the orphaned fact's own, and the counterpart side's
+//! anchor.
+//!
+//! Test code (`#[cfg(test)]` regions) contributes no facts: round-trip
+//! tests quote keys freely without being part of the wire format.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{collect_waivers, test_mask, FileCtx, FileKind, Finding, Related, Waiver};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which half of which wire format a source file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireRole {
+    /// `event.rs`: builds JSON event lines (and is the kind authority).
+    EventEmit,
+    /// `replay.rs`: parses JSON event lines (and emits the probe-cache
+    /// sidecar, so it contributes emit facts too).
+    EventParse,
+    /// `spec.rs`: both renders and parses the `ccq-job v1` text format.
+    Spec,
+    /// `metrics.rs`: registers metric names.
+    Metrics,
+    /// The golden `metrics.txt` exposition (plain text, not Rust).
+    GoldenMetrics,
+    /// `run_state.rs`: CCQRUNS section tags.
+    RunState,
+}
+
+/// One source fed to [`check_wire`].
+#[derive(Debug, Clone, Copy)]
+pub struct WireSource<'a> {
+    /// Which half of which format this file holds.
+    pub role: WireRole,
+    /// Workspace-relative path used in diagnostics.
+    pub path: &'a str,
+    /// The file's content.
+    pub src: &'a str,
+}
+
+/// One harvested string fact.
+#[derive(Debug, Clone)]
+struct Fact {
+    key: String,
+    path: String,
+    line: u32,
+    col: u32,
+}
+
+impl Fact {
+    fn related(&self) -> Related {
+        Related {
+            path: self.path.clone(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// A lexed Rust wire file with its comment-free token index and test
+/// mask, shared by the per-role extractors.
+struct RsFile<'a> {
+    path: &'a str,
+    toks: Vec<Tok>,
+    code: Vec<usize>,
+    in_test: Vec<bool>,
+}
+
+impl<'a> RsFile<'a> {
+    fn new(path: &'a str, src: &str) -> Self {
+        let toks = lex(src);
+        let in_test = test_mask(&toks);
+        let code = (0..toks.len())
+            .filter(|&i| toks[i].kind != TokKind::Comment)
+            .collect();
+        Self {
+            path,
+            toks,
+            code,
+            in_test,
+        }
+    }
+
+    /// Non-test string-literal tokens.
+    fn strs(&self) -> impl Iterator<Item = &Tok> {
+        self.code
+            .iter()
+            .filter(|&&i| !self.in_test[i] && self.toks[i].is_str())
+            .map(|&i| &self.toks[i])
+    }
+
+    fn fact(&self, t: &Tok, key: &str) -> Fact {
+        Fact {
+            key: key.to_string(),
+            path: self.path.to_string(),
+            line: t.line,
+            col: t.col,
+        }
+    }
+}
+
+/// Cross-checks every wire format for which both halves are present.
+/// Findings are waivable at the orphaned fact's line with a standalone
+/// `// ccq-lint: allow(wire-drift) — reason`; a wire-drift waiver that
+/// suppresses nothing is reported stale from here (the per-file pass
+/// defers to this one for those).
+pub fn check_wire(sources: &[WireSource<'_>]) -> Vec<Finding> {
+    let mut emit_json: Vec<Fact> = Vec::new();
+    let mut parse_json: Vec<Fact> = Vec::new();
+    let mut emit_kind: Vec<Fact> = Vec::new();
+    let mut parse_kind: Vec<Fact> = Vec::new();
+    let mut spec_emit: Vec<Fact> = Vec::new();
+    let mut spec_parse: Vec<Fact> = Vec::new();
+    let mut metric_reg: Vec<Fact> = Vec::new();
+    let mut golden_fam: Vec<Fact> = Vec::new();
+    let mut tag_defs: Vec<Fact> = Vec::new();
+    let mut tag_uses: Vec<Fact> = Vec::new();
+    let mut have: BTreeSet<&'static str> = BTreeSet::new();
+    // (path, toks) of each Rust source, for waiver handling.
+    let mut rs_waivers: Vec<(String, Vec<Waiver>)> = Vec::new();
+
+    for s in sources {
+        if s.role == WireRole::GoldenMetrics {
+            have.insert("golden");
+            golden_fam.extend(golden_families(s.path, s.src));
+            continue;
+        }
+        let f = RsFile::new(s.path, s.src);
+        rs_waivers.push((s.path.to_string(), wire_waivers(s.path, &f.toks)));
+        match s.role {
+            WireRole::EventEmit => {
+                have.insert("event-emit");
+                let (keys, kinds) = json_emit_facts(&f);
+                emit_json.extend(keys);
+                emit_kind.extend(kinds);
+            }
+            WireRole::EventParse => {
+                have.insert("event-parse");
+                // The parser side also renders the probe-cache sidecar,
+                // so it contributes emit facts for its own keys.
+                let (keys, _) = json_emit_facts(&f);
+                emit_json.extend(keys);
+                parse_json.extend(json_parse_facts(&f));
+                parse_kind.extend(decode_arm_facts(&f));
+            }
+            WireRole::Spec => {
+                have.insert("spec");
+                spec_emit.extend(spec_emit_facts(&f));
+                spec_parse.extend(spec_parse_facts(&f));
+            }
+            WireRole::Metrics => {
+                have.insert("metrics");
+                metric_reg.extend(metric_reg_facts(&f));
+            }
+            WireRole::GoldenMetrics => unreachable!(),
+            WireRole::RunState => {
+                have.insert("run-state");
+                let (defs, uses) = tag_facts(&f);
+                tag_defs.extend(defs);
+                tag_uses.extend(uses);
+            }
+        }
+    }
+
+    let mut raw = Vec::new();
+    if have.contains("event-emit") && have.contains("event-parse") {
+        drift(
+            &emit_json,
+            &parse_json,
+            "JSON event key",
+            "is emitted here but never parsed by decode_event",
+            &mut raw,
+        );
+        drift(
+            &parse_json,
+            &emit_json,
+            "JSON event key",
+            "is parsed here but never emitted by event_json",
+            &mut raw,
+        );
+        drift(
+            &emit_kind,
+            &parse_kind,
+            "event kind",
+            "is emitted here but decode_event has no matching arm",
+            &mut raw,
+        );
+        drift(
+            &parse_kind,
+            &emit_kind,
+            "event kind",
+            "has a decode arm here but is never emitted",
+            &mut raw,
+        );
+    }
+    if have.contains("spec") {
+        drift(
+            &spec_emit,
+            &spec_parse,
+            "spec key",
+            "is rendered here but never read back by JobSpec::parse",
+            &mut raw,
+        );
+        drift(
+            &spec_parse,
+            &spec_emit,
+            "spec key",
+            "is read here but JobSpec::render never writes it",
+            &mut raw,
+        );
+    }
+    if have.contains("metrics") && have.contains("golden") {
+        // One direction only: a registered name missing from the golden
+        // just means that run never touched it; a golden family with no
+        // registration is a rename that outlived the code.
+        drift(
+            &golden_fam,
+            &metric_reg,
+            "golden metric family",
+            "has no inc/set_gauge/observe registration in metrics.rs",
+            &mut raw,
+        );
+    }
+    if have.contains("run-state") {
+        tag_drift(&tag_defs, &tag_uses, &mut raw);
+    }
+
+    // Apply wire-drift waivers and flag the stale ones.
+    let mut findings = Vec::new();
+    let mut used: Vec<Vec<bool>> = rs_waivers
+        .iter()
+        .map(|(_, ws)| vec![false; ws.len()])
+        .collect();
+    for f in raw {
+        let mut suppressed = false;
+        for (fi, (path, ws)) in rs_waivers.iter().enumerate() {
+            if *path != f.path {
+                continue;
+            }
+            for (wi, w) in ws.iter().enumerate() {
+                if w.suppresses("wire-drift", f.line) {
+                    used[fi][wi] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+    for (fi, (path, ws)) in rs_waivers.iter().enumerate() {
+        for (wi, w) in ws.iter().enumerate() {
+            if !used[fi][wi] {
+                findings.push(Finding {
+                    path: path.clone(),
+                    line: w.line,
+                    col: w.col,
+                    rule: "stale-waiver",
+                    message: "waiver for `wire-drift` suppresses nothing; delete it".into(),
+                    related: None,
+                });
+            }
+        }
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    findings
+}
+
+/// The waivers of one wire file that name `wire-drift` (the per-file
+/// pass validates shape and rejects mixed-rule wire waivers, so only
+/// well-formed standalone ones survive to here).
+fn wire_waivers(path: &str, toks: &[Tok]) -> Vec<Waiver> {
+    let features = BTreeSet::new();
+    let ctx = FileCtx {
+        path: path.to_string(),
+        crate_name: "ccq",
+        kind: FileKind::LibrarySrc,
+        features: &features,
+    };
+    let (waivers, _) = collect_waivers(&ctx, toks);
+    waivers
+        .into_iter()
+        .filter(|w| w.rules.iter().any(|r| r == "wire-drift"))
+        .collect()
+}
+
+/// Every key in `a` with no counterpart in `b` becomes one finding at
+/// its first occurrence, pointing at `b`'s anchor (the counterpart
+/// side's first fact) as the second location.
+fn drift(a: &[Fact], b: &[Fact], what: &str, how: &str, out: &mut Vec<Finding>) {
+    let b_keys: BTreeSet<&str> = b.iter().map(|f| f.key.as_str()).collect();
+    let mut seen = BTreeSet::new();
+    for f in a {
+        if b_keys.contains(f.key.as_str()) || !seen.insert(f.key.as_str()) {
+            continue;
+        }
+        out.push(Finding {
+            path: f.path.clone(),
+            line: f.line,
+            col: f.col,
+            rule: "wire-drift",
+            message: format!("{what} \"{}\" {how}", f.key),
+            related: b.first().map(Fact::related),
+        });
+    }
+}
+
+/// A CCQRUNS tag is healthy only if it appears on both sides of the
+/// format: at least two non-definition, non-test uses (writer push and
+/// reader match arm).
+fn tag_drift(defs: &[Fact], uses: &[Fact], out: &mut Vec<Finding>) {
+    for d in defs {
+        let mut sites = uses.iter().filter(|u| u.key == d.key);
+        let (first, second) = (sites.next(), sites.next());
+        if second.is_some() {
+            continue;
+        }
+        out.push(Finding {
+            path: d.path.clone(),
+            line: d.line,
+            col: d.col,
+            rule: "wire-drift",
+            message: format!(
+                "CCQRUNS section tag {} is used on {} side(s); the writer must push it and the \
+                 reader must match it",
+                d.key,
+                u8::from(first.is_some()),
+            ),
+            related: first.map(Fact::related),
+        });
+    }
+}
+
+/// Harvests emitted JSON keys (`\"key\":` inside string literals) and
+/// event-kind values (`\"event\":\"kind\"`). The lexer keeps literal
+/// content with escapes unresolved, so an emitted key appears exactly as
+/// the two characters `\"` followed by the key and `\":`.
+fn json_emit_facts(f: &RsFile<'_>) -> (Vec<Fact>, Vec<Fact>) {
+    let mut keys = Vec::new();
+    let mut kinds = Vec::new();
+    for t in f.strs() {
+        let bytes = t.text.as_bytes();
+        let mut i = 0usize;
+        while i + 1 < bytes.len() {
+            if !(bytes[i] == b'\\' && bytes[i + 1] == b'"') {
+                i += 1;
+                continue;
+            }
+            let start = i + 2;
+            let mut j = start;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            // `\"key\":` — closing escaped quote then a colon.
+            if j > start
+                && bytes.get(j) == Some(&b'\\')
+                && bytes.get(j + 1) == Some(&b'"')
+                && bytes.get(j + 2) == Some(&b':')
+            {
+                let key = &t.text[start..j];
+                keys.push(f.fact(t, key));
+                // `\"event\":\"kind\"` — the kind value rides along.
+                if key == "event"
+                    && bytes.get(j + 3) == Some(&b'\\')
+                    && bytes.get(j + 4) == Some(&b'"')
+                {
+                    let vstart = j + 5;
+                    let mut v = vstart;
+                    while v < bytes.len() && (bytes[v].is_ascii_alphanumeric() || bytes[v] == b'_')
+                    {
+                        v += 1;
+                    }
+                    if v > vstart && bytes.get(v) == Some(&b'\\') && bytes.get(v + 1) == Some(&b'"')
+                    {
+                        kinds.push(f.fact(t, &t.text[vstart..v]));
+                    }
+                }
+                i = j + 3;
+            } else {
+                i += 2;
+            }
+        }
+    }
+    (keys, kinds)
+}
+
+/// Harvests parsed JSON keys: the string argument of `field("…")` /
+/// `*_field("…")` accessor calls.
+fn json_parse_facts(f: &RsFile<'_>) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for p in 0..f.code.len() {
+        let i = f.code[p];
+        if f.in_test[i] {
+            continue;
+        }
+        let t = &f.toks[i];
+        let is_accessor =
+            t.kind == TokKind::Ident && (t.text == "field" || t.text.ends_with("_field"));
+        if !is_accessor {
+            continue;
+        }
+        let open = f.code.get(p + 1).map(|&j| &f.toks[j]);
+        let arg = f.code.get(p + 2).map(|&j| &f.toks[j]);
+        if let (Some(open), Some(arg)) = (open, arg) {
+            if open.is_punct("(") && arg.is_str() {
+                out.push(f.fact(arg, &arg.text));
+            }
+        }
+    }
+    out
+}
+
+/// Harvests the match arms of `fn decode_event`: string literals
+/// immediately followed by `=>` inside that function's body.
+fn decode_arm_facts(f: &RsFile<'_>) -> Vec<Fact> {
+    let mut out = Vec::new();
+    // Find `fn decode_event`, then its body by brace matching.
+    let Some(p0) = (0..f.code.len().saturating_sub(1)).find(|&p| {
+        f.toks[f.code[p]].is_ident("fn") && f.toks[f.code[p + 1]].is_ident("decode_event")
+    }) else {
+        return out;
+    };
+    let Some(body) = (p0..f.code.len()).find(|&p| f.toks[f.code[p]].is_punct("{")) else {
+        return out;
+    };
+    let mut depth = 0usize;
+    for p in body..f.code.len() {
+        let t = &f.toks[f.code[p]];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_str() && f.code.get(p + 1).is_some_and(|&j| f.toks[j].is_punct("=>")) {
+            out.push(f.fact(t, &t.text));
+        }
+    }
+    out
+}
+
+/// Harvests rendered spec keys: string literals of the form
+/// `key = …` (the `writeln!` format strings of `JobSpec::render`).
+fn spec_emit_facts(f: &RsFile<'_>) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for t in f.strs() {
+        let bytes = t.text.as_bytes();
+        let mut j = 0usize;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if j > 0 && t.text[j..].starts_with(" = ") {
+            out.push(f.fact(t, &t.text[..j]));
+        }
+    }
+    out
+}
+
+/// Harvests parsed spec keys: the string argument of `get("…")`.
+fn spec_parse_facts(f: &RsFile<'_>) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for p in 0..f.code.len() {
+        let i = f.code[p];
+        if f.in_test[i] || !f.toks[i].is_ident("get") {
+            continue;
+        }
+        let open = f.code.get(p + 1).map(|&j| &f.toks[j]);
+        let arg = f.code.get(p + 2).map(|&j| &f.toks[j]);
+        if let (Some(open), Some(arg)) = (open, arg) {
+            if open.is_punct("(") && arg.is_str() {
+                out.push(f.fact(arg, &arg.text));
+            }
+        }
+    }
+    out
+}
+
+/// Harvests registered metric names: the first string argument of
+/// `inc(` / `set_gauge(` / `observe(` when it starts with `ccq_`.
+fn metric_reg_facts(f: &RsFile<'_>) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for p in 0..f.code.len() {
+        let i = f.code[p];
+        if f.in_test[i] {
+            continue;
+        }
+        let t = &f.toks[i];
+        if !(t.is_ident("inc") || t.is_ident("set_gauge") || t.is_ident("observe")) {
+            continue;
+        }
+        let open = f.code.get(p + 1).map(|&j| &f.toks[j]);
+        let arg = f.code.get(p + 2).map(|&j| &f.toks[j]);
+        if let (Some(open), Some(arg)) = (open, arg) {
+            if open.is_punct("(") && arg.is_str() && arg.text.starts_with("ccq_") {
+                out.push(f.fact(arg, &arg.text));
+            }
+        }
+    }
+    out
+}
+
+/// Harvests `# TYPE <family> <kind>` lines from the golden metrics
+/// exposition.
+fn golden_families(path: &str, src: &str) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for (n, line) in src.lines().enumerate() {
+        let Some(rest) = line.strip_prefix("# TYPE ") else {
+            continue;
+        };
+        let Some(fam) = rest.split_whitespace().next() else {
+            continue;
+        };
+        out.push(Fact {
+            key: fam.to_string(),
+            path: path.to_string(),
+            line: (n + 1) as u32,
+            col: 1,
+        });
+    }
+    out
+}
+
+/// Harvests CCQRUNS tag definitions (`const TAG_X`) and their non-test,
+/// non-definition uses.
+fn tag_facts(f: &RsFile<'_>) -> (Vec<Fact>, Vec<Fact>) {
+    let mut defs = Vec::new();
+    let mut uses = Vec::new();
+    let mut def_sites: BTreeMap<(u32, u32), ()> = BTreeMap::new();
+    for p in 0..f.code.len() {
+        let i = f.code[p];
+        if f.in_test[i] {
+            continue;
+        }
+        let t = &f.toks[i];
+        if t.is_ident("const")
+            && f.code.get(p + 1).is_some_and(|&j| {
+                f.toks[j].kind == TokKind::Ident && f.toks[j].text.starts_with("TAG_")
+            })
+        {
+            let d = &f.toks[f.code[p + 1]];
+            defs.push(f.fact(d, &d.text));
+            def_sites.insert((d.line, d.col), ());
+        }
+    }
+    for p in 0..f.code.len() {
+        let i = f.code[p];
+        if f.in_test[i] {
+            continue;
+        }
+        let t = &f.toks[i];
+        if t.kind == TokKind::Ident
+            && t.text.starts_with("TAG_")
+            && !def_sites.contains_key(&(t.line, t.col))
+        {
+            uses.push(f.fact(t, &t.text));
+        }
+    }
+    (defs, uses)
+}

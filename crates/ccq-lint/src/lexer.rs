@@ -62,6 +62,12 @@ impl Tok {
     pub fn is_float(&self) -> bool {
         matches!(self.kind, TokKind::Number { float: true })
     }
+
+    /// Whether this token is a string literal (its `text` holds the
+    /// unquoted content, escapes unresolved — see [`crate::extract`]).
+    pub fn is_str(&self) -> bool {
+        self.kind == TokKind::Str
+    }
 }
 
 struct Cursor<'a> {
@@ -181,7 +187,9 @@ pub fn lex(src: &str) -> Vec<Tok> {
             _ => {
                 // Multi-char operators the rules match on stay fused;
                 // everything else is one Punct per character.
-                let fused = ["==", "!=", "::"].into_iter().find(|op| c.starts_with(op));
+                let fused = ["==", "!=", "::", "=>"]
+                    .into_iter()
+                    .find(|op| c.starts_with(op));
                 match fused {
                     Some(op) => {
                         c.bump();
@@ -432,13 +440,13 @@ mod tests {
 
     #[test]
     fn fused_operators() {
-        let toks = lex("a == b != c :: d = e");
+        let toks = lex("a == b != c :: d = e => f");
         let puncts: Vec<_> = toks
             .iter()
             .filter(|t| t.kind == TokKind::Punct)
             .map(|t| t.text.as_str())
             .collect();
-        assert_eq!(puncts, ["==", "!=", "::", "="]);
+        assert_eq!(puncts, ["==", "!=", "::", "=", "=>"]);
     }
 
     #[test]

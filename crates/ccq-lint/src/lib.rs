@@ -6,37 +6,50 @@
 //! equivalence across engine refactors. Those invariants are easy to
 //! break silently — one `HashMap` in the Hedge update, one
 //! `Instant::now()` in a descent decision, one bare `unwrap()` in the
-//! autosave path. This crate makes them machine-checked on every commit:
+//! autosave path, one JSON key renamed on only one side of the wire.
+//! This crate makes them machine-checked on every commit:
 //!
 //! | rule | scope | forbids |
 //! |------|-------|---------|
 //! | `determinism` | library code of [`rules::PROTECTED_CRATES`] | `HashMap`/`HashSet`, `Instant::now`, `SystemTime` |
-//! | `panic-surface` | library code of [`rules::PROTECTED_CRATES`] | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `panic-surface` | library code of [`rules::PROTECTED_CRATES`], `examples/`, ccq-bench bins | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `no-unsafe` | everywhere | `unsafe` |
 //! | `float-eq` | library code, all crates | `==`/`!=` against a float literal |
 //! | `feature-hygiene` | everywhere | `feature = "…"` strings not declared in the crate's `Cargo.toml` |
+//! | `durability` | [`rules::DURABILITY_PATHS`] + `crates/serve/src/**` | `rename` without a same-function `sync_all`; `File::create` on a final path |
+//! | `concurrency` | library code outside [`rules::SANCTIONED_POOL_PATHS`] | `ThreadPoolBuilder`, `std::thread::spawn`; `Mutex`/`RwLock` in [`rules::LOCK_FREE_CRATES`] |
+//! | `wire-drift` | cross-file (see [`extract`]) | serialized keys emitted but never parsed, or parsed but never emitted |
+//! | `stale-waiver` | every waiver | waivers that suppress nothing |
 //!
 //! Test code (`tests/`, `#[cfg(test)]` items, `#[test]` fns) is exempt
-//! from `determinism`, `panic-surface`, and `float-eq`. Intentional
-//! violations carry `// ccq-lint: allow(rule) — reason` waivers; the
-//! reason is mandatory. See [`rules`] for details and `DESIGN.md` §10
-//! for the policy.
+//! from `determinism`, `panic-surface`, `float-eq`, and `durability`.
+//! Intentional violations carry `// ccq-lint: allow(rule) — reason`
+//! waivers (or `allow-file` in non-library files); the reason is
+//! mandatory, and a waiver that stops suppressing anything becomes a
+//! `stale-waiver` finding. See [`rules`] for details and `DESIGN.md`
+//! §10/§16 for the policy.
 //!
 //! Run it with `cargo run -q -p ccq-lint` from anywhere in the
-//! workspace; it exits non-zero when anything fires.
+//! workspace; it exits non-zero when anything fires. `--format json`
+//! emits machine-readable diagnostics on stdout (archived as
+//! `results/lint.json` by `run_suite.sh`), `--list-rules` and
+//! `--explain <rule>` document the rule set.
 
+pub mod extract;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
 
-pub use rules::{check_file, FileCtx, FileKind, Finding};
+pub use extract::{check_wire, WireRole, WireSource};
+pub use rules::{check_file, rule_info, FileCtx, FileKind, Finding, Related, RuleInfo, RULES};
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Lints every first-party crate of the workspace rooted at `root`: the
-/// root package plus each `crates/*` member. `vendor/` (third-party
+/// Lints every first-party crate of the workspace rooted at `root` (the
+/// root package plus each `crates/*` member), then cross-checks the
+/// wire-format files against each other. `vendor/` (third-party
 /// stand-ins) and directories named `fixtures` or `target` are skipped.
 ///
 /// # Errors
@@ -90,8 +103,108 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             }
         }
     }
-    findings.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    findings.extend(wire_pass(root)?);
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     Ok(findings)
+}
+
+/// The fixed role map of the cross-file pass: workspace-relative path →
+/// which half of which wire format it holds.
+pub const WIRE_ROLES: [(&str, WireRole); 6] = [
+    ("crates/core/src/event.rs", WireRole::EventEmit),
+    ("crates/core/src/replay.rs", WireRole::EventParse),
+    ("crates/serve/src/spec.rs", WireRole::Spec),
+    ("crates/core/src/metrics.rs", WireRole::Metrics),
+    (
+        "crates/core/tests/golden/metrics.txt",
+        WireRole::GoldenMetrics,
+    ),
+    ("crates/core/src/run_state.rs", WireRole::RunState),
+];
+
+/// Reads whichever wire-format files exist under `root` and cross-checks
+/// them; formats with a missing half are skipped, so the pass also works
+/// on partial trees (the seeded-drift smoke check in `run_suite.sh`
+/// copies just the event/replay pair into a scratch root).
+fn wire_pass(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut owned: Vec<(String, String, WireRole)> = Vec::new();
+    for (rel, role) in WIRE_ROLES {
+        let mut p = root.to_path_buf();
+        for part in rel.split('/') {
+            p.push(part);
+        }
+        if p.is_file() {
+            owned.push((rel.to_string(), fs::read_to_string(&p)?, role));
+        }
+    }
+    let sources: Vec<WireSource<'_>> = owned
+        .iter()
+        .map(|(path, src, role)| WireSource {
+            role: *role,
+            path,
+            src,
+        })
+        .collect();
+    Ok(check_wire(&sources))
+}
+
+/// Renders findings as the stable machine-readable diagnostics document
+/// archived by CI. Byte-stable for a given finding list: fixed field
+/// order, one finding per line, sorted input preserved verbatim.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"version\": 1,\n");
+    s.push_str(&format!("  \"count\": {},\n", findings.len()));
+    if findings.is_empty() {
+        s.push_str("  \"findings\": []\n}\n");
+        return s;
+    }
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}",
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.message),
+        ));
+        if let Some(r) = &f.related {
+            s.push_str(&format!(
+                ", \"related\": {{\"file\": {}, \"line\": {}, \"col\": {}}}",
+                json_str(&r.path),
+                r.line,
+                r.col,
+            ));
+        }
+        s.push('}');
+        if i + 1 < findings.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Recursively collects `.rs` files in sorted order, skipping `fixtures`

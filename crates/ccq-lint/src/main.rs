@@ -1,17 +1,93 @@
 //! The `ccq-lint` CLI: lints the workspace and exits non-zero on any
-//! finding. Diagnostics go to stderr in `file:line:col: rule: message`
-//! form so `results/lint.log` captures them verbatim.
+//! finding.
+//!
+//! ```text
+//! ccq-lint [ROOT] [--format text|json] [--list-rules] [--explain RULE]
+//! ```
+//!
+//! Text diagnostics go to stderr in `file:line:col: rule: message` form
+//! so `results/lint.log` captures them verbatim; `--format json` writes
+//! the machine-readable document to stdout (archived as
+//! `results/lint.json` by `run_suite.sh`). Exit codes: 0 clean, 1
+//! findings, 2 usage or scan error.
+
+// JSON diagnostics, the rule registry, and --explain output are the
+// bin's contract: stdout IS the machine-readable product here.
+#![allow(clippy::print_stdout)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: ccq-lint [ROOT] [--format text|json] [--list-rules] [--explain RULE]"
+}
+
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(p) => PathBuf::from(p),
-        None => ccq_lint::find_workspace_root(
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "ccq-lint: --format expects `text` or `json`, got {:?}\n{}",
+                        other.unwrap_or("nothing"),
+                        usage()
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in &ccq_lint::RULES {
+                    println!("{:15} {}", r.name, r.scope);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(name) = args.next() else {
+                    eprintln!("ccq-lint: --explain expects a rule name\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                let Some(r) = ccq_lint::rule_info(&name) else {
+                    eprintln!("ccq-lint: unknown rule `{name}`; try --list-rules for the full set");
+                    return ExitCode::from(2);
+                };
+                println!("{}", r.name);
+                println!("  scope:     {}", r.scope);
+                println!("  rationale: {}", r.rationale);
+                println!("  waivers:   {}", r.waiver_policy);
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => {
+                eprintln!("ccq-lint: unknown flag `{a}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+            _ => {
+                if root.is_some() {
+                    eprintln!("ccq-lint: more than one ROOT given\n{}", usage());
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(a));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        ccq_lint::find_workspace_root(
             &std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
-        ),
-    };
+        )
+    });
     let findings = match ccq_lint::lint_workspace(&root) {
         Ok(f) => f,
         Err(e) => {
@@ -19,8 +95,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for f in &findings {
-        eprintln!("{f}");
+    match format {
+        Format::Json => {
+            print!("{}", ccq_lint::render_json(&findings));
+        }
+        Format::Text => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+        }
     }
     if findings.is_empty() {
         eprintln!("ccq-lint: workspace clean");

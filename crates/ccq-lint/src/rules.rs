@@ -14,19 +14,31 @@
 //! ```
 //!
 //! The reason is mandatory. A trailing waiver covers its own line; a
-//! standalone waiver comment covers the next line of code.
+//! standalone waiver comment covers the next line of code. Binary,
+//! example, test, and bench files may instead waive a rule for the whole
+//! file with `ccq-lint: allow-file(rule-name) — reason`; library code
+//! must waive line by line.
+//!
+//! A waiver that suppresses nothing is itself a finding
+//! (`stale-waiver`), so waivers cannot outlive the violation they were
+//! written for.
 
 use crate::lexer::{lex, Tok, TokKind};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// Every rule the engine knows, in reporting order.
-pub const RULE_NAMES: [&str; 5] = [
+/// Every waivable rule the engine knows, in reporting order.
+/// `waiver` and `stale-waiver` diagnostics are never waivable and are
+/// deliberately absent.
+pub const RULE_NAMES: [&str; 8] = [
     "determinism",
     "panic-surface",
     "no-unsafe",
     "float-eq",
     "feature-hygiene",
+    "durability",
+    "concurrency",
+    "wire-drift",
 ];
 
 /// Crates whose library code must stay deterministic and panic-free:
@@ -34,6 +46,119 @@ pub const RULE_NAMES: [&str; 5] = [
 /// digests, where a stray `unwrap()` or `HashMap` breaks the
 /// reproducibility guarantees of PRs 1–3.
 pub const PROTECTED_CRATES: [&str; 5] = ["ccq", "ccq-tensor", "ccq-nn", "ccq-quant", "ccq-serve"];
+
+/// Crates whose library hot paths must stay lock-free: descent state is
+/// partitioned per rayon chunk, never shared behind a lock. The serve
+/// daemon (supervisor state) is deliberately not on this list.
+pub const LOCK_FREE_CRATES: [&str; 4] = ["ccq", "ccq-tensor", "ccq-nn", "ccq-quant"];
+
+/// The only modules allowed to construct thread pools or touch raw
+/// threading primitives; everything else goes through them.
+pub const SANCTIONED_POOL_PATHS: [&str; 1] = ["crates/tensor/src/par.rs"];
+
+/// Files holding crash-durable state: checkpoint/run-state writers and
+/// the serve job spool. The `durability` rule family applies here.
+pub const DURABILITY_PATHS: [&str; 2] = [
+    "crates/core/src/run_state.rs",
+    "crates/nn/src/checkpoint.rs",
+];
+
+/// The Rust halves of the wire formats cross-checked by
+/// [`crate::extract::check_wire`]. `wire-drift` waivers are only valid
+/// in these files (plus the golden metrics text, which cannot carry
+/// Rust comments).
+pub const WIRE_RS_PATHS: [&str; 5] = [
+    "crates/core/src/event.rs",
+    "crates/core/src/replay.rs",
+    "crates/serve/src/spec.rs",
+    "crates/core/src/metrics.rs",
+    "crates/core/src/run_state.rs",
+];
+
+/// Static metadata for `--list-rules` / `--explain` and the DESIGN.md
+/// rule table.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The rule name as written in diagnostics and waivers.
+    pub name: &'static str,
+    /// Where the rule is in force.
+    pub scope: &'static str,
+    /// Why the rule exists.
+    pub rationale: &'static str,
+    /// When (if ever) a waiver is acceptable.
+    pub waiver_policy: &'static str,
+}
+
+/// One entry per diagnostic the engine can emit, including the two
+/// meta-diagnostics (`waiver`, `stale-waiver`) that police the waivers
+/// themselves.
+pub const RULES: [RuleInfo; 10] = [
+    RuleInfo {
+        name: "determinism",
+        scope: "library code of the protected crates (ccq, ccq-tensor, ccq-nn, ccq-quant, ccq-serve), outside tests",
+        rationale: "HashMap/HashSet iteration order, Instant::now, and SystemTime vary run-to-run and break bit-identical descents, golden digests, and replay==live",
+        waiver_policy: "line waiver with the invariant that restores determinism (e.g. keys drained through a sorted view)",
+    },
+    RuleInfo {
+        name: "panic-surface",
+        scope: "library code of the protected crates, plus examples/ and ccq-bench bins, outside tests",
+        rationale: "a stray unwrap in the descent or autosave path turns a recoverable I/O error into a lost run; library code returns typed errors",
+        waiver_policy: "line waiver stating why the invariant holds; demo/bench files may use a file-level waiver when aborting is the intended UX",
+    },
+    RuleInfo {
+        name: "no-unsafe",
+        scope: "everywhere, including tests",
+        rationale: "the whole stack is safe Rust; one unsafe block would invalidate that blanket claim",
+        waiver_policy: "line waiver; expected never to be used",
+    },
+    RuleInfo {
+        name: "float-eq",
+        scope: "library code of all crates, outside tests",
+        rationale: "== / != against a float literal is almost always a tolerance bug in quantization math",
+        waiver_policy: "line waiver naming the exact sentinel value being compared",
+    },
+    RuleInfo {
+        name: "feature-hygiene",
+        scope: "everywhere, including tests",
+        rationale: "cfg(feature = …) strings not declared in the crate's Cargo.toml silently compile to dead code",
+        waiver_policy: "line waiver, normally only while a feature gate lands ahead of its feature",
+    },
+    RuleInfo {
+        name: "durability",
+        scope: "run_state.rs, checkpoint.rs, and crates/serve/src/** (the crash-durable state writers), outside tests",
+        rationale: "a rename not preceded by fsync, or a File::create on the final path, loses acknowledged state on power cut; the only sanctioned pattern is tmp + fsync + rename",
+        waiver_policy: "line waiver explaining why the data is already durable (e.g. renaming a file fsynced by its writer)",
+    },
+    RuleInfo {
+        name: "concurrency",
+        scope: "library code outside crates/tensor/src/par.rs, outside tests; the Mutex/RwLock ban covers the lock-free crates (ccq, ccq-tensor, ccq-nn, ccq-quant)",
+        rationale: "ad-hoc pools and raw std::thread::spawn bypass the deterministic rayon configuration; locks in descent hot paths serialize what chunking already partitions",
+        waiver_policy: "line waiver; the shared single-thread pool in ccq-nn carries the canonical one",
+    },
+    RuleInfo {
+        name: "wire-drift",
+        scope: "cross-file: event.rs vs replay.rs JSON keys and event kinds, spec.rs render vs parse, golden metrics.txt vs metrics.rs registrations, CCQRUNS tags in run_state.rs",
+        rationale: "a serialized key emitted but never parsed (or vice versa) ships silent data loss that golden re-blessing can hide",
+        waiver_policy: "line waiver in the wire file, standing alone (not mixed with other rules); used for deliberate forward-compat keys",
+    },
+    RuleInfo {
+        name: "waiver",
+        scope: "every ccq-lint waiver comment",
+        rationale: "a waiver without a reason, naming an unknown rule, or file-level in library code is a policy violation in itself",
+        waiver_policy: "never waivable; fix the waiver",
+    },
+    RuleInfo {
+        name: "stale-waiver",
+        scope: "every ccq-lint waiver comment",
+        rationale: "a waiver that suppresses nothing is dead policy: it documents a violation that no longer exists and will silently hide a future one",
+        waiver_policy: "never waivable; delete the waiver",
+    },
+];
+
+/// Looks up the metadata for one rule name.
+pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
 
 /// How a file participates in its crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +188,18 @@ pub struct FileCtx<'a> {
     pub features: &'a BTreeSet<String>,
 }
 
+/// The other half of a cross-file diagnostic: where the counterpart
+/// format lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Workspace-relative path of the counterpart.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -72,11 +209,14 @@ pub struct Finding {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
-    /// The rule that fired (one of [`RULE_NAMES`], or `waiver` for a
-    /// malformed waiver — which is itself never waivable).
+    /// The rule that fired: one of [`RULE_NAMES`], or `waiver` /
+    /// `stale-waiver` for waiver-policy diagnostics (which are
+    /// themselves never waivable).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// For cross-file rules, the counterpart location.
+    pub related: Option<Related>,
 }
 
 impl fmt::Display for Finding {
@@ -85,15 +225,41 @@ impl fmt::Display for Finding {
             f,
             "{}:{}:{}: {}: {}",
             self.path, self.line, self.col, self.rule, self.message
-        )
+        )?;
+        if let Some(r) = &self.related {
+            write!(f, " (counterpart: {}:{}:{})", r.path, r.line, r.col)?;
+        }
+        Ok(())
     }
 }
 
-/// A parsed `// ccq-lint: allow(...)` directive.
-struct Waiver {
-    rules: Vec<String>,
-    /// The line of code this waiver covers.
-    covers: u32,
+/// What a waiver covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Covers {
+    /// One line of code.
+    Line(u32),
+    /// The whole file (`allow-file`, non-library files only).
+    File,
+}
+
+/// A parsed `// ccq-lint: allow(...)` / `allow-file(...)` directive.
+#[derive(Debug)]
+pub(crate) struct Waiver {
+    pub(crate) rules: Vec<String>,
+    pub(crate) covers: Covers,
+    /// Where the directive itself sits (for stale-waiver reporting).
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+}
+
+impl Waiver {
+    pub(crate) fn suppresses(&self, rule: &str, line: u32) -> bool {
+        let here = match self.covers {
+            Covers::Line(l) => l == line,
+            Covers::File => true,
+        };
+        here && self.rules.iter().any(|r| r == rule)
+    }
 }
 
 /// Checks one source file against every rule in scope for it.
@@ -113,17 +279,53 @@ pub fn check_file(ctx: &FileCtx<'_>, src: &str) -> Vec<Finding> {
         let prev = p.checked_sub(1).map(|q| &toks[code[q]]);
         scan_token(ctx, t, prev, next, next2, in_test[i], &mut raw);
     }
-    // Keep only findings no waiver covers.
+    durability_pass(ctx, &toks, &code, &in_test, &mut raw);
+
+    // Keep only findings no waiver covers, and remember which waivers
+    // earned their keep.
+    let mut used = vec![false; waivers.len()];
     for f in raw {
-        let waived = waivers
-            .iter()
-            .any(|w| w.covers == f.line && w.rules.iter().any(|r| r == f.rule));
-        if !waived {
+        let mut suppressed = false;
+        for (wi, w) in waivers.iter().enumerate() {
+            if w.suppresses(f.rule, f.line) {
+                used[wi] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
             findings.push(f);
         }
     }
+    // A waiver that suppressed nothing is dead policy. `wire-drift`
+    // waivers are judged by the cross-file pass instead (see
+    // `crate::extract`), which alone knows whether they suppress.
+    for (wi, w) in waivers.iter().enumerate() {
+        if used[wi] || w.rules.iter().any(|r| r == "wire-drift") {
+            continue;
+        }
+        findings.push(Finding {
+            path: ctx.path.clone(),
+            line: w.line,
+            col: w.col,
+            rule: "stale-waiver",
+            message: format!(
+                "waiver for {} suppresses nothing; delete it",
+                w.rules
+                    .iter()
+                    .map(|r| format!("`{r}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            related: None,
+        });
+    }
     findings.sort_by_key(|f| (f.line, f.col, f.rule));
     findings
+}
+
+/// Whether the `durability` family polices this path.
+fn durability_in_scope(path: &str) -> bool {
+    DURABILITY_PATHS.contains(&path) || path.starts_with("crates/serve/src/")
 }
 
 /// Whether `rule` is in force at this point of this file.
@@ -132,18 +334,37 @@ fn rule_applies(rule: &str, ctx: &FileCtx<'_>, in_test: bool) -> bool {
         // `unsafe` and phantom features are banned even in tests.
         "no-unsafe" | "feature-hygiene" => true,
         // Test code may unwrap, probe wall clocks, and hash freely.
-        "determinism" | "panic-surface" => {
+        "determinism" => {
             ctx.kind == FileKind::LibrarySrc
                 && PROTECTED_CRATES.contains(&ctx.crate_name)
                 && !in_test
         }
+        // Examples and bench harnesses face users too: their panics are
+        // either waived as intended UX or converted to typed errors.
+        "panic-surface" => {
+            !in_test
+                && ((ctx.kind == FileKind::LibrarySrc
+                    && PROTECTED_CRATES.contains(&ctx.crate_name))
+                    || ctx.kind == FileKind::ExampleSrc
+                    || (ctx.kind == FileKind::BinSrc && ctx.crate_name == "ccq-bench"))
+        }
         "float-eq" => ctx.kind == FileKind::LibrarySrc && !in_test,
+        "durability" => {
+            durability_in_scope(&ctx.path)
+                && matches!(ctx.kind, FileKind::LibrarySrc | FileKind::BinSrc)
+                && !in_test
+        }
+        "concurrency" => {
+            ctx.kind == FileKind::LibrarySrc
+                && !in_test
+                && !SANCTIONED_POOL_PATHS.contains(&ctx.path.as_str())
+        }
         _ => false,
     }
 }
 
-/// Runs every pattern against one token (with a two-token lookahead and
-/// one-token lookbehind).
+/// Runs every windowed pattern against one token (with a two-token
+/// lookahead and one-token lookbehind).
 fn scan_token(
     ctx: &FileCtx<'_>,
     t: &Tok,
@@ -161,6 +382,7 @@ fn scan_token(
                 col: t.col,
                 rule,
                 message,
+                related: None,
             });
         }
     };
@@ -222,6 +444,31 @@ fn scan_token(
                     )
                 }
             }
+            "ThreadPoolBuilder" => emit(
+                "concurrency",
+                "thread-pool construction outside crates/tensor/src/par.rs; route work through \
+                 ccq_tensor::par or the shared single-thread pool"
+                    .into(),
+            ),
+            "thread"
+                if next.is_some_and(|n| n.is_punct("::"))
+                    && next2.is_some_and(|n| n.is_ident("spawn")) =>
+            {
+                emit(
+                    "concurrency",
+                    "`std::thread::spawn` bypasses the sanctioned rayon pool and its deterministic \
+                     chunking; use ccq_tensor::par (scoped threads via `thread::scope` are fine)"
+                        .into(),
+                )
+            }
+            "Mutex" | "RwLock" if LOCK_FREE_CRATES.contains(&ctx.crate_name) => emit(
+                "concurrency",
+                format!(
+                    "`{}` in hot-path crate `{}`; descent state is partitioned per chunk and must \
+                     stay lock-free",
+                    t.text, ctx.crate_name
+                ),
+            ),
             _ => {}
         },
         TokKind::Punct if t.text == "==" || t.text == "!=" => {
@@ -241,10 +488,119 @@ fn scan_token(
     }
 }
 
+/// The durability family needs more context than a token window: a
+/// `rename` must see a `sync_all` earlier in the *same function*, and a
+/// `File::create` must target a tmp sibling, never the final path.
+fn durability_pass(
+    ctx: &FileCtx<'_>,
+    toks: &[Tok],
+    code: &[usize],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    if !rule_applies("durability", ctx, false) {
+        return;
+    }
+    let scopes = fn_scope_ids(toks, code);
+    for p in 0..code.len() {
+        let i = code[p];
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let next_open = code.get(p + 1).is_some_and(|&j| toks[j].is_punct("("));
+        if t.is_ident("rename") && next_open {
+            let synced = (0..p).any(|q| {
+                scopes[q] == scopes[p] && !in_test[code[q]] && toks[code[q]].is_ident("sync_all")
+            });
+            if !synced {
+                out.push(Finding {
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "durability",
+                    message: "`rename` with no preceding `sync_all` in the same function; \
+                              durable writes go tmp + fsync + rename"
+                        .into(),
+                    related: None,
+                });
+            }
+        }
+        if t.is_ident("create")
+            && p >= 2
+            && toks[code[p - 1]].is_punct("::")
+            && toks[code[p - 2]].is_ident("File")
+            && next_open
+        {
+            // Walk the argument list looking for a tmp-named binding.
+            let mut depth = 0usize;
+            let mut tmp_arg = false;
+            for &j in &code[p + 1..] {
+                let a = &toks[j];
+                if a.is_punct("(") {
+                    depth += 1;
+                } else if a.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.kind == TokKind::Ident && a.text.to_ascii_lowercase().contains("tmp") {
+                    tmp_arg = true;
+                }
+            }
+            if !tmp_arg {
+                out.push(Finding {
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "durability",
+                    message: "`File::create` on a final path; create a tmp sibling, fsync it, \
+                              then rename into place"
+                        .into(),
+                    related: None,
+                });
+            }
+        }
+    }
+}
+
+/// For each code position, an id for the innermost enclosing `fn` item
+/// (the code index of its `fn` keyword), or `usize::MAX` at top level.
+/// Closures do not open a new scope; nested `fn` items do.
+fn fn_scope_ids(toks: &[Tok], code: &[usize]) -> Vec<usize> {
+    let mut ids = vec![usize::MAX; code.len()];
+    let mut depth = 0usize;
+    let mut pending: Option<usize> = None;
+    // (fn id, brace depth of its body)
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for p in 0..code.len() {
+        let t = &toks[code[p]];
+        if t.is_punct("{") {
+            depth += 1;
+            if let Some(fp) = pending.take() {
+                stack.push((fp, depth));
+            }
+        } else if t.is_punct("}") {
+            if stack.last().is_some_and(|&(_, d)| d == depth) {
+                stack.pop();
+            }
+            depth = depth.saturating_sub(1);
+        } else if t.is_ident("fn") {
+            pending = Some(p);
+        } else if t.is_punct(";") && depth == stack.last().map_or(0, |&(_, d)| d) {
+            // `fn name(...);` — a declaration without a body.
+            pending = None;
+        }
+        ids[p] = stack.last().map_or(usize::MAX, |&(id, _)| id);
+    }
+    ids
+}
+
 /// Extracts waiver directives from comment tokens. Returns the parsed
 /// waivers plus diagnostics for malformed ones (missing reason, unknown
-/// rule); those diagnostics are not themselves waivable.
-fn collect_waivers(ctx: &FileCtx<'_>, toks: &[Tok]) -> (Vec<Waiver>, Vec<Finding>) {
+/// rule, file-level in library code, wire-drift mixed with other
+/// rules); those diagnostics are not themselves waivable.
+pub(crate) fn collect_waivers(ctx: &FileCtx<'_>, toks: &[Tok]) -> (Vec<Waiver>, Vec<Finding>) {
     let mut waivers = Vec::new();
     let mut findings = Vec::new();
     for (i, t) in toks.iter().enumerate() {
@@ -262,11 +618,21 @@ fn collect_waivers(ctx: &FileCtx<'_>, toks: &[Tok]) -> (Vec<Waiver>, Vec<Finding
                 col: t.col,
                 rule: "waiver",
                 message,
+                related: None,
             });
         };
         let rest = rest.trim_start();
-        let Some((inside, reason)) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')'))
-        else {
+        let (file_wide, rest) = match rest.strip_prefix("allow-file(") {
+            Some(r) => (true, r),
+            None => match rest.strip_prefix("allow(") {
+                Some(r) => (false, r),
+                None => {
+                    bad("malformed waiver; expected `ccq-lint: allow(rule-name) — reason` or `allow-file(...)`".into());
+                    continue;
+                }
+            },
+        };
+        let Some((inside, reason)) = rest.split_once(')') else {
             bad("malformed waiver; expected `ccq-lint: allow(rule-name) — reason`".into());
             continue;
         };
@@ -282,6 +648,23 @@ fn collect_waivers(ctx: &FileCtx<'_>, toks: &[Tok]) -> (Vec<Waiver>, Vec<Finding
                 ok = false;
             }
         }
+        if rules.iter().any(|r| r == "wire-drift") {
+            if rules.len() > 1 {
+                bad("wire-drift waivers must stand alone, not mixed with other rules".into());
+                ok = false;
+            }
+            if !WIRE_RS_PATHS.contains(&ctx.path.as_str()) {
+                bad(format!(
+                    "wire-drift waivers are only valid in the wire-format files ({})",
+                    WIRE_RS_PATHS.join(", ")
+                ));
+                ok = false;
+            }
+        }
+        if file_wide && ctx.kind == FileKind::LibrarySrc {
+            bad("file-level waivers are not allowed in library code; waive specific lines".into());
+            ok = false;
+        }
         let reason = reason.trim_matches([' ', '\t', '-', '—', '–', ':']);
         if reason.is_empty() {
             bad("waiver requires a non-empty reason after the rule list".into());
@@ -290,22 +673,31 @@ fn collect_waivers(ctx: &FileCtx<'_>, toks: &[Tok]) -> (Vec<Waiver>, Vec<Finding
         if !ok {
             continue;
         }
-        // A standalone comment covers the next code line; a trailing
-        // comment covers its own line.
-        let standalone = !toks[..i]
-            .iter()
-            .rev()
-            .take_while(|p| p.line == t.line)
-            .any(|p| p.kind != TokKind::Comment);
-        let covers = if standalone {
-            match toks[i + 1..].iter().find(|n| n.kind != TokKind::Comment) {
-                Some(n) => n.line,
-                None => continue,
-            }
+        let covers = if file_wide {
+            Covers::File
         } else {
-            t.line
+            // A standalone comment covers the next code line; a trailing
+            // comment covers its own line.
+            let standalone = !toks[..i]
+                .iter()
+                .rev()
+                .take_while(|p| p.line == t.line)
+                .any(|p| p.kind != TokKind::Comment);
+            if standalone {
+                match toks[i + 1..].iter().find(|n| n.kind != TokKind::Comment) {
+                    Some(n) => Covers::Line(n.line),
+                    None => continue,
+                }
+            } else {
+                Covers::Line(t.line)
+            }
         };
-        waivers.push(Waiver { rules, covers });
+        waivers.push(Waiver {
+            rules,
+            covers,
+            line: t.line,
+            col: t.col,
+        });
     }
     (waivers, findings)
 }
@@ -313,7 +705,7 @@ fn collect_waivers(ctx: &FileCtx<'_>, toks: &[Tok]) -> (Vec<Waiver>, Vec<Finding
 /// Marks every token that belongs to test-only code: the bodies of
 /// `#[cfg(test)]` items and `#[test]` functions (an inner
 /// `#![cfg(test)]` marks the whole file).
-fn test_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let code: Vec<usize> = (0..toks.len())
         .filter(|&i| toks[i].kind != TokKind::Comment)
@@ -468,5 +860,153 @@ fn b() { y.unwrap(); }
             f.to_string(),
             "crates/core/src/x.rs:1:10: panic-surface: `panic!` in library code; return a typed error instead"
         );
+    }
+
+    #[test]
+    fn stale_waiver_is_reported_at_the_waiver() {
+        let feats = BTreeSet::new();
+        let ctx = lib_ctx(&feats);
+        let src = "\
+// ccq-lint: allow(panic-surface) — nothing panics here any more
+fn a() { let x = 1; }
+";
+        let f = check_file(&ctx, src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, "stale-waiver");
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].message.contains("`panic-surface`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn multi_rule_waiver_is_live_if_any_rule_suppresses() {
+        let feats = BTreeSet::new();
+        let ctx = lib_ctx(&feats);
+        let src = "\
+// ccq-lint: allow(panic-surface, determinism) — unwrap is checked above
+fn a() { x.unwrap(); }
+";
+        assert!(check_file(&ctx, src).is_empty());
+    }
+
+    #[test]
+    fn file_level_waiver_is_rejected_in_library_code() {
+        let feats = BTreeSet::new();
+        let ctx = lib_ctx(&feats);
+        let src = "// ccq-lint: allow-file(panic-surface) — blanket\nfn a() { x.unwrap(); }\n";
+        let f = check_file(&ctx, src);
+        assert!(f.iter().any(|x| x.rule == "waiver"), "{f:#?}");
+        assert!(f.iter().any(|x| x.rule == "panic-surface"), "{f:#?}");
+    }
+
+    #[test]
+    fn file_level_waiver_covers_a_bin_file() {
+        let feats = BTreeSet::new();
+        let mut ctx = lib_ctx(&feats);
+        ctx.crate_name = "ccq-bench";
+        ctx.kind = FileKind::BinSrc;
+        ctx.path = "crates/bench/src/bin/x.rs".into();
+        let src = "\
+// ccq-lint: allow-file(panic-surface) — bench harness aborts on setup failure
+fn a() { x.unwrap(); }
+fn b() { y.expect(\"setup\"); }
+";
+        assert!(check_file(&ctx, src).is_empty());
+    }
+
+    #[test]
+    fn durability_rename_needs_sync_all_in_same_fn() {
+        let feats = BTreeSet::new();
+        let mut ctx = lib_ctx(&feats);
+        ctx.crate_name = "ccq-serve";
+        ctx.path = "crates/serve/src/spool.rs".into();
+        let fire = "fn mv() { fs::rename(&a, &b); }";
+        let f = check_file(&ctx, fire);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, "durability");
+        let clean = "fn mv() { f.sync_all(); fs::rename(&tmp, &b); }";
+        assert!(check_file(&ctx, clean).is_empty());
+        // sync_all in a *different* function does not count.
+        let other = "fn a() { f.sync_all(); }\nfn mv() { fs::rename(&a, &b); }";
+        assert_eq!(check_file(&ctx, other).len(), 1);
+    }
+
+    #[test]
+    fn durability_file_create_must_target_tmp() {
+        let feats = BTreeSet::new();
+        let mut ctx = lib_ctx(&feats);
+        ctx.path = "crates/core/src/run_state.rs".into();
+        let fire = "fn w() { let f = fs::File::create(path); }";
+        let f = check_file(&ctx, fire);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, "durability");
+        assert!(check_file(&ctx, "fn w() { let f = fs::File::create(&tmp); }").is_empty());
+        // Out of the durability scope, File::create is fine.
+        let mut free = ctx.clone();
+        free.path = "crates/core/src/engine.rs".into();
+        assert!(check_file(&free, fire).is_empty());
+    }
+
+    #[test]
+    fn concurrency_bans_pools_locks_and_raw_spawn() {
+        let feats = BTreeSet::new();
+        let ctx = lib_ctx(&feats);
+        let f = check_file(&ctx, "fn a() { rayon::ThreadPoolBuilder::new(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "concurrency");
+        let f = check_file(&ctx, "fn a() { std::thread::spawn(|| {}); }");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        let f = check_file(&ctx, "use std::sync::Mutex;");
+        assert_eq!(f.len(), 1);
+        // Scoped threads and rayon scope spawns stay legal.
+        assert!(check_file(
+            &ctx,
+            "fn a() { std::thread::scope(|s| { s.spawn(|| {}); }); }"
+        )
+        .is_empty());
+        // The serve daemon may hold its supervisor state behind a Mutex.
+        let mut serve = ctx.clone();
+        serve.crate_name = "ccq-serve";
+        serve.path = "crates/serve/src/daemon.rs".into();
+        assert!(check_file(&serve, "use std::sync::Mutex;").is_empty());
+        // The sanctioned pool module is exempt wholesale.
+        let mut par = ctx.clone();
+        par.crate_name = "ccq-tensor";
+        par.path = "crates/tensor/src/par.rs".into();
+        assert!(check_file(&par, "fn a() { rayon::ThreadPoolBuilder::new(); }").is_empty());
+    }
+
+    #[test]
+    fn wire_drift_waivers_must_stand_alone_in_wire_files() {
+        let feats = BTreeSet::new();
+        let mut ctx = lib_ctx(&feats);
+        ctx.path = "crates/core/src/event.rs".into();
+        let mixed = "// ccq-lint: allow(wire-drift, panic-surface) — both\nfn a() {}\n";
+        let f = check_file(&ctx, mixed);
+        assert!(f.iter().any(|x| x.rule == "waiver"), "{f:#?}");
+        // Standing alone in a wire file: parsed, and never reported
+        // stale by the per-file pass (the cross-file pass owns it).
+        let alone = "// ccq-lint: allow(wire-drift) — forward-compat key\nfn a() {}\n";
+        assert!(check_file(&ctx, alone).is_empty());
+        // Outside the wire files it is malformed.
+        ctx.path = "crates/core/src/engine.rs".into();
+        let f = check_file(&ctx, alone);
+        assert!(f.iter().any(|x| x.rule == "waiver"), "{f:#?}");
+    }
+
+    #[test]
+    fn fn_scopes_track_nesting_and_declarations() {
+        let toks = lex("fn outer() { fn inner() { a(); } b(); }\nfn decl();\nfn last() { c(); }");
+        let code: Vec<usize> = (0..toks.len())
+            .filter(|&i| toks[i].kind != TokKind::Comment)
+            .collect();
+        let ids = fn_scope_ids(&toks, &code);
+        let at = |name: &str| {
+            (0..code.len())
+                .find(|&p| toks[code[p]].is_ident(name))
+                .unwrap()
+        };
+        assert_ne!(ids[at("a")], ids[at("b")], "inner fn is its own scope");
+        assert_ne!(ids[at("b")], ids[at("c")]);
+        assert_ne!(ids[at("b")], usize::MAX);
     }
 }

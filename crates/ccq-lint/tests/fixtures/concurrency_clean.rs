@@ -1,0 +1,15 @@
+//! Fixture: sanctioned concurrency — scoped threads (joined before the
+//! scope returns) and lazy one-time init are fine; only ad-hoc pools,
+//! raw detached spawns, and hot-path locks are banned.
+
+use std::sync::OnceLock;
+
+static LIMIT: OnceLock<usize> = OnceLock::new();
+
+pub fn fan_out(chunks: &mut [f32]) {
+    std::thread::scope(|s| {
+        for c in chunks.chunks_mut(8) {
+            s.spawn(move || c.iter_mut().for_each(|x| *x += 1.0));
+        }
+    });
+}

@@ -1,0 +1,15 @@
+//! Fixture: the concurrency anti-patterns — descent state behind a
+//! lock, an ad-hoc thread pool, and a raw `std::thread::spawn`, all of
+//! which bypass the sanctioned deterministic rayon configuration.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    scores: Mutex<Vec<f32>>,
+}
+
+pub fn fan_out(shared: &Shared) {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build();
+    std::thread::spawn(|| {});
+    let _ = (pool, shared);
+}

@@ -1,0 +1,14 @@
+//! Fixture: the durability anti-patterns — `File::create` on the final
+//! path, and a `rename` with no `sync_all` in the same function. A
+//! power cut between the rename and the (absent) fsync loses the state
+//! the caller was just told is safe.
+
+use std::fs;
+use std::io::Write;
+
+pub fn save_config(path: &str, text: &str) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(text.as_bytes())?;
+    fs::rename(path, "config.bak")?;
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Fixture: a waived rename — the moved file is already durable, and
+//! the transition is made durable by a directory fsync, so the
+//! same-function `sync_all` requirement is intentionally not met.
+//! Mirrors `move_job` in `crates/serve/src/spool.rs`.
+
+use std::fs;
+use std::path::Path;
+
+pub fn promote(src: &Path, dst: &Path) -> std::io::Result<()> {
+    // ccq-lint: allow(durability) — src was fsynced by its writer; the move is made durable by the dir fsync below
+    fs::rename(src, dst)?;
+    fs::File::open(dst.parent().unwrap_or(Path::new(".")))?.sync_all()?;
+    Ok(())
+}

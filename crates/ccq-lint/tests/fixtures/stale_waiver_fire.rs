@@ -1,0 +1,12 @@
+// ccq-lint: allow-file(determinism) — no hashes remain in this harness
+//! Fixture: waivers that outlived their violations. The file-level
+//! determinism waiver and the line waiver on `compute()` suppress
+//! nothing and must each be flagged; the trailing waiver on the
+//! `unwrap` line still earns its keep.
+
+pub fn main() {
+    // ccq-lint: allow(panic-surface) — was an unwrap, now returns a typed error
+    let x = compute();
+    let y = x.unwrap(); // ccq-lint: allow(panic-surface) — checked non-empty above
+    let _ = y;
+}

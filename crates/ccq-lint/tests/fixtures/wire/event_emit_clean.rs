@@ -1,0 +1,13 @@
+//! Fixture: a miniature event emitter whose JSON keys and `event`
+//! kinds exactly match `event_parse_clean.rs` on the decode side.
+
+pub fn event_json(ev: &Event) -> String {
+    match ev {
+        Event::Baseline { accuracy } => {
+            format!("{{\"event\":\"baseline\",\"accuracy\":{accuracy}}}")
+        }
+        Event::Step { step, lr } => {
+            format!("{{\"event\":\"step\",\"step\":{step},\"lr\":{lr}}}")
+        }
+    }
+}

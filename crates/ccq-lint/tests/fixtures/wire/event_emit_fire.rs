@@ -1,0 +1,18 @@
+//! Fixture: a drifted emitter. Against `event_parse_clean.rs` this
+//! fires four ways: `learning_rate` is emitted but the decoder still
+//! reads `lr`; the `autosave` kind (and its `path` key) is emitted with
+//! no decode arm.
+
+pub fn event_json(ev: &Event) -> String {
+    match ev {
+        Event::Baseline { accuracy } => {
+            format!("{{\"event\":\"baseline\",\"accuracy\":{accuracy}}}")
+        }
+        Event::Step { step, lr } => {
+            format!("{{\"event\":\"step\",\"step\":{step},\"learning_rate\":{lr}}}")
+        }
+        Event::Autosave { path } => {
+            format!("{{\"event\":\"autosave\",\"path\":\"{path}\"}}")
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a wire-drift waiver that suppresses nothing — the emitter
+//! is symmetric with `event_parse_clean.rs`, so the waiver itself must
+//! be flagged stale.
+
+pub fn event_json(ev: &Event) -> String {
+    match ev {
+        Event::Baseline { accuracy } => {
+            // ccq-lint: allow(wire-drift) — left over from a removed schema tag
+            format!("{{\"event\":\"baseline\",\"accuracy\":{accuracy}}}")
+        }
+        Event::Step { step, lr } => {
+            format!("{{\"event\":\"step\",\"step\":{step},\"lr\":{lr}}}")
+        }
+    }
+}

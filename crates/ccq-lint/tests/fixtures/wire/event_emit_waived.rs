@@ -1,0 +1,15 @@
+//! Fixture: a forward-compat key emitted on purpose. The decoder never
+//! reads `schema`, but the standalone wire-drift waiver records why the
+//! asymmetry is intended, so the pair lints clean.
+
+pub fn event_json(ev: &Event) -> String {
+    match ev {
+        Event::Baseline { accuracy } => {
+            // ccq-lint: allow(wire-drift) — forward-compat schema tag; decoders ignore unknown keys
+            format!("{{\"event\":\"baseline\",\"accuracy\":{accuracy},\"schema\":1}}")
+        }
+        Event::Step { step, lr } => {
+            format!("{{\"event\":\"step\",\"step\":{step},\"lr\":{lr}}}")
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: the decode side matching `event_emit_clean.rs` — every
+//! emitted key is read back and every emitted kind has a match arm.
+
+pub fn decode_event(v: &Json) -> Result<Event, String> {
+    match v.str_field("event")?.as_str() {
+        "baseline" => Ok(Event::Baseline {
+            accuracy: v.f32_field("accuracy")?,
+        }),
+        "step" => Ok(Event::Step {
+            step: v.usize_field("step")?,
+            lr: v.f32_field("lr")?,
+        }),
+        other => Err(format!("unknown event kind {other:?}")),
+    }
+}

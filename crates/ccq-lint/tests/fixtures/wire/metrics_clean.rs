@@ -1,0 +1,7 @@
+//! Fixture: a miniature metrics recorder registering the two families
+//! that `golden_clean.txt` snapshots.
+
+pub fn on_event(&mut self) {
+    self.registry.inc("ccq_events_total", &[], 1);
+    self.registry.set_gauge("ccq_step", &[], 1.0);
+}

@@ -1,0 +1,20 @@
+//! Fixture: CCQRUNS-style section tags, each defined once and used on
+//! both the encode and decode sides.
+
+const TAG_HEDGE: u8 = 0x01;
+const TAG_ZERO: u8 = 0x02;
+
+pub fn to_bytes(state: &State, out: &mut Vec<u8>) {
+    match state {
+        State::Hedge => out.push(TAG_HEDGE),
+        State::Zero => out.push(TAG_ZERO),
+    }
+}
+
+pub fn from_bytes(b: &[u8]) -> Result<State, DecodeError> {
+    match b.first() {
+        Some(&TAG_HEDGE) => Ok(State::Hedge),
+        Some(&TAG_ZERO) => Ok(State::Zero),
+        _ => Err(DecodeError::Truncated),
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: a section tag written but never decoded — `TAG_ZERO` is
+//! pushed by the encoder, but the decoder has no arm for it, so every
+//! restart drops the zero-mask section on the floor.
+
+const TAG_HEDGE: u8 = 0x01;
+const TAG_ZERO: u8 = 0x02;
+
+pub fn to_bytes(state: &State, out: &mut Vec<u8>) {
+    match state {
+        State::Hedge => out.push(TAG_HEDGE),
+        State::Zero => out.push(TAG_ZERO),
+    }
+}
+
+pub fn from_bytes(b: &[u8]) -> Result<State, DecodeError> {
+    match b.first() {
+        Some(&TAG_HEDGE) => Ok(State::Hedge),
+        _ => Err(DecodeError::Truncated),
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a miniature job-spec round trip — every `key = value` line
+//! the renderer writes is read back by the parser, and vice versa.
+
+use std::fmt::Write as _;
+
+pub fn render(spec: &Spec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "name = {}", spec.name);
+    let _ = writeln!(out, "seed = {}", spec.seed);
+    out
+}
+
+pub fn parse(text: &str) -> Result<Spec, SpecError> {
+    let get = |key: &str| lookup(text, key);
+    let name = get("name").ok_or(SpecError::Missing)?;
+    let seed = get("seed").unwrap_or_default();
+    Ok(Spec { name, seed })
+}

@@ -1,0 +1,19 @@
+//! Fixture: a drifted spec — the renderer writes `seed = …` but the
+//! parser was renamed to read `rng_seed`, so submitted jobs silently
+//! fall back to the default seed. Fires once per orphaned side.
+
+use std::fmt::Write as _;
+
+pub fn render(spec: &Spec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "name = {}", spec.name);
+    let _ = writeln!(out, "seed = {}", spec.seed);
+    out
+}
+
+pub fn parse(text: &str) -> Result<Spec, SpecError> {
+    let get = |key: &str| lookup(text, key);
+    let name = get("name").ok_or(SpecError::Missing)?;
+    let seed = get("rng_seed").unwrap_or_default();
+    Ok(Spec { name, seed })
+}

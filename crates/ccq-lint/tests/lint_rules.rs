@@ -217,6 +217,105 @@ fn nothing_fires_inside_strings_or_comments() {
     assert!(f.is_empty(), "{f:#?}");
 }
 
+/// Lints a fixture as if it lived in the serve job spool, where the
+/// durability rules apply.
+fn lint_serve_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path).unwrap();
+    let features: BTreeSet<String> = ["default"].iter().map(|s| s.to_string()).collect();
+    let ctx = FileCtx {
+        path: format!("crates/serve/src/{name}"),
+        crate_name: "ccq-serve",
+        kind: FileKind::LibrarySrc,
+        features: &features,
+    };
+    check_file(&ctx, &src)
+}
+
+/// Lints a fixture as if it were a bench harness binary, where
+/// file-level waivers are legal.
+fn lint_bench_bin_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path).unwrap();
+    let features: BTreeSet<String> = ["default"].iter().map(|s| s.to_string()).collect();
+    let ctx = FileCtx {
+        path: format!("crates/bench/src/bin/{name}"),
+        crate_name: "ccq-bench",
+        kind: FileKind::BinSrc,
+        features: &features,
+    };
+    check_file(&ctx, &src)
+}
+
+#[test]
+fn durability_fires_on_bare_create_and_unsynced_rename() {
+    let f = lint_serve_fixture("durability_fire.rs");
+    // `File::create` on the final path, and a `rename` with no
+    // `sync_all` earlier in the same function.
+    assert_eq!(rules(&f), ["durability"; 2], "{f:#?}");
+    assert!(
+        f.iter().any(|x| x.message.contains("File::create")),
+        "{f:#?}"
+    );
+    assert!(f.iter().any(|x| x.message.contains("sync_all")), "{f:#?}");
+}
+
+#[test]
+fn durability_tmp_fsync_rename_idiom_is_clean() {
+    let f = lint_serve_fixture("durability_clean.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn durability_waived_rename_is_clean_and_waiver_is_live() {
+    // The waiver both suppresses the rename finding and is counted as
+    // used, so no stale-waiver diagnostic appears either.
+    let f = lint_serve_fixture("durability_waived.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn concurrency_fires_on_locks_pools_and_raw_spawns() {
+    let f = lint_fixture("concurrency_fire.rs");
+    // `Mutex` twice (import + field), `ThreadPoolBuilder`, and
+    // `std::thread::spawn`.
+    assert_eq!(rules(&f), ["concurrency"; 4], "{f:#?}");
+    assert!(f.iter().any(|x| x.message.contains("Mutex")), "{f:#?}");
+    assert!(
+        f.iter()
+            .any(|x| x.message.contains("thread-pool construction")),
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn concurrency_scoped_threads_are_clean() {
+    let f = lint_fixture("concurrency_clean.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn concurrency_waived_serial_pool_is_clean() {
+    let f = lint_fixture("concurrency_waived.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn stale_waivers_fire_at_the_waiver_site() {
+    let f = lint_bench_bin_fixture("stale_waiver_fire.rs");
+    // The file-level determinism waiver (line 1) and the line waiver
+    // over `compute()` (line 8) suppress nothing; the trailing waiver
+    // on the unwrap line is live, so the unwrap itself stays quiet.
+    assert_eq!(rules(&f), ["stale-waiver"; 2], "{f:#?}");
+    assert_eq!(f[0].line, 1, "{f:#?}");
+    assert_eq!(f[1].line, 8, "{f:#?}");
+    assert!(f.iter().all(|x| x.message.contains("suppresses nothing")));
+}
+
 #[test]
 fn diagnostics_carry_file_line_col() {
     let f = lint_fixture("panic_fire.rs");

@@ -21,6 +21,7 @@ const PAR_MIN_BATCHES_PER_WORKER: usize = 4;
 pub fn single_thread_pool() -> &'static rayon::ThreadPool {
     static POOL: std::sync::OnceLock<rayon::ThreadPool> = std::sync::OnceLock::new();
     POOL.get_or_init(|| {
+        // ccq-lint: allow(concurrency) — the one sanctioned pool outside par.rs: a shared single-thread pool for deterministic serial sections
         rayon::ThreadPoolBuilder::new()
             .num_threads(1)
             .build()

@@ -239,10 +239,12 @@ impl Spool {
             let src = self.dir(from).join(format!("{id}{suffix}"));
             if src.exists() {
                 let dst = self.dir(to).join(format!("{id}{suffix}"));
+                // ccq-lint: allow(durability) — sidecars were fsynced by their writers; the move is made durable by the sync_dir pair below
                 fs::rename(&src, &dst).map_err(|e| io_err("move", &src, e))?;
             }
         }
         let job_dst = self.job_path(to, id);
+        // ccq-lint: allow(durability) — the job file was written atomically on submit; the queue transition is made durable by the sync_dir pair below
         fs::rename(&job_src, &job_dst).map_err(|e| io_err("move", &job_src, e))?;
         sync_dir(&self.dir(to))?;
         sync_dir(&self.dir(from))?;

@@ -79,11 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let wb = spec.weight_bits.bits().min(8);
             let qw = QuantizedTensor::from_tensor(&h.weight.value, wb);
             let qx = QuantizedTensor::from_tensor(&x, wb);
+            // ccq-lint: allow(panic-surface) — example: aborting with context on a shape mismatch is the intended UX
             let y_int = int_linear(&qx, &qw, None).expect("int path");
             let wq = h.quant.quantize_weights(&h.weight.value);
             // Compare against the fake-quant product at the same widths.
             let y_fake =
-                ccq_repro::tensor::ops::matmul_a_bt(&qx.dequantize(), &wq).expect("fake path");
+                ccq_repro::tensor::ops::matmul_a_bt(&qx.dequantize(), &wq).expect("fake path"); // ccq-lint: allow(panic-surface) — example: aborting with context on a shape mismatch is the intended UX
             for (a, b) in y_int.as_slice().iter().zip(y_fake.as_slice()) {
                 max_err = max_err.max((a - b).abs());
             }

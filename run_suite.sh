@@ -5,10 +5,32 @@ set -x
 cd /root/repo
 mkdir -p results
 
-# --- lint gate first (cheapest): ccq-lint enforces the determinism /
-# panic-surface / no-unsafe / float-eq / feature-hygiene invariants at
-# the source level; any finding fails the suite (see DESIGN.md §10) ---
-cargo run -q -p ccq-lint 2> results/lint.log || exit 1
+# --- lint gate first (cheapest): ccq-lint enforces the per-file
+# invariants (determinism, panic-surface, no-unsafe, float-eq,
+# feature-hygiene, durability, concurrency) plus the cross-file
+# wire-drift and stale-waiver checks; any finding fails the suite
+# (see DESIGN.md §10/§16). The JSON diagnostics are archived and must
+# be byte-identical under both build configurations ---
+cargo run -q -p ccq-lint -- --format json > results/lint.json 2> results/lint.log || exit 1
+cargo run -q -p ccq-lint --no-default-features -- --format json > results/lint_serial.json 2>> results/lint.log || exit 1
+cmp results/lint.json results/lint_serial.json || exit 1
+
+# --- seeded-drift smoke: renaming one emitted JSON key in a scratch
+# copy of the event emitter/decoder pair must trip wire-drift (exit
+# nonzero, diagnostics on both sides); proves the cross-file pass has
+# teeth, not just a clean bill on HEAD ---
+DRIFT=results/drift_smoke
+rm -rf "$DRIFT"
+mkdir -p "$DRIFT/crates/core/src"
+cp crates/core/src/event.rs crates/core/src/replay.rs "$DRIFT/crates/core/src/"
+sed -i 's/\\"valley_accuracy\\":/\\"valley_acc\\":/' "$DRIFT/crates/core/src/event.rs"
+if cargo run -q -p ccq-lint -- --format json "$DRIFT" > results/drift_smoke.json 2>> results/lint.log; then
+  echo "seeded wire drift was NOT detected" >> results/lint.log
+  exit 1
+fi
+grep -q '"rule": "wire-drift"' results/drift_smoke.json || exit 1
+grep -q 'valley_acc' results/drift_smoke.json || exit 1
+rm -rf "$DRIFT"
 
 # --- gates: both feature configurations must pass, lints are errors,
 # formatting is canonical, rustdoc builds warning-free (the workspace
