@@ -16,14 +16,21 @@
 //! under `--metrics` the stats fold into the exposition as
 //! `ccq_probe_cache_*` counters and the partial-forward depth histogram.
 //!
+//! With `--packed <model.ccqpack>` it loads a deployable `CCQPACK`
+//! artifact (falling back to its `.prev` generation, like the daemon
+//! does) and prints the packed summary — architecture, per-layer
+//! storage, payload bytes, and compression vs `f32`. `--packed` can
+//! stand alone or combine with a trace.
+//!
 //! With `--partial` a truncated *final* line — the signature of a
 //! live-tailed or crashed-writer log — is tolerated: the complete prefix
 //! is summarized and the dropped tail reported on stderr. Without it,
 //! any malformed line (including a torn tail) is a hard error with a
 //! diagnostic naming the line.
 //!
-//! Usage: `cargo run -p ccq-bench --bin ccq-report -- trace.jsonl
-//! [--metrics] [--partial] [--probe-cache stats.json]`
+//! Usage: `cargo run -p ccq-bench --bin ccq-report -- [trace.jsonl]
+//! [--metrics] [--partial] [--probe-cache stats.json]
+//! [--packed model.ccqpack]`
 
 // Reports go to stdout by design.
 #![allow(clippy::print_stdout)]
@@ -34,14 +41,15 @@ use ccq::{
 };
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: ccq-report <trace.jsonl> [--metrics] [--partial] [--probe-cache <stats.json>]";
+const USAGE: &str = "usage: ccq-report [trace.jsonl] [--metrics] [--partial] \
+                     [--probe-cache <stats.json>] [--packed <model.ccqpack>]";
 
 fn main() -> ExitCode {
     let mut trace: Option<String> = None;
     let mut metrics = false;
     let mut partial = false;
     let mut cache_path: Option<String> = None;
+    let mut packed_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,6 +59,13 @@ fn main() -> ExitCode {
                 Some(p) => cache_path = Some(p),
                 None => {
                     eprintln!("ccq-report: --probe-cache needs a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--packed" => match args.next() {
+                Some(p) => packed_path = Some(p),
+                None => {
+                    eprintln!("ccq-report: --packed needs a file argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -65,7 +80,26 @@ fn main() -> ExitCode {
             }
         }
     }
+    // --packed stands alone: load the artifact (with .prev fallback,
+    // like the daemon) and print its summary, then continue into the
+    // trace report when one was given.
+    if let Some(p) = &packed_path {
+        let model = match ccq_infer::PackedModel::load_with_fallback(std::path::Path::new(p)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("ccq-report: cannot load packed artifact {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", model.summary());
+        if trace.is_some() {
+            println!();
+        }
+    }
     let Some(path) = trace else {
+        if packed_path.is_some() {
+            return ExitCode::SUCCESS;
+        }
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };

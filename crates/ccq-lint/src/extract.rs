@@ -1,6 +1,6 @@
 //! Cross-file wire-format fact extraction and drift checking.
 //!
-//! CCQ serializes state in four hand-rolled formats, each with an
+//! CCQ serializes state in five hand-rolled formats, each with an
 //! emitter and a parser that must agree key-for-key:
 //!
 //! * the JSONL event stream — `event_json` in `event.rs` writes keys
@@ -11,7 +11,9 @@
 //!   `inc`/`set_gauge`/`observe` in `metrics.rs` back the `# TYPE`
 //!   families in the golden `metrics.txt`;
 //! * the CCQRUNS v2 run state — `TAG_*` section tags in `run_state.rs`
-//!   must be pushed by the writer *and* matched by the reader.
+//!   must be pushed by the writer *and* matched by the reader;
+//! * the CCQPACK v1 deployable artifact — `TAG_*` section tags in
+//!   `crates/infer/src/format.rs`, same writer/reader pairing rule.
 //!
 //! This module harvests those string-literal facts from the token
 //! stream ([`crate::lexer`] keeps the unquoted literal content, escapes
@@ -43,6 +45,8 @@ pub enum WireRole {
     GoldenMetrics,
     /// `run_state.rs`: CCQRUNS section tags.
     RunState,
+    /// `crates/infer/src/format.rs`: CCQPACK section tags.
+    PackFormat,
 }
 
 /// One source fed to [`check_wire`].
@@ -133,6 +137,8 @@ pub fn check_wire(sources: &[WireSource<'_>]) -> Vec<Finding> {
     let mut golden_fam: Vec<Fact> = Vec::new();
     let mut tag_defs: Vec<Fact> = Vec::new();
     let mut tag_uses: Vec<Fact> = Vec::new();
+    let mut pack_tag_defs: Vec<Fact> = Vec::new();
+    let mut pack_tag_uses: Vec<Fact> = Vec::new();
     let mut have: BTreeSet<&'static str> = BTreeSet::new();
     // (path, toks) of each Rust source, for waiver handling.
     let mut rs_waivers: Vec<(String, Vec<Waiver>)> = Vec::new();
@@ -176,6 +182,12 @@ pub fn check_wire(sources: &[WireSource<'_>]) -> Vec<Finding> {
                 let (defs, uses) = tag_facts(&f);
                 tag_defs.extend(defs);
                 tag_uses.extend(uses);
+            }
+            WireRole::PackFormat => {
+                have.insert("pack-format");
+                let (defs, uses) = tag_facts(&f);
+                pack_tag_defs.extend(defs);
+                pack_tag_uses.extend(uses);
             }
         }
     }
@@ -240,7 +252,10 @@ pub fn check_wire(sources: &[WireSource<'_>]) -> Vec<Finding> {
         );
     }
     if have.contains("run-state") {
-        tag_drift(&tag_defs, &tag_uses, &mut raw);
+        tag_drift("CCQRUNS", &tag_defs, &tag_uses, &mut raw);
+    }
+    if have.contains("pack-format") {
+        tag_drift("CCQPACK", &pack_tag_defs, &pack_tag_uses, &mut raw);
     }
 
     // Apply wire-drift waivers and flag the stale ones.
@@ -324,10 +339,10 @@ fn drift(a: &[Fact], b: &[Fact], what: &str, how: &str, out: &mut Vec<Finding>) 
     }
 }
 
-/// A CCQRUNS tag is healthy only if it appears on both sides of the
-/// format: at least two non-definition, non-test uses (writer push and
-/// reader match arm).
-fn tag_drift(defs: &[Fact], uses: &[Fact], out: &mut Vec<Finding>) {
+/// A section tag of a tag-framed format (CCQRUNS, CCQPACK) is healthy
+/// only if it appears on both sides of the format: at least two
+/// non-definition, non-test uses (writer push and reader match arm).
+fn tag_drift(format: &str, defs: &[Fact], uses: &[Fact], out: &mut Vec<Finding>) {
     for d in defs {
         let mut sites = uses.iter().filter(|u| u.key == d.key);
         let (first, second) = (sites.next(), sites.next());
@@ -340,7 +355,7 @@ fn tag_drift(defs: &[Fact], uses: &[Fact], out: &mut Vec<Finding>) {
             col: d.col,
             rule: "wire-drift",
             message: format!(
-                "CCQRUNS section tag {} is used on {} side(s); the writer must push it and the \
+                "{format} section tag {} is used on {} side(s); the writer must push it and the \
                  reader must match it",
                 d.key,
                 u8::from(first.is_some()),
@@ -540,8 +555,9 @@ fn golden_families(path: &str, src: &str) -> Vec<Fact> {
     out
 }
 
-/// Harvests CCQRUNS tag definitions (`const TAG_X`) and their non-test,
-/// non-definition uses.
+/// Harvests section-tag definitions (`const TAG_X`) and their non-test,
+/// non-definition uses from a tag-framed format file (CCQRUNS run
+/// state, CCQPACK artifact).
 fn tag_facts(f: &RsFile<'_>) -> (Vec<Fact>, Vec<Fact>) {
     let mut defs = Vec::new();
     let mut uses = Vec::new();

@@ -111,7 +111,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
 
 /// The fixed role map of the cross-file pass: workspace-relative path →
 /// which half of which wire format it holds.
-pub const WIRE_ROLES: [(&str, WireRole); 6] = [
+pub const WIRE_ROLES: [(&str, WireRole); 7] = [
     ("crates/core/src/event.rs", WireRole::EventEmit),
     ("crates/core/src/replay.rs", WireRole::EventParse),
     ("crates/serve/src/spec.rs", WireRole::Spec),
@@ -121,6 +121,7 @@ pub const WIRE_ROLES: [(&str, WireRole); 6] = [
         WireRole::GoldenMetrics,
     ),
     ("crates/core/src/run_state.rs", WireRole::RunState),
+    ("crates/infer/src/format.rs", WireRole::PackFormat),
 ];
 
 /// Reads whichever wire-format files exist under `root` and cross-checks

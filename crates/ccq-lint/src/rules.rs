@@ -45,12 +45,19 @@ pub const RULE_NAMES: [&str; 8] = [
 /// these sit under the descent loop, the autosave path, or the golden
 /// digests, where a stray `unwrap()` or `HashMap` breaks the
 /// reproducibility guarantees of PRs 1–3.
-pub const PROTECTED_CRATES: [&str; 5] = ["ccq", "ccq-tensor", "ccq-nn", "ccq-quant", "ccq-serve"];
+pub const PROTECTED_CRATES: [&str; 6] = [
+    "ccq",
+    "ccq-tensor",
+    "ccq-nn",
+    "ccq-quant",
+    "ccq-serve",
+    "ccq-infer",
+];
 
 /// Crates whose library hot paths must stay lock-free: descent state is
 /// partitioned per rayon chunk, never shared behind a lock. The serve
 /// daemon (supervisor state) is deliberately not on this list.
-pub const LOCK_FREE_CRATES: [&str; 4] = ["ccq", "ccq-tensor", "ccq-nn", "ccq-quant"];
+pub const LOCK_FREE_CRATES: [&str; 5] = ["ccq", "ccq-tensor", "ccq-nn", "ccq-quant", "ccq-infer"];
 
 /// The only modules allowed to construct thread pools or touch raw
 /// threading primitives; everything else goes through them.
@@ -58,21 +65,23 @@ pub const SANCTIONED_POOL_PATHS: [&str; 1] = ["crates/tensor/src/par.rs"];
 
 /// Files holding crash-durable state: checkpoint/run-state writers and
 /// the serve job spool. The `durability` rule family applies here.
-pub const DURABILITY_PATHS: [&str; 2] = [
+pub const DURABILITY_PATHS: [&str; 3] = [
     "crates/core/src/run_state.rs",
     "crates/nn/src/checkpoint.rs",
+    "crates/infer/src/format.rs",
 ];
 
 /// The Rust halves of the wire formats cross-checked by
 /// [`crate::extract::check_wire`]. `wire-drift` waivers are only valid
 /// in these files (plus the golden metrics text, which cannot carry
 /// Rust comments).
-pub const WIRE_RS_PATHS: [&str; 5] = [
+pub const WIRE_RS_PATHS: [&str; 6] = [
     "crates/core/src/event.rs",
     "crates/core/src/replay.rs",
     "crates/serve/src/spec.rs",
     "crates/core/src/metrics.rs",
     "crates/core/src/run_state.rs",
+    "crates/infer/src/format.rs",
 ];
 
 /// Static metadata for `--list-rules` / `--explain` and the DESIGN.md
@@ -95,7 +104,7 @@ pub struct RuleInfo {
 pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         name: "determinism",
-        scope: "library code of the protected crates (ccq, ccq-tensor, ccq-nn, ccq-quant, ccq-serve), outside tests",
+        scope: "library code of the protected crates (ccq, ccq-tensor, ccq-nn, ccq-quant, ccq-serve, ccq-infer), outside tests",
         rationale: "HashMap/HashSet iteration order, Instant::now, and SystemTime vary run-to-run and break bit-identical descents, golden digests, and replay==live",
         waiver_policy: "line waiver with the invariant that restores determinism (e.g. keys drained through a sorted view)",
     },
@@ -125,19 +134,19 @@ pub const RULES: [RuleInfo; 10] = [
     },
     RuleInfo {
         name: "durability",
-        scope: "run_state.rs, checkpoint.rs, and crates/serve/src/** (the crash-durable state writers), outside tests",
+        scope: "run_state.rs, checkpoint.rs, infer/src/format.rs, and crates/serve/src/** (the crash-durable state writers), outside tests",
         rationale: "a rename not preceded by fsync, or a File::create on the final path, loses acknowledged state on power cut; the only sanctioned pattern is tmp + fsync + rename",
         waiver_policy: "line waiver explaining why the data is already durable (e.g. renaming a file fsynced by its writer)",
     },
     RuleInfo {
         name: "concurrency",
-        scope: "library code outside crates/tensor/src/par.rs, outside tests; the Mutex/RwLock ban covers the lock-free crates (ccq, ccq-tensor, ccq-nn, ccq-quant)",
+        scope: "library code outside crates/tensor/src/par.rs, outside tests; the Mutex/RwLock ban covers the lock-free crates (ccq, ccq-tensor, ccq-nn, ccq-quant, ccq-infer)",
         rationale: "ad-hoc pools and raw std::thread::spawn bypass the deterministic rayon configuration; locks in descent hot paths serialize what chunking already partitions",
         waiver_policy: "line waiver; the shared single-thread pool in ccq-nn carries the canonical one",
     },
     RuleInfo {
         name: "wire-drift",
-        scope: "cross-file: event.rs vs replay.rs JSON keys and event kinds, spec.rs render vs parse, golden metrics.txt vs metrics.rs registrations, CCQRUNS tags in run_state.rs",
+        scope: "cross-file: event.rs vs replay.rs JSON keys and event kinds, spec.rs render vs parse, golden metrics.txt vs metrics.rs registrations, CCQRUNS tags in run_state.rs, CCQPACK tags in infer/src/format.rs",
         rationale: "a serialized key emitted but never parsed (or vice versa) ships silent data loss that golden re-blessing can hide",
         waiver_policy: "line waiver in the wire file, standing alone (not mixed with other rules); used for deliberate forward-compat keys",
     },

@@ -1,0 +1,18 @@
+//! Fixture: CCQPACK-style section tags, each defined once and used on
+//! both the writer and reader sides.
+
+const TAG_META: u8 = 0;
+const TAG_LAYERS: u8 = 1;
+
+pub fn to_bytes(model: &Model, out: &mut Vec<u8>) {
+    out.push(TAG_META);
+    out.extend_from_slice(model.arch.as_bytes());
+    out.push(TAG_LAYERS);
+}
+
+pub fn from_bytes(cur: &mut &[u8]) -> Result<Model, PackError> {
+    expect_tag(cur, TAG_META, "meta")?;
+    let arch = read_string(cur)?;
+    expect_tag(cur, TAG_LAYERS, "layers")?;
+    Ok(Model { arch })
+}

@@ -1,0 +1,16 @@
+//! Fixture: a section tag written but never matched — `TAG_STATE` is
+//! pushed by the writer, but the reader never expects it, so a deployed
+//! artifact's state section is silently dropped on load.
+
+const TAG_META: u8 = 0;
+const TAG_STATE: u8 = 2;
+
+pub fn to_bytes(model: &Model, out: &mut Vec<u8>) {
+    out.push(TAG_META);
+    out.push(TAG_STATE);
+}
+
+pub fn from_bytes(cur: &mut &[u8]) -> Result<Model, PackError> {
+    expect_tag(cur, TAG_META, "meta")?;
+    Ok(Model::default())
+}

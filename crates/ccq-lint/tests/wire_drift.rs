@@ -22,6 +22,7 @@ const SPEC_RS: &str = "crates/serve/src/spec.rs";
 const METRICS_RS: &str = "crates/core/src/metrics.rs";
 const GOLDEN_TXT: &str = "crates/core/tests/golden/metrics.txt";
 const RUN_STATE_RS: &str = "crates/core/src/run_state.rs";
+const PACK_FORMAT_RS: &str = "crates/infer/src/format.rs";
 
 fn rules(findings: &[Finding]) -> Vec<&str> {
     findings.iter().map(|f| f.rule).collect()
@@ -263,7 +264,58 @@ fn tag_pushed_but_never_matched_fires_at_its_definition() {
         src: &rs,
     }]);
     assert_eq!(rules(&f), ["wire-drift"], "{f:#?}");
+    assert!(f[0].message.contains("CCQRUNS"), "{f:#?}");
     assert!(f[0].message.contains("TAG_ZERO"), "{f:#?}");
     assert!(f[0].message.contains("used on 1 side(s)"), "{f:#?}");
     assert!(f[0].related.is_some(), "{f:#?}");
+}
+
+#[test]
+fn pack_format_tags_used_on_both_sides_are_clean() {
+    let rs = load("pack_format_clean.rs");
+    let f = check_wire(&[WireSource {
+        role: WireRole::PackFormat,
+        path: PACK_FORMAT_RS,
+        src: &rs,
+    }]);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn pack_tag_written_but_never_expected_fires_at_its_definition() {
+    let rs = load("pack_format_fire.rs");
+    let f = check_wire(&[WireSource {
+        role: WireRole::PackFormat,
+        path: PACK_FORMAT_RS,
+        src: &rs,
+    }]);
+    assert_eq!(rules(&f), ["wire-drift"], "{f:#?}");
+    assert!(f[0].message.contains("CCQPACK"), "{f:#?}");
+    assert!(f[0].message.contains("TAG_STATE"), "{f:#?}");
+    assert!(f[0].message.contains("used on 1 side(s)"), "{f:#?}");
+    assert!(f[0].related.is_some(), "{f:#?}");
+}
+
+#[test]
+fn run_state_and_pack_tags_do_not_cross_pollinate() {
+    // A tag used on both sides of CCQPACK must not count toward a
+    // CCQRUNS tag of the same name, and vice versa: the two formats'
+    // facts are collected in separate pools.
+    let run_state = load("run_state_fire.rs");
+    let pack = load("pack_format_clean.rs");
+    let f = check_wire(&[
+        WireSource {
+            role: WireRole::RunState,
+            path: RUN_STATE_RS,
+            src: &run_state,
+        },
+        WireSource {
+            role: WireRole::PackFormat,
+            path: PACK_FORMAT_RS,
+            src: &pack,
+        },
+    ]);
+    assert_eq!(rules(&f), ["wire-drift"], "{f:#?}");
+    assert_eq!(f[0].path, RUN_STATE_RS, "{f:#?}");
+    assert!(f[0].message.contains("CCQRUNS"), "{f:#?}");
 }

@@ -38,4 +38,4 @@ mod size;
 pub use area::{inference_report, mac_area_um2, InferenceReport};
 pub use energy::{network_power, LayerPower, LayerProfile, MacEnergyModel, PowerReport};
 pub use memory::{weight_fetch_energy, FetchReport, MemoryKind};
-pub use size::{model_size, SizeReport};
+pub use size::{model_size, packed_weight_bytes, SizeReport};

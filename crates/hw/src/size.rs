@@ -1,7 +1,40 @@
 //! Model-size and compression-ratio accounting.
 
 use crate::LayerProfile;
+use ccq_quant::BitWidth;
 use serde::{Deserialize, Serialize};
+
+/// Bytes one layer's weights occupy in the packed deployable
+/// representation (`CCQPACK` / `ccq_tensor::PackedInts`): pruned layers
+/// store no payload, widths 1–4 nibble-pack two codes per byte (odd
+/// tails round up), widths 5–8 store one byte per code, and anything
+/// wider — including full precision and the unreachable 9–31 range —
+/// stays as 4-byte `f32` shadow weights.
+///
+/// This is the *measured* artifact size, byte for byte; the idealized
+/// `weight_count × bits` accounting in [`model_size`] ignores the
+/// nibble-padding and f32-fallback overheads that real storage pays.
+///
+/// # Example
+///
+/// ```
+/// use ccq_hw::packed_weight_bytes;
+/// use ccq_quant::BitWidth;
+///
+/// assert_eq!(packed_weight_bytes(101, BitWidth::of(4)), 51); // odd tail
+/// assert_eq!(packed_weight_bytes(101, BitWidth::of(8)), 101);
+/// assert_eq!(packed_weight_bytes(101, BitWidth::ZERO), 0);
+/// assert_eq!(packed_weight_bytes(101, BitWidth::FP32), 404);
+/// ```
+pub fn packed_weight_bytes(count: usize, bits: BitWidth) -> u64 {
+    let n = count as u64;
+    match bits.bits() {
+        0 => 0,
+        1..=4 => n.div_ceil(2),
+        5..=8 => n,
+        _ => n * 4,
+    }
+}
 
 /// Weight-storage accounting for a (possibly mixed-precision) network.
 ///
@@ -18,6 +51,14 @@ pub struct SizeReport {
     pub quantized_bits: u64,
     /// `fp32_bits / quantized_bits` (1.0 for an empty network).
     pub compression: f64,
+    /// Measured bytes of the packed deployable representation, summing
+    /// [`packed_weight_bytes`] per layer. Unlike `quantized_bits`, this
+    /// counts what storage actually pays: nibble padding on odd int4
+    /// tails and 4-byte `f32` fallback for unpackable widths.
+    pub packed_bytes: u64,
+    /// `4 · param_count / packed_bytes` (1.0 for an empty network) —
+    /// the compression a deployed `CCQPACK` artifact realizes.
+    pub packed_compression: f64,
 }
 
 /// Computes the [`SizeReport`] for a set of layer profiles.
@@ -41,9 +82,11 @@ pub struct SizeReport {
 pub fn model_size(profiles: &[LayerProfile]) -> SizeReport {
     let mut params = 0usize;
     let mut qbits = 0u64;
+    let mut packed_bytes = 0u64;
     for p in profiles {
         params += p.weight_count;
         qbits += p.weight_count as u64 * u64::from(p.weight_bits.bits());
+        packed_bytes += packed_weight_bytes(p.weight_count, p.weight_bits);
     }
     let fp32_bits = params as u64 * 32;
     let compression = if qbits == 0 {
@@ -51,11 +94,18 @@ pub fn model_size(profiles: &[LayerProfile]) -> SizeReport {
     } else {
         fp32_bits as f64 / qbits as f64
     };
+    let packed_compression = if packed_bytes == 0 {
+        1.0
+    } else {
+        (params as u64 * 4) as f64 / packed_bytes as f64
+    };
     SizeReport {
         param_count: params,
         fp32_bits,
         quantized_bits: qbits,
         compression,
+        packed_bytes,
+        packed_compression,
     }
 }
 
@@ -83,6 +133,35 @@ mod tests {
         let r = model_size(&[profile(100, 4), profile(300, 4)]);
         assert_eq!(r.param_count, 400);
         assert_eq!(r.compression, 8.0);
+        assert_eq!(r.packed_bytes, 200);
+        assert_eq!(r.packed_compression, 8.0);
+    }
+
+    #[test]
+    fn packed_bytes_pays_nibble_padding() {
+        // 101 int4 weights pack into 51 bytes (odd tail pads a nibble),
+        // so the measured packed ratio falls just short of the idealized
+        // bit accounting.
+        let r = model_size(&[profile(101, 4)]);
+        assert_eq!(r.packed_bytes, 51);
+        assert_eq!(r.compression, 8.0);
+        assert!(r.packed_compression < 8.0);
+    }
+
+    #[test]
+    fn packed_bytes_per_width() {
+        assert_eq!(packed_weight_bytes(0, BitWidth::of(4)), 0);
+        assert_eq!(packed_weight_bytes(7, BitWidth::ZERO), 0);
+        for b in 1..=4u32 {
+            assert_eq!(packed_weight_bytes(7, BitWidth::of(b)), 4);
+            assert_eq!(packed_weight_bytes(8, BitWidth::of(b)), 4);
+        }
+        for b in 5..=8u32 {
+            assert_eq!(packed_weight_bytes(7, BitWidth::of(b)), 7);
+        }
+        // Unpackable widths stay as f32 shadow weights.
+        assert_eq!(packed_weight_bytes(7, BitWidth::of(16)), 28);
+        assert_eq!(packed_weight_bytes(7, BitWidth::FP32), 28);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Real low-bit execution for finished CCQ networks.
+//!
+//! Quantization-aware training runs on *fake-quant* `f32` tensors; this
+//! crate is the deployment half: it packs a finished mixed-precision
+//! network into dense integer weight codes (two int4 codes per byte,
+//! one byte per int8 code), derives per-layer symmetric decoding grids
+//! from the training-time quantizer so dequantization reproduces the
+//! fake-quant grid **bit-exactly**, and serializes everything as a
+//! self-contained `CCQPACK` artifact (see [`format`](crate::PackedModel::to_bytes))
+//! written with atomic tmp+fsync+rename discipline.
+//!
+//! Deployed networks run through [`ccq_nn::Network::forward_packed`] in
+//! one of two modes:
+//!
+//! - [`ccq_nn::PackedExec::Dequant`] — reconstruct fake-quant weights
+//!   from the codes and run the `f32` kernels: whole-network output is
+//!   `f32`-identical to an `Eval`-mode fake-quant forward.
+//! - [`ccq_nn::PackedExec::Integer`] — true integer execution: integer
+//!   activation codes × integer weight codes accumulate in `i32` with
+//!   one `f32` rescale per layer boundary; agrees with fake-quant up to
+//!   accumulation-order rounding.
+//!
+//! # Example
+//!
+//! ```
+//! use ccq_infer::PackedModel;
+//! use ccq_nn::PackedExec;
+//! # use ccq_models::mlp;
+//! # use ccq_quant::{BitWidth, PolicyKind, QuantSpec};
+//! # use ccq_tensor::Tensor;
+//! # let dir = std::env::temp_dir().join("ccq_infer_doc_example");
+//! # std::fs::create_dir_all(&dir).unwrap();
+//! # let path = dir.join("model.ccqpack");
+//! # let mut net = mlp(&[4, 8, 2], PolicyKind::MaxAbs, 7);
+//! # net.set_all_quant_specs(QuantSpec::new(
+//! #     PolicyKind::MaxAbs, BitWidth::of(4), BitWidth::of(4)));
+//! // Pack a trained net and write the deployable artifact.
+//! let model = PackedModel::capture(&mut net, "mlp:4x8x2")?;
+//! model.save_atomic(&path)?;
+//!
+//! // On the deployment side: load, instantiate, run packed inference.
+//! let mut deployed = PackedModel::load_with_fallback(&path)?.instantiate()?;
+//! let y = deployed.forward_packed(&Tensor::ones(&[1, 4]), PackedExec::Integer)?;
+//! # assert_eq!(y.shape(), &[1, 2]);
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod arch;
+mod error;
+mod format;
+mod pack;
+
+pub use error::{InferError, Result};
+pub use pack::{LayerPayload, PackedLayer, PackedModel};

@@ -28,6 +28,17 @@ pub enum NnError {
         /// The network's current generation.
         net_generation: u64,
     },
+    /// A packed forward was requested but the packed weights no longer
+    /// match the network: the generation advanced since
+    /// [`crate::Network::pack_weights`], or (with equal generations) a
+    /// quantization spec changed, which the generation deliberately does
+    /// not track.
+    StalePack {
+        /// Generation recorded when the weights were packed.
+        packed_generation: u64,
+        /// The network's current generation.
+        net_generation: u64,
+    },
     /// Reading or writing a checkpoint failed at the I/O layer (the
     /// message carries the underlying `std::io::Error` rendering; the
     /// error itself stays `Clone + PartialEq`).
@@ -57,6 +68,13 @@ impl fmt::Display for NnError {
             } => write!(
                 f,
                 "activation cache is stale: filled at generation {cache_generation}, network is at {net_generation}"
+            ),
+            NnError::StalePack {
+                packed_generation,
+                net_generation,
+            } => write!(
+                f,
+                "packed weights are stale: packed at generation {packed_generation}, network is at {net_generation} (equal generations indicate a quant-spec change)"
             ),
             NnError::CheckpointIo(msg) => write!(f, "checkpoint I/O error: {msg}"),
             NnError::CheckpointFormat(msg) => write!(f, "malformed checkpoint: {msg}"),

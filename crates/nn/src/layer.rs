@@ -1,7 +1,7 @@
 //! The layer trait and traversal handles.
 
 use crate::{Param, Result};
-use ccq_quant::LayerQuant;
+use ccq_quant::{LayerQuant, PackedWeights};
 use ccq_tensor::Tensor;
 
 /// Forward-pass mode.
@@ -15,6 +15,32 @@ pub enum Mode {
     Train,
     /// Inference: running statistics, backward not available.
     Eval,
+}
+
+/// How a packed forward pass executes quantized layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackedExec {
+    /// Reconstruct the fake-quant weight tensor from the packed codes
+    /// (bit-exact) and run the ordinary f32 kernels. The whole-network
+    /// output is f32-identical to an `Eval`-mode fake-quant forward.
+    Dequant,
+    /// True integer execution: integer activation codes × integer weight
+    /// codes accumulate in `i32`, with one f32 rescale at the layer
+    /// boundary. Agrees with fake-quant up to accumulation-order
+    /// rounding (the differential tests pin the bound).
+    Integer,
+}
+
+/// What a tensor yielded by [`Layer::visit_state_tagged`] holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateTag {
+    /// The shadow weight tensor of a quantized layer — exactly the
+    /// tensors that a packed artifact stores as integer codes. Yielded
+    /// in the same layer order as [`Layer::visit_quant`].
+    QuantWeight,
+    /// Any other state (biases, batch-norm parameters and running
+    /// statistics) — stored as plain `f32` in a packed artifact.
+    Other,
 }
 
 /// A mutable view of one quantizable layer, yielded by
@@ -38,6 +64,10 @@ pub struct QuantHandle<'a> {
     /// The layer's weight parameter (shadow weights plus accumulated
     /// gradient) — Hessian-probe baselines perturb and read these.
     pub weight: &'a mut Param,
+    /// The layer's packed-weight slot: `Some` after a
+    /// [`crate::Network::pack_weights`] call installed integer codes,
+    /// consumed by [`Layer::forward_packed`].
+    pub packed: &'a mut Option<PackedWeights>,
 }
 
 /// Object-safe cloning for boxed layers; blanket-implemented for every
@@ -96,6 +126,29 @@ pub trait Layer: LayerClone + Send + Sync {
     /// The default visits only parameters.
     fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
         self.visit_params(&mut |p| f(&mut p.value));
+    }
+
+    /// Like [`Layer::visit_state`] — same tensors, same order — but each
+    /// tensor carries a [`StateTag`] so packed serialization can replace
+    /// quantized shadow weights with integer codes and keep the rest as
+    /// `f32`. The default tags everything [`StateTag::Other`]; layers
+    /// with quantized weights and composites override it.
+    fn visit_state_tagged(&mut self, f: &mut dyn FnMut(StateTag, &mut Tensor)) {
+        self.visit_state(&mut |t| f(StateTag::Other, t));
+    }
+
+    /// Runs the layer on `x` using its packed integer weights when a
+    /// [`crate::Network::pack_weights`] call installed them. Layers
+    /// without packed state (no weights, unsupported policy, or not yet
+    /// packed) fall back to an `Eval`-mode fake-quant forward, which
+    /// keeps whole-network agreement intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError`] on incompatible input shapes.
+    fn forward_packed(&mut self, x: &Tensor, exec: PackedExec) -> Result<Tensor> {
+        let _ = exec;
+        self.forward(x, Mode::Eval)
     }
 
     /// A short human-readable layer name for diagnostics.

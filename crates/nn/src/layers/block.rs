@@ -1,6 +1,6 @@
 //! Residual blocks (ResNet basic and bottleneck).
 
-use crate::layer::{Layer, Mode, QuantHandle};
+use crate::layer::{Layer, Mode, PackedExec, QuantHandle, StateTag};
 use crate::layers::{BatchNorm2d, QConv2d, Relu};
 use crate::{Param, Result};
 use ccq_quant::QuantSpec;
@@ -131,6 +131,35 @@ impl Layer for BasicBlock {
             c.visit_state(f);
             b.visit_state(f);
         }
+    }
+
+    fn visit_state_tagged(&mut self, f: &mut dyn FnMut(StateTag, &mut Tensor)) {
+        self.conv1.visit_state_tagged(f);
+        self.bn1.visit_state_tagged(f);
+        self.conv2.visit_state_tagged(f);
+        self.bn2.visit_state_tagged(f);
+        if let Some((c, b)) = &mut self.shortcut {
+            c.visit_state_tagged(f);
+            b.visit_state_tagged(f);
+        }
+    }
+
+    fn forward_packed(&mut self, x: &Tensor, exec: PackedExec) -> Result<Tensor> {
+        let a = self.conv1.forward_packed(x, exec)?;
+        let a = self.bn1.forward_packed(&a, exec)?;
+        let a = self.relu1.forward_packed(&a, exec)?;
+        let b = self.conv2.forward_packed(&a, exec)?;
+        let b = self.bn2.forward_packed(&b, exec)?;
+        let sc = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward_packed(x, exec)?;
+                bn.forward_packed(&s, exec)?
+            }
+            None => x.clone(),
+        };
+        let mut sum = b;
+        sum.add_assign(&sc)?;
+        self.relu_out.forward_packed(&sum, exec)
     }
 
     fn name(&self) -> &str {
@@ -278,6 +307,40 @@ impl Layer for Bottleneck {
             c.visit_state(f);
             b.visit_state(f);
         }
+    }
+
+    fn visit_state_tagged(&mut self, f: &mut dyn FnMut(StateTag, &mut Tensor)) {
+        self.conv1.visit_state_tagged(f);
+        self.bn1.visit_state_tagged(f);
+        self.conv2.visit_state_tagged(f);
+        self.bn2.visit_state_tagged(f);
+        self.conv3.visit_state_tagged(f);
+        self.bn3.visit_state_tagged(f);
+        if let Some((c, b)) = &mut self.shortcut {
+            c.visit_state_tagged(f);
+            b.visit_state_tagged(f);
+        }
+    }
+
+    fn forward_packed(&mut self, x: &Tensor, exec: PackedExec) -> Result<Tensor> {
+        let a = self.conv1.forward_packed(x, exec)?;
+        let a = self.bn1.forward_packed(&a, exec)?;
+        let a = self.relu1.forward_packed(&a, exec)?;
+        let b = self.conv2.forward_packed(&a, exec)?;
+        let b = self.bn2.forward_packed(&b, exec)?;
+        let b = self.relu2.forward_packed(&b, exec)?;
+        let c = self.conv3.forward_packed(&b, exec)?;
+        let c = self.bn3.forward_packed(&c, exec)?;
+        let sc = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward_packed(x, exec)?;
+                bn.forward_packed(&s, exec)?
+            }
+            None => x.clone(),
+        };
+        let mut sum = c;
+        sum.add_assign(&sc)?;
+        self.relu_out.forward_packed(&sum, exec)
     }
 
     fn name(&self) -> &str {

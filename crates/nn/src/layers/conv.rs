@@ -1,9 +1,12 @@
 //! Quantization-aware 2-D convolution.
 
-use crate::layer::{Layer, Mode, QuantHandle};
+use crate::layer::{Layer, Mode, PackedExec, QuantHandle, StateTag};
 use crate::{NnError, Param, Result};
-use ccq_quant::{LayerQuant, QuantSpec};
-use ccq_tensor::ops::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry};
+use ccq_quant::{LayerQuant, PackedWeights, QuantSpec};
+use ccq_tensor::ops::{
+    col2im, im2col, int_accumulator_safe, int_im2col, int_matmul, matmul, matmul_a_bt, matmul_at_b,
+    Conv2dGeometry,
+};
 use ccq_tensor::{Init, Rng64, Tensor, TensorError};
 
 /// A 2-D convolution with fake-quantized weights and inputs.
@@ -25,6 +28,7 @@ pub struct QConv2d {
     quant: LayerQuant,
     macs: u64,
     cache: Option<ConvCache>,
+    packed: Option<PackedWeights>,
 }
 
 #[derive(Debug, Clone)]
@@ -81,6 +85,7 @@ impl QConv2d {
             quant: LayerQuant::new(spec),
             macs: 0,
             cache: None,
+            packed: None,
         }
     }
 
@@ -247,7 +252,68 @@ impl Layer for QConv2d {
             macs: self.macs,
             quant: &mut self.quant,
             weight: &mut self.weight,
+            packed: &mut self.packed,
         });
+    }
+
+    fn visit_state_tagged(&mut self, f: &mut dyn FnMut(StateTag, &mut Tensor)) {
+        f(StateTag::QuantWeight, &mut self.weight.value);
+        if let Some(b) = &mut self.bias {
+            f(StateTag::Other, &mut b.value);
+        }
+    }
+
+    fn forward_packed(&mut self, x: &Tensor, exec: PackedExec) -> Result<Tensor> {
+        let packed = match &self.packed {
+            Some(p) => p,
+            None => return self.forward(x, Mode::Eval),
+        };
+        x.shape_obj().expect_rank(4).map_err(NnError::from)?;
+        if x.shape()[1] != self.in_ch {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                expected: vec![x.shape()[0], self.in_ch, x.shape()[2], x.shape()[3]],
+                actual: x.shape().to_vec(),
+            }));
+        }
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.geom.output_hw(h, w)?;
+        let ckk = self.in_ch * self.geom.kernel_h * self.geom.kernel_w;
+        // Integer execution needs an activation grid and accumulator
+        // headroom; pruned weights and f32-gridded inputs take the
+        // (bit-exact) dequantized path instead.
+        let act = if exec == PackedExec::Integer && packed.bits() > 0 {
+            self.quant.act_codes(x)
+        } else {
+            None
+        };
+        let out_mat = match act {
+            Some(ac)
+                if int_accumulator_safe(
+                    ckk,
+                    ac.qmax.unsigned_abs(),
+                    packed.grid().qmax.unsigned_abs(),
+                ) =>
+            {
+                let cols = int_im2col(&ac.codes, [n, self.in_ch, h, w], self.geom)?;
+                let wcodes = packed.codes_i8();
+                let acc = int_matmul(&wcodes, &cols, self.out_ch, ckk, n * oh * ow)?;
+                let scale = ac.scale() * packed.grid().scale();
+                let mut m = Tensor::zeros(&[self.out_ch, n * oh * ow]);
+                for (o, &a) in m.as_mut_slice().iter_mut().zip(&acc) {
+                    *o = a as f32 * scale;
+                }
+                m
+            }
+            _ => {
+                let xq = self.quant.quantize_acts(x);
+                let cols = im2col(&xq, self.geom)?;
+                let wq = packed.dequantize().reshape(&[self.out_ch, ckk])?;
+                matmul(&wq, &cols)?
+            }
+        };
+        let y = self.mat_to_nchw(&out_mat, n, oh, ow);
+        self.macs = (ckk * oh * ow * self.out_ch) as u64;
+        Ok(y)
     }
 
     fn name(&self) -> &str {

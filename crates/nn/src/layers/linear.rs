@@ -1,9 +1,9 @@
 //! Quantization-aware fully-connected layer.
 
-use crate::layer::{Layer, Mode, QuantHandle};
+use crate::layer::{Layer, Mode, PackedExec, QuantHandle, StateTag};
 use crate::{NnError, Param, Result};
-use ccq_quant::{LayerQuant, QuantSpec};
-use ccq_tensor::ops::{matmul, matmul_at_b, sum_axis0};
+use ccq_quant::{LayerQuant, PackedWeights, QuantSpec};
+use ccq_tensor::ops::{int_accumulator_safe, int_matmul_a_bt, matmul, matmul_at_b, sum_axis0};
 use ccq_tensor::{Init, Rng64, Tensor, TensorError};
 
 /// A fully-connected layer `y = x·Wᵀ + b` with fake-quantized weights and
@@ -21,6 +21,7 @@ pub struct QLinear {
     quant: LayerQuant,
     macs: u64,
     cache: Option<LinearCache>,
+    packed: Option<PackedWeights>,
 }
 
 #[derive(Debug, Clone)]
@@ -59,6 +60,7 @@ impl QLinear {
             quant: LayerQuant::new(spec),
             macs: 0,
             cache: None,
+            packed: None,
         }
     }
 
@@ -70,6 +72,22 @@ impl QLinear {
     /// Mutable access to the quantization state.
     pub fn quant_mut(&mut self) -> &mut LayerQuant {
         &mut self.quant
+    }
+
+    /// Adds the bias row-wise in place (shared by the fake-quant and
+    /// packed forward paths so both add in the same order).
+    fn add_bias(&self, y: &mut Tensor) {
+        let bv = self.bias.value.as_slice();
+        let n = y.shape()[0];
+        let yv = y.as_mut_slice();
+        for r in 0..n {
+            for (v, &b) in yv[r * self.out_features..(r + 1) * self.out_features]
+                .iter_mut()
+                .zip(bv)
+            {
+                *v += b;
+            }
+        }
     }
 }
 
@@ -89,17 +107,7 @@ impl Layer for QLinear {
         let wq = self.quant.quantize_weights(&self.weight.value);
         // y = xq · wqᵀ + b
         let mut y = ccq_tensor::ops::matmul_a_bt(&xq, &wq)?;
-        let bv = self.bias.value.as_slice();
-        let n = y.shape()[0];
-        let yv = y.as_mut_slice();
-        for r in 0..n {
-            for (v, &b) in yv[r * self.out_features..(r + 1) * self.out_features]
-                .iter_mut()
-                .zip(bv)
-            {
-                *v += b;
-            }
-        }
+        self.add_bias(&mut y);
         self.macs = (self.in_features * self.out_features) as u64;
         self.cache = match mode {
             Mode::Train => Some(LinearCache {
@@ -140,7 +148,68 @@ impl Layer for QLinear {
             macs: self.macs,
             quant: &mut self.quant,
             weight: &mut self.weight,
+            packed: &mut self.packed,
         });
+    }
+
+    fn visit_state_tagged(&mut self, f: &mut dyn FnMut(StateTag, &mut Tensor)) {
+        f(StateTag::QuantWeight, &mut self.weight.value);
+        f(StateTag::Other, &mut self.bias.value);
+    }
+
+    fn forward_packed(&mut self, x: &Tensor, exec: PackedExec) -> Result<Tensor> {
+        let packed = match &self.packed {
+            Some(p) => p,
+            None => return self.forward(x, Mode::Eval),
+        };
+        x.shape_obj().expect_rank(2).map_err(NnError::from)?;
+        if x.shape()[1] != self.in_features {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                expected: vec![x.shape()[0], self.in_features],
+                actual: x.shape().to_vec(),
+            }));
+        }
+        let rows = x.shape()[0];
+        // Integer execution needs an activation grid and accumulator
+        // headroom; pruned weights and f32-gridded inputs take the
+        // (bit-exact) dequantized path instead.
+        let act = if exec == PackedExec::Integer && packed.bits() > 0 {
+            self.quant.act_codes(x)
+        } else {
+            None
+        };
+        let mut y = match act {
+            Some(ac)
+                if int_accumulator_safe(
+                    self.in_features,
+                    ac.qmax.unsigned_abs(),
+                    packed.grid().qmax.unsigned_abs(),
+                ) =>
+            {
+                let wcodes = packed.codes_i8();
+                let acc = int_matmul_a_bt(
+                    &ac.codes,
+                    &wcodes,
+                    rows,
+                    self.in_features,
+                    self.out_features,
+                )?;
+                let scale = ac.scale() * packed.grid().scale();
+                let mut y = Tensor::zeros(&[rows, self.out_features]);
+                for (o, &a) in y.as_mut_slice().iter_mut().zip(&acc) {
+                    *o = a as f32 * scale;
+                }
+                y
+            }
+            _ => {
+                let xq = self.quant.quantize_acts(x);
+                let wq = packed.dequantize();
+                ccq_tensor::ops::matmul_a_bt(&xq, &wq)?
+            }
+        };
+        self.add_bias(&mut y);
+        self.macs = (self.in_features * self.out_features) as u64;
+        Ok(y)
     }
 
     fn name(&self) -> &str {

@@ -1,6 +1,6 @@
 //! Sequential layer composition.
 
-use crate::layer::{Layer, Mode, QuantHandle};
+use crate::layer::{Layer, Mode, PackedExec, QuantHandle, StateTag};
 use crate::{Param, Result};
 use ccq_tensor::Tensor;
 
@@ -142,6 +142,20 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             layer.visit_state(f);
         }
+    }
+
+    fn visit_state_tagged(&mut self, f: &mut dyn FnMut(StateTag, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_state_tagged(f);
+        }
+    }
+
+    fn forward_packed(&mut self, x: &Tensor, exec: PackedExec) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward_packed(&cur, exec)?;
+        }
+        Ok(cur)
     }
 
     fn name(&self) -> &str {

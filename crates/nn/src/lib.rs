@@ -57,8 +57,8 @@ pub mod train;
 #[cfg(feature = "fault-inject")]
 pub use checkpoint::CkptFaults;
 pub use error::NnError;
-pub use layer::{Layer, Mode, QuantHandle};
-pub use network::{Network, NetworkState};
+pub use layer::{Layer, Mode, PackedExec, QuantHandle, StateTag};
+pub use network::{Network, NetworkState, PackOutcome, QuantLayerInfo};
 pub use optim::Sgd;
 pub use param::Param;
 

@@ -1,10 +1,26 @@
 //! The network wrapper: traversal, snapshots, quantization plumbing.
 
-use crate::layer::{Layer, Mode, QuantHandle};
+use crate::layer::{Layer, Mode, PackedExec, QuantHandle, StateTag};
 use crate::layers::Sequential;
 use crate::{NnError, Param, Result};
 use ccq_quant::QuantSpec;
 use ccq_tensor::Tensor;
+
+/// What [`Network::pack_weights`] did to one quantizable layer, in
+/// traversal order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackOutcome {
+    /// The layer's unique label.
+    pub label: String,
+    /// Number of weight scalars.
+    pub weight_count: usize,
+    /// Packed width in bits (`0` = pruned), or `None` when the layer
+    /// could not be packed (full precision or an unsupported policy)
+    /// and stays in `f32`.
+    pub bits: Option<u32>,
+    /// Bytes of the packed integer payload (`0` when unpacked/pruned).
+    pub packed_bytes: usize,
+}
 
 /// Descriptive summary of one quantizable layer, as reported by
 /// [`Network::quant_layer_info`].
@@ -56,6 +72,11 @@ pub struct NetworkState {
 pub struct Network {
     root: Sequential,
     generation: u64,
+    /// Generation and spec fingerprint recorded by the last
+    /// [`Network::pack_weights`] / [`Network::mark_packed`]; `None`
+    /// until then. [`Network::forward_packed`] refuses to run when
+    /// either has drifted.
+    packed_at: Option<(u64, Vec<QuantSpec>)>,
 }
 
 impl std::fmt::Debug for Network {
@@ -70,6 +91,7 @@ impl Network {
         Network {
             root,
             generation: 0,
+            packed_at: None,
         }
     }
 
@@ -155,6 +177,9 @@ impl Network {
         Network {
             root: self.root.clone_tail(start),
             generation: self.generation,
+            // Tail clones drop any packed state: the slot indices no
+            // longer line up with the full network's fingerprint.
+            packed_at: None,
         }
     }
 
@@ -273,6 +298,106 @@ impl Network {
         let mut ok = true;
         self.visit_state_tensors(&mut |t| ok &= t.all_finite());
         ok
+    }
+
+    /// Like [`Network::visit_state_tensors`] — same tensors, same order
+    /// — but each tensor carries a [`StateTag`] distinguishing quantized
+    /// shadow weights from everything else. Conservatively bumps the
+    /// generation (callers get `&mut Tensor`).
+    pub fn visit_state_tensors_tagged(&mut self, f: &mut dyn FnMut(StateTag, &mut Tensor)) {
+        self.generation += 1;
+        self.root.visit_state_tagged(f);
+    }
+
+    /// Packs every quantizable layer's weights into integer codes and
+    /// installs them in the layers' packed slots, returning what
+    /// happened per layer. Layers without a packable grid (full
+    /// precision, or a policy without a symmetric scale) keep `f32`
+    /// weights and fall back to the fake-quant path in
+    /// [`Network::forward_packed`].
+    pub fn pack_weights(&mut self) -> Vec<PackOutcome> {
+        let mut out = Vec::new();
+        self.root.visit_quant(&mut |h| {
+            let packed = h.quant.pack_weights(&h.weight.value);
+            let (bits, packed_bytes) = match &packed {
+                Some(p) => (Some(p.bits()), p.byte_len()),
+                None => (None, 0),
+            };
+            out.push(PackOutcome {
+                label: h.label.to_string(),
+                weight_count: h.weight_count,
+                bits,
+                packed_bytes,
+            });
+            *h.packed = packed;
+        });
+        self.mark_packed();
+        out
+    }
+
+    /// Declares the currently installed packed slots current: records
+    /// the generation and spec fingerprint that
+    /// [`Network::forward_packed`] validates. [`Network::pack_weights`]
+    /// calls this itself; call it directly only after installing
+    /// externally deserialized packed weights through
+    /// [`Network::visit_quant`] (the packed-artifact loader does).
+    pub fn mark_packed(&mut self) {
+        let mut specs = Vec::new();
+        self.root.visit_quant(&mut |h| specs.push(h.quant.spec()));
+        self.packed_at = Some((self.generation, specs));
+    }
+
+    /// Removes all packed weights, returning the network to pure
+    /// fake-quant execution.
+    pub fn clear_packed(&mut self) {
+        self.root.visit_quant(&mut |h| *h.packed = None);
+        self.packed_at = None;
+    }
+
+    /// Whether packed weights are installed and marked current.
+    pub fn is_packed(&self) -> bool {
+        self.packed_at.is_some()
+    }
+
+    /// Runs a packed forward pass (inference only; does not bump the
+    /// generation, like an `Eval`-mode [`Network::forward`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when [`Network::pack_weights`]
+    /// has not run, [`NnError::StalePack`] when the network mutated or a
+    /// quant spec changed since packing, and layer shape errors
+    /// otherwise.
+    pub fn forward_packed(&mut self, x: &Tensor, exec: PackedExec) -> Result<Tensor> {
+        let (packed_generation, fingerprint) = match &self.packed_at {
+            Some((g, f)) => (*g, f.clone()),
+            None => {
+                return Err(NnError::InvalidConfig(
+                    "forward_packed before pack_weights".into(),
+                ))
+            }
+        };
+        if packed_generation != self.generation {
+            return Err(NnError::StalePack {
+                packed_generation,
+                net_generation: self.generation,
+            });
+        }
+        let mut i = 0;
+        let mut drift = false;
+        self.root.visit_quant(&mut |h| {
+            if fingerprint.get(i) != Some(&h.quant.spec()) {
+                drift = true;
+            }
+            i += 1;
+        });
+        if drift || i != fingerprint.len() {
+            return Err(NnError::StalePack {
+                packed_generation,
+                net_generation: self.generation,
+            });
+        }
+        self.root.forward_packed(x, exec)
     }
 
     /// Captures every state tensor (parameters + batch-norm running stats)
@@ -410,6 +535,103 @@ mod tests {
             b.restore(&snap),
             Err(NnError::StateMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn packed_dequant_forward_is_bit_exact() {
+        let mut n = net();
+        let q = QuantSpec::new(PolicyKind::Pact, BitWidth::of(4), BitWidth::of(4));
+        n.set_all_quant_specs(q);
+        let x = Tensor::ones(&[2, 3]);
+        let fake = n.forward(&x, Mode::Eval).unwrap();
+        let outcomes = n.pack_weights();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.bits == Some(4)));
+        assert!(outcomes.iter().all(|o| o.packed_bytes > 0));
+        let packed = n.forward_packed(&x, PackedExec::Dequant).unwrap();
+        assert_eq!(fake.as_slice(), packed.as_slice());
+    }
+
+    #[test]
+    fn packed_integer_forward_is_close() {
+        let mut n = net();
+        let q = QuantSpec::new(PolicyKind::MaxAbs, BitWidth::of(8), BitWidth::of(8));
+        n.set_all_quant_specs(q);
+        let x = Tensor::ones(&[2, 3]);
+        let fake = n.forward(&x, Mode::Eval).unwrap();
+        n.pack_weights();
+        let packed = n.forward_packed(&x, PackedExec::Integer).unwrap();
+        for (a, b) in fake.as_slice().iter().zip(packed.as_slice()) {
+            assert!((a - b).abs() <= 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_packed_requires_pack() {
+        let mut n = net();
+        let x = Tensor::ones(&[1, 3]);
+        assert!(matches!(
+            n.forward_packed(&x, PackedExec::Dequant),
+            Err(NnError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn forward_packed_detects_mutation() {
+        let mut n = net();
+        n.pack_weights();
+        n.visit_params(&mut |p| p.value.map_in_place(|v| v + 1.0));
+        let x = Tensor::ones(&[1, 3]);
+        assert!(matches!(
+            n.forward_packed(&x, PackedExec::Dequant),
+            Err(NnError::StalePack { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_packed_detects_spec_drift() {
+        let mut n = net();
+        n.pack_weights();
+        // Spec flips do not bump the generation, so this exercises the
+        // fingerprint check specifically.
+        let gen = n.generation();
+        n.set_quant_spec(
+            0,
+            QuantSpec::new(PolicyKind::Pact, BitWidth::of(2), BitWidth::of(2)),
+        );
+        assert_eq!(n.generation(), gen);
+        let x = Tensor::ones(&[1, 3]);
+        match n.forward_packed(&x, PackedExec::Dequant) {
+            Err(NnError::StalePack {
+                packed_generation,
+                net_generation,
+            }) => assert_eq!(packed_generation, net_generation),
+            other => panic!("expected StalePack, got {other:?}"),
+        }
+        // Clearing returns the net to fake-quant execution.
+        n.clear_packed();
+        assert!(!n.is_packed());
+        assert!(matches!(
+            n.forward_packed(&x, PackedExec::Dequant),
+            Err(NnError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn tagged_state_visit_marks_quant_weights() {
+        let mut n = net();
+        let mut tags = Vec::new();
+        n.visit_state_tensors_tagged(&mut |tag, t| tags.push((tag, t.len())));
+        // fc1 weight, fc1 bias, fc2 weight, fc2 bias.
+        assert_eq!(
+            tags,
+            vec![
+                (StateTag::QuantWeight, 12),
+                (StateTag::Other, 4),
+                (StateTag::QuantWeight, 8),
+                (StateTag::Other, 2),
+            ]
+        );
     }
 
     #[test]

@@ -237,6 +237,23 @@ impl LayerQuant {
         }
     }
 
+    /// Exports the weight tensor's fake-quant grid as packed integer
+    /// codes, or `None` when the layer has no packable grid (full
+    /// precision, or a policy without a symmetric scale).
+    ///
+    /// The round trip is bit-exact:
+    /// `pack_weights(w).dequantize() == quantize_weights(w)`.
+    pub fn pack_weights(&self, w: &Tensor) -> Option<crate::grid::PackedWeights> {
+        crate::grid::PackedWeights::from_tensor(self.spec.policy, w, self.spec.weight_bits)
+    }
+
+    /// Computes integer activation codes for the layer input, mirroring
+    /// [`LayerQuant::quantize_acts`], or `None` when the activation grid
+    /// is not single-scale (the packed path then falls back to f32).
+    pub fn act_codes(&self, x: &Tensor) -> Option<crate::grid::ActCodes> {
+        crate::grid::act_codes(self.spec.policy, self.alpha, self.spec.act_bits, x)
+    }
+
     /// STE mask for the weight gradient: `Some(mask)` when the policy clips
     /// weights (gradient is zero where the clip saturates), `None` when the
     /// gradient passes straight through.

@@ -36,6 +36,7 @@
 
 mod bits;
 mod error;
+pub mod grid;
 mod layer;
 pub mod policies;
 mod policy;
@@ -43,6 +44,7 @@ mod stats;
 
 pub use bits::{BitLadder, BitWidth};
 pub use error::QuantError;
+pub use grid::{ActCodes, PackedWeights, WeightGrid};
 pub use layer::{LayerQuant, QuantSpec};
 pub use policy::PolicyKind;
 pub use stats::{quantization_mse, quantization_sqnr_db};

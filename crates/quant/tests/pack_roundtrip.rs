@@ -1,0 +1,91 @@
+//! Property tests: weight packing reproduces the fake-quant grid
+//! bit-exactly for every packable policy and width, and survives the
+//! wire round trip losslessly.
+
+use ccq_quant::{BitWidth, LayerQuant, PackedWeights, PolicyKind, QuantSpec};
+use ccq_tensor::{Init, Tensor};
+use proptest::prelude::*;
+
+/// The policies whose weight grids are packable (symmetric scale).
+const PACKABLE: [PolicyKind; 5] = [
+    PolicyKind::Pact,
+    PolicyKind::MaxAbs,
+    PolicyKind::Wrpn,
+    PolicyKind::Sawb,
+    PolicyKind::Aciq,
+];
+
+fn random_tensor(shape: &[usize], seed: u64, scale: f32) -> Tensor {
+    let mut r = ccq_tensor::rng(seed);
+    Init::Normal {
+        mean: 0.0,
+        std: scale,
+    }
+    .sample(shape, &mut r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dequantizing the packed codes is `f32`-identical to fake-quant,
+    /// for every packable policy, every width 1..=8 plus the pruned
+    /// rung, over random shapes and weight scales.
+    #[test]
+    fn dequantize_matches_fake_quant(policy_ix in 0usize..PACKABLE.len(),
+                                     bits in 0u32..=8,
+                                     rows in 1usize..7,
+                                     cols in 1usize..9,
+                                     seed in 0u64..10_000,
+                                     scale in 0.05f32..4.0) {
+        let policy = PACKABLE[policy_ix];
+        let w = random_tensor(&[rows, cols], seed, scale);
+        let width = BitWidth::new_allowing_zero(bits).unwrap();
+        let spec = QuantSpec::new(policy, width, BitWidth::of(8));
+        let lq = LayerQuant::new(spec);
+        let packed = lq.pack_weights(&w).expect("packable policy and width");
+        let fake = lq.quantize_weights(&w);
+        let deq = packed.dequantize();
+        prop_assert_eq!(deq.as_slice(), fake.as_slice());
+        prop_assert_eq!(packed.shape(), w.shape());
+        prop_assert_eq!(packed.bits(), bits);
+    }
+
+    /// Wire round trip through raw parts: payload bytes + grid
+    /// reconstruct an identical packed tensor (odd int4 tails
+    /// included).
+    #[test]
+    fn wire_round_trip_is_lossless(policy_ix in 0usize..PACKABLE.len(),
+                                   bits in 0u32..=8,
+                                   len in 1usize..33,
+                                   seed in 0u64..10_000) {
+        let policy = PACKABLE[policy_ix];
+        let w = random_tensor(&[len], seed, 1.0);
+        let width = BitWidth::new_allowing_zero(bits).unwrap();
+        let packed = PackedWeights::from_tensor(policy, &w, width)
+            .expect("packable policy and width");
+        let back = PackedWeights::from_parts(
+            packed.shape().to_vec(),
+            packed.bits(),
+            packed.grid(),
+            packed.payload().to_vec(),
+        )
+        .unwrap();
+        prop_assert_eq!(&back, &packed);
+        let (a, b) = (back.dequantize(), packed.dequantize());
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+        prop_assert_eq!(back.codes_i8(), packed.codes_i8());
+    }
+
+    /// Unpackable configurations consistently return `None`: full
+    /// precision, widths above 8, and policies without a symmetric
+    /// weight grid.
+    #[test]
+    fn unpackable_configs_return_none(seed in 0u64..1000) {
+        let w = random_tensor(&[6], seed, 1.0);
+        prop_assert!(PackedWeights::from_tensor(PolicyKind::Pact, &w, BitWidth::FP32).is_none());
+        prop_assert!(PackedWeights::from_tensor(PolicyKind::Pact, &w, BitWidth::of(16)).is_none());
+        for policy in [PolicyKind::Dorefa, PolicyKind::UniformAffine, PolicyKind::Lsq] {
+            prop_assert!(PackedWeights::from_tensor(policy, &w, BitWidth::of(4)).is_none());
+        }
+    }
+}

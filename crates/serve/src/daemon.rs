@@ -352,6 +352,10 @@ mod tests {
             assert!(spool.report_path(Dir::Done, id).exists());
             assert!(spool.events_path(Dir::Done, id).exists());
             assert!(spool.state_path(Dir::Done, id).exists());
+            assert!(
+                spool.pack_path(Dir::Done, id).exists(),
+                "deployable artifact travels to done/"
+            );
         }
         let metrics = fs::read_to_string(spool.metrics_path()).expect("metrics");
         assert!(metrics.contains("ccq_serve_jobs_total"));

@@ -66,12 +66,14 @@ impl Dir {
 /// Sidecar artifacts that travel with a job's `.job` file, in the order
 /// they are moved during a state transition (the `.job` itself moves
 /// last, outside this list).
-const SIDECARS: [&str; 5] = [
+const SIDECARS: [&str; 7] = [
     ".status",
     ".ccqruns",
     ".ccqruns.prev",
     ".events.jsonl",
     ".report.txt",
+    ".ccqpack",
+    ".ccqpack.prev",
 ];
 
 /// Handle to a spool root. Cheap to clone; owns no file descriptors.
@@ -133,6 +135,11 @@ impl Spool {
     /// Path of a job's final human-readable report in state `d`.
     pub fn report_path(&self, d: Dir, id: &str) -> PathBuf {
         self.dir(d).join(format!("{id}.report.txt"))
+    }
+
+    /// Path of a job's deployable `CCQPACK` artifact in state `d`.
+    pub fn pack_path(&self, d: Dir, id: &str) -> PathBuf {
+        self.dir(d).join(format!("{id}.ccqpack"))
     }
 
     /// The graceful-shutdown sentinel file.

@@ -31,6 +31,7 @@ use ccq::{
     parse_event_line, CcqError, CcqRunner, DescentEvent, DriveOutcome, EventSink, FaultPlan,
     RunControl, RunState, StartPoint,
 };
+use ccq_infer::PackedModel;
 use ccq_nn::train::train_epoch;
 use ccq_nn::Sgd;
 use ccq_tensor::{rng, Rng64};
@@ -339,7 +340,9 @@ pub fn execute_job_with_control(
     finish?;
     match driven {
         DriveOutcome::Finished(report) => {
-            atomic_write_text(&spool.report_path(Dir::Running, id), &report.to_string())?;
+            let pack_lines = write_pack_artifact(spool, spec, &mut net)?;
+            let text = format!("{report}\n{pack_lines}");
+            atomic_write_text(&spool.report_path(Dir::Running, id), &text)?;
             Ok(AttemptResult {
                 resumed,
                 outcome: AttemptOutcome::Finished,
@@ -350,6 +353,25 @@ pub fn execute_job_with_control(
             outcome: AttemptOutcome::Paused { next_step },
         }),
     }
+}
+
+/// Packs the finished network into the job's `.ccqpack` sidecar and
+/// returns the report lines describing it. The artifact is a pure
+/// function of the final weights and specs, so a resumed run — which
+/// replays to bit-identical weights — writes a byte-identical artifact
+/// and report, preserving the daemon's restart-resume contract.
+fn write_pack_artifact(spool: &Spool, spec: &JobSpec, net: &mut ccq_nn::Network) -> Result<String> {
+    let id = &spec.name;
+    let arch = ccq_infer::arch::mlp_arch(&spec.mlp_dims);
+    let pack = |e: ccq_infer::InferError| ServeError::Io(format!("pack job {id:?}: {e}"));
+    let model = PackedModel::capture(net, &arch).map_err(pack)?;
+    model
+        .save_atomic(&spool.pack_path(Dir::Running, id))
+        .map_err(pack)?;
+    Ok(format!(
+        "packed artifact: {id}.ccqpack\n{}",
+        model.summary()
+    ))
 }
 
 #[cfg(test)]
@@ -383,6 +405,19 @@ mod tests {
         assert_eq!(res.outcome, AttemptOutcome::Finished);
         assert!(spool.state_path(Dir::Running, "j").exists());
         assert!(spool.report_path(Dir::Running, "j").exists());
+        // The deployable artifact rides along and is immediately
+        // loadable and runnable.
+        let model = PackedModel::load_with_fallback(&spool.pack_path(Dir::Running, "j"))
+            .expect("pack artifact loads");
+        let mut deployed = model.instantiate().expect("instantiate");
+        let x = ccq_tensor::Tensor::ones(&[1, spec.mlp_dims[0]]);
+        let y = deployed
+            .forward_packed(&x, ccq_nn::PackedExec::Dequant)
+            .expect("packed forward");
+        assert_eq!(y.shape(), &[1, *spec.mlp_dims.last().unwrap()]);
+        let report = fs::read_to_string(spool.report_path(Dir::Running, "j")).expect("report");
+        assert!(report.contains("packed artifact: j.ccqpack"), "{report}");
+        assert!(report.contains("CCQPACK mlp:8x16x16x4:"), "{report}");
         let log = fs::read_to_string(spool.events_path(Dir::Running, "j")).expect("log");
         assert!(log.contains("\"event\":\"autosave\""));
         assert!(log
@@ -409,6 +444,7 @@ mod tests {
         let ref_state = fs::read(spool.state_path(Dir::Running, "ref")).expect("state");
         let ref_log = fs::read_to_string(spool.events_path(Dir::Running, "ref")).expect("log");
         let ref_report = fs::read_to_string(spool.report_path(Dir::Running, "ref")).expect("rep");
+        let ref_pack = fs::read(spool.pack_path(Dir::Running, "ref")).expect("pack");
 
         // Same workload under a different id: pause at the first
         // boundary, then resume to completion.
@@ -442,6 +478,8 @@ mod tests {
             "stitched event log is byte-identical modulo spool root"
         );
         assert_eq!(report2, ref_report, "report is byte-identical");
+        let pack2 = fs::read(spool2.pack_path(Dir::Running, "ref")).expect("pack2");
+        assert_eq!(pack2, ref_pack, "packed artifact is byte-identical");
         fs::remove_dir_all(&root).ok();
         fs::remove_dir_all(&root2).ok();
     }

@@ -21,12 +21,14 @@
 mod error;
 mod init;
 pub mod ops;
+pub mod packed;
 pub mod par;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
 pub use init::{rng, rng_from_state, rng_state, Init, Rng64};
+pub use packed::{packed_byte_len, PackError, PackedInts};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,0 +1,96 @@
+//! Property tests: packed integer storage is lossless for every width.
+
+use ccq_tensor::{packed_byte_len, PackError, PackedInts};
+use proptest::prelude::*;
+
+/// Masks raw random bytes down to codes that fit `bits` bits.
+fn mask(raw: Vec<u8>, bits: u32) -> Vec<u8> {
+    let m = if bits == 0 {
+        0u8
+    } else {
+        (((1u16 << bits) - 1) & 0xFF) as u8
+    };
+    raw.into_iter().map(|c| c & m).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// pack → unpack is the identity for every supported width,
+    /// including the 0-bit pruning rung and odd-length nibble tails.
+    /// 0..=257 elements covers empty inputs, odd int4 nibble tails, and
+    /// multi-byte payloads.
+    #[test]
+    fn pack_unpack_is_lossless(bits in 0u32..=8,
+                               raw in proptest::collection::vec(0u8..=255, 0..258)) {
+        let cs = mask(raw, bits);
+        let packed = PackedInts::pack(&cs, bits).unwrap();
+        prop_assert_eq!(packed.len(), cs.len());
+        prop_assert_eq!(packed.byte_len(), packed_byte_len(cs.len(), bits).unwrap());
+        prop_assert_eq!(packed.unpack(), cs.clone());
+        for (i, &c) in cs.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), Some(c));
+        }
+        prop_assert_eq!(packed.get(cs.len()), None);
+    }
+
+    /// Wire round trip: payload bytes → `from_parts` reconstructs the
+    /// identical packed container.
+    #[test]
+    fn wire_parts_round_trip(bits in 0u32..=8,
+                             raw in proptest::collection::vec(0u8..=255, 0..258)) {
+        let cs = mask(raw, bits);
+        let packed = PackedInts::pack(&cs, bits).unwrap();
+        let wire = packed.bytes().to_vec();
+        let back = PackedInts::from_parts(wire, cs.len(), bits).unwrap();
+        prop_assert_eq!(&back, &packed);
+        prop_assert_eq!(back.unpack(), cs);
+    }
+
+    /// A declared length that does not match the payload is rejected.
+    #[test]
+    fn wrong_wire_length_is_rejected(bits in 1u32..=8,
+                                     raw in proptest::collection::vec(0u8..=255, 2..64)) {
+        let cs = mask(raw, bits);
+        let packed = PackedInts::pack(&cs, bits).unwrap();
+        let mut wire = packed.bytes().to_vec();
+        wire.push(0); // one trailing byte too many
+        let is_len_mismatch = matches!(
+            PackedInts::from_parts(wire, cs.len(), bits),
+            Err(PackError::LengthMismatch { .. })
+        );
+        prop_assert!(is_len_mismatch);
+    }
+
+    /// A code too wide for the declared width is rejected, not
+    /// truncated.
+    #[test]
+    fn out_of_range_codes_are_rejected(bits in 0u32..8, len in 1usize..40, pos_seed in 0usize..40) {
+        let pos = pos_seed % len;
+        let mut cs = vec![0u8; len];
+        cs[pos] = 1u8 << bits; // first value that no longer fits
+        match PackedInts::pack(&cs, bits) {
+            Err(PackError::CodeOutOfRange { index, .. }) => prop_assert_eq!(index, pos),
+            other => prop_assert!(false, "expected CodeOutOfRange, got {:?}", other),
+        }
+    }
+
+    /// Unsupported widths (wider than a byte) are a typed error.
+    #[test]
+    fn unsupported_widths_error(bits in 9u32..64) {
+        prop_assert!(matches!(
+            PackedInts::pack(&[0], bits),
+            Err(PackError::UnsupportedBits(_))
+        ));
+        prop_assert!(packed_byte_len(4, bits).is_err());
+    }
+}
+
+#[test]
+fn odd_int4_tail_pads_with_a_zero_nibble() {
+    let packed = PackedInts::pack(&[0xF, 0x1, 0x7], 4).unwrap();
+    assert_eq!(packed.bytes(), &[0x1F, 0x07]);
+    // A nonzero padding nibble on the wire is corruption.
+    assert!(PackedInts::from_parts(vec![0x1F, 0x77], 3, 4).is_err());
+    assert!(PackedInts::from_parts(vec![0x1F, 0x07], 3, 4).is_ok());
+}

@@ -58,7 +58,9 @@ cargo test -q -p ccq --test golden_trace --no-default-features 2>> results/metri
 # daemon is SIGKILLed mid-run, restart it with --drain, and require the
 # recovered artifacts (RunState, event JSONL, report) to be
 # byte-identical to the uninterrupted reference (events normalized for
-# the spool root embedded in autosave paths; see DESIGN.md §14) ---
+# the spool root embedded in autosave paths; see DESIGN.md §14). The
+# deployable CCQPACK artifact is part of that contract: a resumed run
+# must pack byte-identical bytes ---
 cargo build --release -p ccq-serve 2> results/build_serve.log || exit 1
 SERVE=target/release/ccq-serve
 serve_spec() { # $1 = job name, $2 = seed offset
@@ -108,6 +110,7 @@ $SERVE status results/serve_kill --assert-done 2 >> results/serve.log 2>&1 || ex
 for id in smoke-a smoke-b; do
   cmp "results/serve_ref/done/$id.ccqruns" "results/serve_kill/done/$id.ccqruns" || exit 1
   cmp "results/serve_ref/done/$id.report.txt" "results/serve_kill/done/$id.report.txt" || exit 1
+  cmp "results/serve_ref/done/$id.ccqpack" "results/serve_kill/done/$id.ccqpack" || exit 1
   sed 's|results/serve_ref|<spool>|g' "results/serve_ref/done/$id.events.jsonl" > "results/serve_events_ref_$id.norm"
   sed 's|results/serve_kill|<spool>|g' "results/serve_kill/done/$id.events.jsonl" > "results/serve_events_kill_$id.norm"
   cmp "results/serve_events_ref_$id.norm" "results/serve_events_kill_$id.norm" || exit 1
@@ -122,18 +125,26 @@ for S in hedge zero-bit releq one-shot; do
     > "results/search_$S.log" 2>&1 || exit 1
 done
 
-# --- bench-smoke gate: both snapshot benchmarks must run at one rep on
-# the serial AND parallel builds, write parseable JSON, and incremental
-# probing must never lose to full-forward probing (bench_simd --smoke
-# self-checks its snapshot and enforces the speedup floor) ---
+# --- bench-smoke gate: the snapshot benchmarks must run at one rep on
+# the serial AND parallel builds, write parseable JSON, incremental
+# probing must never lose to full-forward probing, and packed execution
+# must stay bit-exact with >=2x compression (bench_simd and bench_pack
+# --smoke self-check their snapshots and enforce their floors) ---
 cargo build --release -p ccq-bench --no-default-features 2> results/build_serial.log || exit 1
 CCQ_BENCH_REPS=1 target/release/bench_parallel results/bench_parallel_smoke_serial.json > /dev/null 2> results/bench_smoke_serial.log || exit 1
 test -s results/bench_parallel_smoke_serial.json || exit 1
 target/release/bench_simd --smoke results/bench_simd_smoke_serial.json > /dev/null 2>> results/bench_smoke_serial.log || exit 1
+target/release/bench_pack --smoke results/bench_pack_smoke_serial.json > /dev/null 2>> results/bench_smoke_serial.log || exit 1
 cargo build --release -p ccq-bench 2> results/build.log || exit 1
 CCQ_BENCH_REPS=1 target/release/bench_parallel results/bench_parallel_smoke.json > /dev/null 2> results/bench_smoke.log || exit 1
 test -s results/bench_parallel_smoke.json || exit 1
 target/release/bench_simd --smoke results/bench_simd_smoke.json > /dev/null 2>> results/bench_smoke.log || exit 1
+target/release/bench_pack --smoke results/bench_pack_smoke.json > /dev/null 2>> results/bench_smoke.log || exit 1
+# the packed artifacts — the bench demo and a daemon job's sidecar —
+# must load and summarize through the deploy-side reader
+target/release/ccq-report --packed results/demo.ccqpack > results/packed_report.txt 2>> results/bench_smoke.log || exit 1
+target/release/ccq-report --packed results/serve_ref/done/smoke-a.ccqpack >> results/packed_report.txt 2>> results/bench_smoke.log || exit 1
+grep -c '^CCQPACK ' results/packed_report.txt | grep -qx 2 || exit 1
 
 # --- experiment harness ---
 time target/release/fig5_power > results/fig5_power.csv 2> results/fig5_power.log
@@ -145,4 +156,5 @@ time target/release/table1 > results/table1.csv 2> results/table1.log
 time target/release/ablations > results/ablations.csv 2> results/ablations.log
 time target/release/table2 > results/table2.csv 2> results/table2.log
 time target/release/bench_parallel BENCH_parallel.json 2> results/bench_parallel.log
+time target/release/bench_pack BENCH_pack.json > results/bench_pack.log 2>&1
 echo ALL_DONE

@@ -11,6 +11,7 @@
 //! - [`data`] — synthetic datasets and augmentation
 //! - [`models`] — ResNet-style architecture builders
 //! - [`hw`] — MAC energy/power and model-size analysis
+//! - [`infer`] — packed low-bit inference and the `CCQPACK` artifact
 //! - [`ccq`] — the competitive-collaborative quantization framework
 //!
 //! # Example
@@ -25,6 +26,7 @@
 pub use ccq;
 pub use ccq_data as data;
 pub use ccq_hw as hw;
+pub use ccq_infer as infer;
 pub use ccq_models as models;
 pub use ccq_nn as nn;
 pub use ccq_quant as quant;
